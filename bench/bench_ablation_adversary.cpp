@@ -1,0 +1,33 @@
+// Ablation 1: adversary strategy comparison. Fix the Theorem 4 algorithm
+// at its maximum tolerance and compare how each strategy in the library
+// stresses the system: rounds, simulated rounds (adversaries keep the
+// engine awake), messages, and the dispersion verdict.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  std::printf(
+      "== Ablation 1: adversary strategies vs Theorem 4 (n = 12, f = 3) "
+      "==\n\n");
+  const std::uint32_t n = 12;
+  const Graph g = bench::sweep_graph(n, 222);
+
+  Table table({"strategy", "rounds", "simulated", "dispersed", "sec"});
+  bool ok = true;
+  for (const core::ByzStrategy s : core::weak_strategies()) {
+    const auto p = bench::run_point(core::Algorithm::kThreeGroupGathered, g,
+                                    core::max_tolerated_f(
+                                        core::Algorithm::kThreeGroupGathered, n),
+                                    s, 17);
+    ok = ok && p.dispersed;
+    table.add_row({core::to_string(s), Table::num(p.rounds),
+                   Table::num(p.simulated), p.dispersed ? "yes" : "NO",
+                   Table::num(p.seconds, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nall strategies defeated: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

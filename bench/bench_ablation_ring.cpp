@@ -1,0 +1,57 @@
+// Ablation 4: ring specialization vs general machinery on the SAME rings.
+// The paper generalizes the O(n) ring algorithm of [34, 36] to arbitrary
+// graphs; the generality is paid for in rounds. Compare, on port-shuffled
+// rings: the ring baseline (constructive O(n) Find-Map), Theorem 1
+// (charged poly Find-Map via the quotient), and Theorem 4 (group map
+// finding — no graph-class restriction at all, lower tolerance).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/quotient.h"
+
+int main() {
+  using namespace bdg;
+  std::printf(
+      "== Ablation 4: ring baseline [34,36] vs general algorithms on "
+      "port-shuffled rings ==\n\n");
+
+  Table table({"n", "ring-baseline rounds", "Thm1 rounds", "Thm4 rounds",
+               "baseline f", "Thm1 applies", "all dispersed"});
+  bool ok = true;
+  for (const std::uint32_t n : {8u, 16u, 24u, 32u}) {
+    // Shuffled rings almost always have all-distinct views; resample so
+    // Theorem 1 applies on the same instance.
+    Rng rng(90 + n);
+    Graph g = shuffle_ports(make_ring(n), rng);
+    int guard = 0;
+    while (!has_trivial_quotient(g) && ++guard < 64)
+      g = shuffle_ports(make_ring(n), rng);
+    const bool t1_applies = has_trivial_quotient(g);
+
+    const auto ring = bench::run_point(core::Algorithm::kRingBaseline, g,
+                                       n - 1, core::ByzStrategy::kFakeSettler,
+                                       n);
+    const auto t1 = bench::run_point(core::Algorithm::kQuotient, g, n - 1,
+                                     core::ByzStrategy::kFakeSettler, n);
+    const auto t4 =
+        bench::run_point(core::Algorithm::kThreeGroupGathered, g, n / 3 - 1,
+                         core::ByzStrategy::kMapLiar, n);
+    ok = ok && ring.dispersed && t1.dispersed && t4.dispersed;
+    table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                   Table::num(ring.rounds), Table::num(t1.rounds),
+                   Table::num(t4.rounds),
+                   Table::num(static_cast<std::uint64_t>(n - 1)),
+                   t1_applies ? "yes" : "NO",
+                   (ring.dispersed && t1.dispersed && t4.dispersed) ? "yes"
+                                                                    : "NO"});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nthe specialization stays linear while the general Theorem 1 pays "
+      "its charged poly(n) Find-Map and Theorem 4 pays Theta(n^3) windows "
+      "— the cost of generality the paper's Section 1.3 discusses.\nall "
+      "dispersed: %s\n",
+      ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+#include "bench_common.h"
+
+#include <chrono>
+
+namespace bdg::bench {
+
+RowPoint run_point(core::Algorithm algo, const Graph& g, std::uint32_t f,
+                   core::ByzStrategy strategy, std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.algorithm = algo;
+  cfg.num_byzantine = f;
+  cfg.strategy = strategy;
+  cfg.seed = seed;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScenarioResult res = core::run_scenario(g, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  RowPoint p;
+  p.n = static_cast<std::uint32_t>(g.n());
+  p.f = f;
+  p.rounds = res.stats.rounds;
+  p.simulated = res.stats.simulated_rounds;
+  p.dispersed = res.verify.ok();
+  p.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return p;
+}
+
+std::vector<RowPoint> run_row_bench(const RowBenchSpec& spec) {
+  std::printf("== %s ==\n", spec.title.c_str());
+  std::printf("paper claim: %s\n", spec.claim.c_str());
+  std::printf("adversary: %s at maximum claimed tolerance\n\n",
+              core::to_string(spec.strategy).c_str());
+
+  Table table({"n", "f", "rounds", "simulated", spec.bound_name,
+               "rounds/" + spec.bound_name, "dispersed", "sec"});
+  std::vector<RowPoint> points;
+  std::vector<double> xs, ys;
+  for (const std::uint32_t n : spec.sizes) {
+    const Graph g = sweep_graph(n, 1000 + n);
+    const std::uint32_t f = core::max_tolerated_f(spec.algorithm, n);
+    const RowPoint p = run_point(spec.algorithm, g, f, spec.strategy, n);
+    points.push_back(p);
+    const double bound = spec.bound(n);
+    table.add_row({Table::num(static_cast<std::uint64_t>(p.n)),
+                   Table::num(static_cast<std::uint64_t>(p.f)),
+                   Table::num(p.rounds), Table::num(p.simulated),
+                   Table::num(bound, 0),
+                   Table::num(static_cast<double>(p.rounds) / bound, 3),
+                   p.dispersed ? "yes" : "NO", Table::num(p.seconds, 2)});
+    xs.push_back(n);
+    ys.push_back(static_cast<double>(p.rounds));
+  }
+  table.print(std::cout);
+
+  const PowerFit fit = fit_power_law(xs, ys);
+  std::printf(
+      "\nfitted growth: rounds ~ %.3g * n^%.2f   (R^2 = %.3f, claimed %s)\n\n",
+      fit.constant, fit.exponent, fit.r2, spec.bound_name.c_str());
+  return points;
+}
+
+}  // namespace bdg::bench

@@ -1,0 +1,64 @@
+#pragma once
+// Shared harness for the Table 1 row benchmarks.
+//
+// Each row bench sweeps n, runs the row's algorithm at its maximum claimed
+// Byzantine tolerance against a chosen adversary, and prints a paper-style
+// table: measured rounds, the claimed bound, tolerance verdict, plus a
+// fitted growth exponent of the measured series. Wall-clock timing of the
+// substrate operations is handled separately by google-benchmark in
+// bench_substrates.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace bdg::bench {
+
+struct RowPoint {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t simulated = 0;
+  bool dispersed = false;
+  double seconds = 0.0;
+};
+
+/// Graph used across the sweeps: a port-shuffled connected ER graph with
+/// all-distinct views (so every algorithm, including Theorem 1, applies).
+[[nodiscard]] inline Graph sweep_graph(std::uint32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    const Graph g = shuffle_ports(make_connected_er(n, 0.0, rng), rng);
+    if (has_trivial_quotient(g)) return g;
+  }
+  throw std::runtime_error("sweep_graph: no trivial-quotient sample");
+}
+
+[[nodiscard]] RowPoint run_point(core::Algorithm algo, const Graph& g,
+                                 std::uint32_t f, core::ByzStrategy strategy,
+                                 std::uint64_t seed);
+
+struct RowBenchSpec {
+  std::string title;             ///< e.g. "Table 1 row 5 (Theorem 4)"
+  std::string claim;             ///< e.g. "O(n^3), gathered, f <= n/3-1"
+  core::Algorithm algorithm;
+  core::ByzStrategy strategy = core::ByzStrategy::kFakeSettler;
+  std::vector<std::uint32_t> sizes;
+  /// Claimed asymptotic bound as a function of n (for the ratio column).
+  std::function<double(std::uint32_t)> bound;
+  std::string bound_name;        ///< e.g. "n^3"
+};
+
+/// Run the sweep and print the table + fitted exponent; returns the
+/// points for callers that post-process.
+std::vector<RowPoint> run_row_bench(const RowBenchSpec& spec);
+
+}  // namespace bdg::bench

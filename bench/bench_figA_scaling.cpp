@@ -1,0 +1,61 @@
+// Figure A (synthetic; the paper reports bounds, we plot the series they
+// imply): rounds vs n for all seven algorithms on a common graph family,
+// each at its maximum claimed tolerance. The expected ordering is
+//   row5 O(n^3) ~ row7 O(n^3) < row4 O(n^4) < row2 (gather-dominated)
+//   << row6 exponential,
+// with row1 sitting at its charged Find-Map polynomial and row3 between
+// row5 and row4.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  using core::Algorithm;
+  std::printf("== Figure A: rounds vs n, all algorithms ==\n\n");
+
+  struct Entry {
+    Algorithm algo;
+    const char* label;
+    core::ByzStrategy strategy;
+  };
+  const Entry entries[] = {
+      {Algorithm::kQuotient, "row1 Thm1 quotient", core::ByzStrategy::kFakeSettler},
+      {Algorithm::kTournamentArbitrary, "row2 Thm2 half-arbitrary",
+       core::ByzStrategy::kFakeSettler},
+      {Algorithm::kSqrtArbitrary, "row3 Thm5 sqrt-arbitrary",
+       core::ByzStrategy::kFakeSettler},
+      {Algorithm::kTournamentGathered, "row4 Thm3 half-gathered",
+       core::ByzStrategy::kMapLiar},
+      {Algorithm::kThreeGroupGathered, "row5 Thm4 third-gathered",
+       core::ByzStrategy::kMapLiar},
+      {Algorithm::kStrongArbitrary, "row6 Thm7 strong-arbitrary",
+       core::ByzStrategy::kSpoofer},
+      {Algorithm::kStrongGathered, "row7 Thm6 strong-gathered",
+       core::ByzStrategy::kSpoofer},
+  };
+
+  const std::vector<std::uint32_t> sizes{8, 12, 16};
+  Table table({"algorithm", "n=8", "n=12", "n=16", "fitted n^e"});
+  bool ok = true;
+  for (const Entry& e : entries) {
+    std::vector<std::string> row{e.label};
+    std::vector<double> xs, ys;
+    for (const std::uint32_t n : sizes) {
+      const Graph g = bench::sweep_graph(n, 500 + n);
+      const std::uint32_t f = core::max_tolerated_f(e.algo, n);
+      const auto p = bench::run_point(e.algo, g, f, e.strategy, n);
+      ok = ok && p.dispersed;
+      row.push_back(Table::num(p.rounds) + (p.dispersed ? "" : "(FAIL)"));
+      xs.push_back(n);
+      ys.push_back(static_cast<double>(p.rounds));
+    }
+    const PowerFit fit = fit_power_law(xs, ys);
+    row.push_back(Table::num(fit.exponent, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nall points dispersed: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Figure B (synthetic): the Byzantine-tolerance frontier. For each
+// algorithm, sweep f from 0 past the claimed tolerance and report whether
+// dispersion still holds against the strongest matching adversary in the
+// library. Within the claimed bound the verdict must be "ok" on every run;
+// beyond it the guarantee lapses (failures are expected, though a weak
+// adversary may still happen to lose).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/parallel.h"
+
+int main() {
+  using namespace bdg;
+  using core::Algorithm;
+  std::printf("== Figure B: tolerance frontier (n = 12) ==\n\n");
+
+  const std::uint32_t n = 12;
+  const Graph g = bench::sweep_graph(n, 321);
+
+  struct Entry {
+    Algorithm algo;
+    const char* label;
+    core::ByzStrategy strategy;
+  };
+  const Entry entries[] = {
+      {Algorithm::kTournamentGathered, "row4 half-gathered (claim f<=5)",
+       core::ByzStrategy::kMapLiar},
+      {Algorithm::kThreeGroupGathered, "row5 third-gathered (claim f<=3)",
+       core::ByzStrategy::kMapLiar},
+      {Algorithm::kStrongGathered, "row7 strong-gathered (claim f<=2)",
+       core::ByzStrategy::kSpoofer},
+      {Algorithm::kSqrtArbitrary, "row3 sqrt-arbitrary (claim f<=2)",
+       core::ByzStrategy::kMapLiar},
+      {Algorithm::kQuotient, "row1 quotient (claim f<=11)",
+       core::ByzStrategy::kFakeSettler},
+  };
+
+  std::vector<std::string> header{"algorithm \\ f"};
+  for (std::uint32_t f = 0; f <= 8; ++f)
+    header.push_back("f=" + std::to_string(f));
+  Table table(std::move(header));
+
+  // The grid points are independent executions: sweep them in parallel
+  // (each point owns its engine; results stay bit-reproducible).
+  constexpr std::uint32_t kMaxF = 8;
+  const std::size_t num_entries = std::size(entries);
+  std::vector<bench::RowPoint> grid(num_entries * (kMaxF + 1));
+  parallel_for_index(grid.size(), [&](std::size_t idx) {
+    const Entry& e = entries[idx / (kMaxF + 1)];
+    const auto f = static_cast<std::uint32_t>(idx % (kMaxF + 1));
+    if (f >= n) return;
+    grid[idx] = bench::run_point(e.algo, g, f, e.strategy, 7 * f + 3);
+  });
+
+  bool claims_hold = true;
+  for (std::size_t ei = 0; ei < num_entries; ++ei) {
+    const Entry& e = entries[ei];
+    std::vector<std::string> row{e.label};
+    const std::uint32_t claimed = core::max_tolerated_f(e.algo, n);
+    for (std::uint32_t f = 0; f <= kMaxF; ++f) {
+      if (f >= n) {
+        row.push_back("-");
+        continue;
+      }
+      const bench::RowPoint& p = grid[ei * (kMaxF + 1) + f];
+      const bool within = f <= claimed;
+      if (within && !p.dispersed) claims_hold = false;
+      row.push_back(p.dispersed ? (within ? "ok" : "ok*")
+                                : (within ? "FAIL!" : "fail"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nok = dispersed within claim; ok* = dispersed beyond claim (no "
+      "guarantee); fail = expected lapse beyond claim; FAIL! = claim "
+      "violation.\nall claims hold: %s\n",
+      claims_hold ? "yes" : "NO");
+  return claims_hold ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Theorem 8: the feasibility frontier for k robots on an n-node graph with
+// f Byzantine robots, and the mirror-execution violations at infeasible
+// parameter points.
+#include <cstdio>
+#include <iostream>
+
+#include "core/impossibility.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bdg;
+  std::printf("== Theorem 8: impossibility when ceil(k/n) > ceil((k-f)/n) ==\n\n");
+
+  Table table({"n", "k", "f", "ceil(k/n)", "ceil((k-f)/n)", "feasible",
+               "mirror demo"});
+  bool all_consistent = true;
+  for (const std::uint32_t n : {4u, 5u, 8u}) {
+    for (const std::uint32_t k : {n, n + 1, n + n / 2, 2 * n, 3 * n}) {
+      for (const std::uint32_t f : {0u, 1u, n / 2, n}) {
+        if (f >= k) continue;
+        const bool feasible = core::k_dispersion_feasible(k, n, f);
+        const auto demo = core::demonstrate_impossibility(n, k, f);
+        const bool consistent = feasible ? !demo.violated : demo.violated;
+        all_consistent = all_consistent && consistent;
+        table.add_row(
+            {Table::num(static_cast<std::uint64_t>(n)),
+             Table::num(static_cast<std::uint64_t>(k)),
+             Table::num(static_cast<std::uint64_t>(f)),
+             Table::num(static_cast<std::uint64_t>((k + n - 1) / n)),
+             Table::num(static_cast<std::uint64_t>((k - f + n - 1) / n)),
+             feasible ? "yes" : "no",
+             demo.violated ? "VIOLATION exhibited" : "no violation"});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nevery infeasible point exhibits a concrete mirror-execution "
+      "violation: %s\n",
+      all_consistent ? "yes" : "NO (inconsistency!)");
+  return all_consistent ? 0 : 1;
+}

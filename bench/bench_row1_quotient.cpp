@@ -1,0 +1,23 @@
+// Table 1 row 1 (Theorem 1): poly(n) rounds, arbitrary start, f <= n-1
+// weak Byzantine, on graphs with G isomorphic to Q_G.
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  bench::RowBenchSpec spec;
+  spec.title = "Table 1 row 1 (Theorem 1): quotient-map dispersion";
+  spec.claim =
+      "polynomial(n) rounds, arbitrary start, f <= n-1 weak Byzantine, "
+      "graphs with trivial quotient (charged Find-Map = n^3)";
+  spec.algorithm = core::Algorithm::kQuotient;
+  spec.strategy = core::ByzStrategy::kFakeSettler;
+  spec.sizes = {8, 12, 16, 24, 32, 40};
+  spec.bound = [](std::uint32_t n) {
+    return static_cast<double>(n) * n * n;
+  };
+  spec.bound_name = "n^3";
+  const auto points = bench::run_row_bench(spec);
+  for (const auto& p : points)
+    if (!p.dispersed) return 1;
+  return 0;
+}

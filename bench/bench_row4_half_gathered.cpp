@@ -1,0 +1,21 @@
+// Table 1 row 4 (Theorem 3): O(n^4) rounds, gathered start,
+// f <= floor(n/2)-1 weak Byzantine, any graph.
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  bench::RowBenchSpec spec;
+  spec.title = "Table 1 row 4 (Theorem 3): all-pairs tournament, gathered";
+  spec.claim = "O(n^4) rounds, gathered, f <= floor(n/2)-1 weak Byzantine";
+  spec.algorithm = core::Algorithm::kTournamentGathered;
+  spec.strategy = core::ByzStrategy::kMapLiar;
+  spec.sizes = {6, 8, 10, 12, 16};
+  spec.bound = [](std::uint32_t n) {
+    return static_cast<double>(n) * n * n * n;
+  };
+  spec.bound_name = "n^4";
+  const auto points = bench::run_row_bench(spec);
+  for (const auto& p : points)
+    if (!p.dispersed) return 1;
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table 1 row 5 (Theorem 4): O(n^3) rounds, gathered start,
+// f <= floor(n/3)-1 weak Byzantine, any graph.
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  bench::RowBenchSpec spec;
+  spec.title = "Table 1 row 5 (Theorem 4): three-group map finding, gathered";
+  spec.claim = "O(n^3) rounds, gathered, f <= floor(n/3)-1 weak Byzantine";
+  spec.algorithm = core::Algorithm::kThreeGroupGathered;
+  spec.strategy = core::ByzStrategy::kMapLiar;
+  spec.sizes = {6, 9, 12, 15, 18, 24};
+  spec.bound = [](std::uint32_t n) {
+    return static_cast<double>(n) * n * n;
+  };
+  spec.bound_name = "n^3";
+  const auto points = bench::run_row_bench(spec);
+  for (const auto& p : points)
+    if (!p.dispersed) return 1;
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table 1 row 6 (Theorem 7): exponential(n) rounds, arbitrary start,
+// f <= floor(n/4)-1 STRONG Byzantine, f known to the robots. The charged
+// exponential gathering ([24]'s strong-Byzantine group gathering)
+// dominates; the engine fast-forwards it so wall time stays flat while the
+// round counter grows as 2^n.
+#include <cmath>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  bench::RowBenchSpec spec;
+  spec.title =
+      "Table 1 row 6 (Theorem 7): strong Byzantine from arbitrary start";
+  spec.claim =
+      "exponential(n) rounds (charged 2^n gathering), arbitrary start, "
+      "f <= floor(n/4)-1 strong Byzantine, f known";
+  spec.algorithm = core::Algorithm::kStrongArbitrary;
+  spec.strategy = core::ByzStrategy::kSpoofer;
+  spec.sizes = {8, 10, 12, 16, 20, 24};
+  spec.bound = [](std::uint32_t n) { return std::pow(2.0, n); };
+  spec.bound_name = "2^n";
+  const auto points = bench::run_row_bench(spec);
+  for (const auto& p : points)
+    if (!p.dispersed) return 1;
+  return 0;
+}

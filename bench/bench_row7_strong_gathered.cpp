@@ -1,0 +1,23 @@
+// Table 1 row 7 (Theorem 6): O(n^3) rounds, gathered start,
+// f <= floor(n/4)-1 STRONG Byzantine (ID forgery), any graph.
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  bench::RowBenchSpec spec;
+  spec.title =
+      "Table 1 row 7 (Theorem 6): two-group quorum map finding + silent "
+      "assignment, gathered, strong Byzantine";
+  spec.claim = "O(n^3) rounds, gathered, f <= floor(n/4)-1 strong Byzantine";
+  spec.algorithm = core::Algorithm::kStrongGathered;
+  spec.strategy = core::ByzStrategy::kSpoofer;
+  spec.sizes = {8, 12, 16, 20, 24, 28};
+  spec.bound = [](std::uint32_t n) {
+    return static_cast<double>(n) * n * n;
+  };
+  spec.bound_name = "n^3";
+  const auto points = bench::run_row_bench(spec);
+  for (const auto& p : points)
+    if (!p.dispersed) return 1;
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Substrate microbenchmarks (google-benchmark): canonical encoding, view
+// refinement / quotient construction, token map building, covering walks.
+#include <benchmark/benchmark.h>
+
+#include "explore/covering_walk.h"
+#include "explore/engine_map.h"
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+
+namespace {
+
+using namespace bdg;
+
+Graph bench_graph(std::int64_t n) {
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  return shuffle_ports(make_connected_er(static_cast<std::size_t>(n), 0.0, rng),
+                       rng);
+}
+
+void BM_RootedCode(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(rooted_code(g, 0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RootedCode)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_UnrootedCode(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(unrooted_code(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UnrootedCode)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_QuotientGraph(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(quotient_graph(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_QuotientGraph)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_QuotientSymmetric(benchmark::State& state) {
+  // Fully symmetric input: refinement converges immediately to one class.
+  const Graph g = make_torus(static_cast<std::size_t>(state.range(0)),
+                             static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(quotient_graph(g));
+}
+BENCHMARK(BM_QuotientSymmetric)->DenseRange(4, 12, 4);
+
+void BM_CoveringWalk(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(covering_walk_ports(g, 0));
+}
+BENCHMARK(BM_CoveringWalk)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_TokenMapBuild(benchmark::State& state) {
+  // Whole honest agent+token run in the engine (two robots).
+  const Graph g = bench_graph(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explore::build_map_with_token(g, 0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TokenMapBuild)->RangeMultiplier(2)->Range(8, 32)->Complexity();
+
+void BM_Isomorphic(benchmark::State& state) {
+  const Graph g = bench_graph(state.range(0));
+  Rng rng(5);
+  std::vector<NodeId> perm(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) perm[v] = v;
+  rng.shuffle(perm);
+  const Graph h = relabel_nodes(g, perm);
+  for (auto _ : state) benchmark::DoNotOptimize(isomorphic(g, h));
+}
+BENCHMARK(BM_Isomorphic)->RangeMultiplier(2)->Range(8, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Quickstart: run Byzantine dispersion end-to-end in ~30 lines.
+//
+// Ten robots sit gathered on a 10-node random graph; three of them are
+// Byzantine liars. The Theorem 4 algorithm (three-group map finding +
+// Dispersion-Using-Map) spreads the honest robots so that no node holds
+// two of them, despite the lies.
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace bdg;
+
+  // 1. A random connected port-labeled graph (seeded => reproducible).
+  Rng rng(2021);
+  const Graph g = shuffle_ports(make_connected_er(10, 0.4, rng), rng);
+  std::printf("graph: n=%zu m=%zu max_degree=%u\n", g.n(), g.m(),
+              g.max_degree());
+
+  // 2. Configure the scenario: Theorem 4, f = floor(n/3)-1 = 2 Byzantine
+  //    robots that claim to be settled and then relocate.
+  core::ScenarioConfig cfg;
+  cfg.algorithm = core::Algorithm::kThreeGroupGathered;
+  cfg.num_byzantine = 2;
+  cfg.strategy = core::ByzStrategy::kFakeSettler;
+  cfg.seed = 7;
+
+  // 3. Run and verify Definition 1.
+  const core::ScenarioResult res = core::run_scenario(g, cfg);
+  std::printf("algorithm: %s\n", core::to_string(cfg.algorithm).c_str());
+  std::printf("rounds: %llu (simulated %llu, fast-forwarded the rest)\n",
+              static_cast<unsigned long long>(res.stats.rounds),
+              static_cast<unsigned long long>(res.stats.simulated_rounds));
+  std::printf("moves: %llu  messages: %llu\n",
+              static_cast<unsigned long long>(res.stats.moves),
+              static_cast<unsigned long long>(res.stats.messages));
+  std::printf("byzantine dispersion achieved: %s\n",
+              res.verify.ok() ? "YES" : "NO");
+  if (!res.verify.ok()) std::printf("detail: %s\n", res.verify.detail.c_str());
+  return res.verify.ok() ? 0 : 1;
+}

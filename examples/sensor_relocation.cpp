@@ -1,0 +1,47 @@
+// Sensor-network self-deployment with compromised nodes.
+//
+// Mobile sensors dropped at arbitrary positions on a communication
+// backbone (a random regular topology) must spread out so that every relay
+// site hosts at most one healthy sensor. Some sensors are compromised and
+// can forge identities (strong Byzantine). This needs Theorem 7: gather
+// despite strong adversaries (exponential charged rounds, f known), then
+// the quorum map finding and the silent assignment phase.
+#include <cstdio>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace bdg;
+
+  Rng rng(1234);
+  const Graph backbone = make_random_regular(12, 3, rng);
+  const auto n = static_cast<std::uint32_t>(backbone.n());
+  const std::uint32_t compromised = n / 4 >= 1 ? n / 4 - 1 : 0;  // Thm 7 cap
+  std::printf("backbone: %u relay sites (3-regular), %u sensors, %u compromised (strong)\n",
+              n, n, compromised);
+
+  core::ScenarioConfig cfg;
+  cfg.algorithm = core::Algorithm::kStrongArbitrary;
+  cfg.num_byzantine = compromised;
+  cfg.strategy = core::ByzStrategy::kSpoofer;  // forges sensor IDs
+  cfg.seed = 5;
+
+  const core::ScenarioResult res = core::run_scenario(backbone, cfg);
+  std::printf("charged rounds: %llu (exponential gathering dominates)\n",
+              static_cast<unsigned long long>(res.stats.rounds));
+  std::printf("rounds actually simulated: %llu\n",
+              static_cast<unsigned long long>(res.stats.simulated_rounds));
+  std::printf("healthy sensors dispersed: %s\n",
+              res.verify.ok() ? "YES" : "NO");
+  if (!res.verify.ok()) std::printf("detail: %s\n", res.verify.detail.c_str());
+
+  // The same fleet, pre-gathered at a staging site, needs only O(n^3)
+  // rounds (Theorem 6) — demonstrate the contrast.
+  cfg.algorithm = core::Algorithm::kStrongGathered;
+  const core::ScenarioResult res2 = core::run_scenario(backbone, cfg);
+  std::printf("pre-gathered variant rounds: %llu, dispersed: %s\n",
+              static_cast<unsigned long long>(res2.stats.rounds),
+              res2.verify.ok() ? "YES" : "NO");
+  return (res.verify.ok() && res2.verify.ok()) ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#include "core/algorithm_common.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bdg::core {
+
+std::vector<PairingWindow> round_robin_schedule(std::vector<sim::RobotId> ids) {
+  std::sort(ids.begin(), ids.end());
+  if (ids.size() % 2 != 0) ids.push_back(0);  // 0 = dummy (idle partner)
+  const std::size_t k = ids.size();
+  if (k < 2) return {};
+  std::vector<PairingWindow> windows;
+  windows.reserve(k - 1);
+  // Circle method: ids[0] fixed, the rest rotate one slot per window.
+  std::vector<sim::RobotId> arr = ids;
+  for (std::size_t w = 0; w + 1 < k; ++w) {
+    PairingWindow win;
+    for (std::size_t i = 0; i < k / 2; ++i) {
+      const sim::RobotId a = arr[i];
+      const sim::RobotId b = arr[k - 1 - i];
+      if (a != 0 && b != 0) win.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    windows.push_back(std::move(win));
+    // Rotate arr[1..k-1] right by one.
+    std::rotate(arr.begin() + 1, arr.end() - 1, arr.end());
+  }
+  return windows;
+}
+
+std::optional<CanonicalCode> majority_code(
+    const std::vector<CanonicalCode>& votes) {
+  if (votes.empty()) return std::nullopt;
+  std::map<CanonicalCode, std::size_t> counts;
+  for (const auto& v : votes) ++counts[v];
+  const CanonicalCode* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [code, count] : counts) {
+    if (count > best_count) {  // map order => ties keep the smaller code
+      best_count = count;
+      best = &code;
+    }
+  }
+  return *best;
+}
+
+std::optional<Graph> decode_map(const CanonicalCode& code, std::uint32_t n) {
+  try {
+    Graph g = graph_from_code(code);
+    if (g.n() != n || !g.is_connected()) return std::nullopt;
+    return g;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,49 @@
+#pragma once
+// Shared building blocks of the end-to-end dispersion algorithms:
+// round-robin pairing schedules, majority voting over map codes, and the
+// common plan interface consumed by the scenario harness.
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "graph/graph.h"
+#include "sim/engine.h"
+
+namespace bdg::core {
+
+/// One pairing window: each participant appears in at most one pair.
+/// A robot absent from every pair idles that window.
+using PairingWindow = std::vector<std::pair<sim::RobotId, sim::RobotId>>;
+
+/// All-pairs round-robin schedule (circle method): k participants meet
+/// pairwise across k-1 windows (k even; one participant idles per window
+/// when k is odd). This realizes the paper's "every robot pairs up with
+/// every other robot in O(n) stages" with the same guarantees.
+[[nodiscard]] std::vector<PairingWindow> round_robin_schedule(
+    std::vector<sim::RobotId> ids);
+
+/// Most frequent code among votes (ties: lexicographically smallest);
+/// nullopt when votes is empty.
+[[nodiscard]] std::optional<CanonicalCode> majority_code(
+    const std::vector<CanonicalCode>& votes);
+
+/// Decode a voted map code defensively (Byzantine-supplied codes may be
+/// garbage); nullopt if the code is not a valid connected port-labeled map
+/// of exactly n nodes.
+[[nodiscard]] std::optional<Graph> decode_map(const CanonicalCode& code,
+                                              std::uint32_t n);
+
+/// A planned algorithm instance: the scenario harness builds one per run.
+struct AlgorithmPlan {
+  /// Upper bound on the honest termination round (engine run budget).
+  std::uint64_t total_rounds = 0;
+  /// End of the charged oracle prefix (gathering / Find-Map); Byzantine
+  /// programs sleep until here so fast-forwarding stays effective.
+  std::uint64_t byz_wake_round = 0;
+  /// Program builder for an honest robot with the given ID and start node.
+  std::function<sim::ProgramFactory(sim::RobotId, NodeId)> honest;
+};
+
+}  // namespace bdg::core

@@ -1,0 +1,184 @@
+#include "core/byzantine.h"
+
+#include <stdexcept>
+
+#include "core/protocol_msgs.h"
+#include "explore/engine_map.h"
+
+namespace bdg::core {
+namespace {
+
+using sim::Ctx;
+using sim::Proc;
+
+std::optional<Port> random_port(Ctx& ctx, Rng& rng) {
+  if (ctx.degree() == 0) return std::nullopt;
+  return static_cast<Port>(rng.below(ctx.degree()));
+}
+
+/// Sleep through charged oracle phases (where there is nothing to attack
+/// and staying awake would defeat the engine's fast-forwarding).
+Proc crash_program(Ctx ctx) {
+  (void)ctx;
+  co_return;
+}
+
+Proc random_walker(Ctx ctx, std::uint64_t wake, Rng rng) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  for (;;) {
+    ctx.broadcast(kMsgStatus, {kStateToBeSettled});
+    co_await ctx.end_round(random_port(ctx, rng));
+  }
+}
+
+Proc squatter(Ctx ctx, std::uint64_t wake) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  for (;;) {
+    ctx.broadcast(kMsgStatus, {kStateSettled});
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+Proc fake_settler(Ctx ctx, std::uint64_t wake, Rng rng) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  const std::uint64_t squat_len = 2 + rng.below(2 * ctx.n());
+  for (;;) {
+    // Claim to be settled here for a while...
+    for (std::uint64_t i = 0; i < squat_len; ++i) {
+      ctx.broadcast(kMsgStatus, {kStateSettled});
+      co_await ctx.end_round(std::nullopt);
+    }
+    // ...then sneak a few hops away and claim again (classic A_r bait).
+    const std::uint64_t hops = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < hops; ++i)
+      co_await ctx.end_round(random_port(ctx, rng));
+  }
+}
+
+Proc silent_settler(Ctx ctx, std::uint64_t wake) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  // Claim Settled briefly, then vanish from the airwaves: visitors that
+  // recorded us must blacklist us for the missing beacon (paper step 4).
+  for (int i = 0; i < 3; ++i) {
+    ctx.broadcast(kMsgStatus, {kStateSettled});
+    co_await ctx.end_round(std::nullopt);
+  }
+  co_return;
+}
+
+Proc intent_spammer(Ctx ctx, std::uint64_t wake, Rng rng) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  for (;;) {
+    // Announce settling without ever staying put; forces honest robots to
+    // record us and exercise the relocation blacklist rule.
+    ctx.broadcast(kMsgStatus, {kStateToBeSettled});
+    ctx.broadcast(kMsgIntent);
+    ctx.broadcast(kMsgSettled);
+    co_await ctx.end_round(random_port(ctx, rng));
+  }
+}
+
+Proc map_liar(Ctx ctx, std::uint64_t wake, Rng rng) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  for (;;) {
+    // Lie on every map-finding channel at once: fake token presence, fake
+    // instructions, garbage map codes.
+    ctx.broadcast(explore::kMsgTokenHere);
+    ctx.broadcast(explore::kMsgInstr,
+                  {static_cast<std::int64_t>(explore::MapOp::kTMove),
+                   static_cast<std::int64_t>(rng.below(4))});
+    ctx.broadcast(explore::kMsgMapCode, {1, 0});
+    co_await ctx.next_subround();
+    ctx.broadcast(explore::kMsgTokenHere);
+    co_await ctx.end_round(rng.chance(1, 2) ? random_port(ctx, rng)
+                                            : std::nullopt);
+  }
+}
+
+Proc spoofer(Ctx ctx, std::uint64_t wake, std::vector<sim::RobotId> peers,
+             Rng rng) {
+  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  if (ctx.faultiness() != sim::Faultiness::kStrongByzantine)
+    throw std::logic_error("spoofer strategy requires a strong robot");
+  for (;;) {
+    // Forge votes under several peers' identities on all channels.
+    for (int i = 0; i < 3 && !peers.empty(); ++i) {
+      const sim::RobotId victim = peers[rng.below(peers.size())];
+      ctx.spoof_broadcast(victim, kMsgStatus, {kStateSettled});
+      ctx.spoof_broadcast(victim, explore::kMsgTokenHere);
+      ctx.spoof_broadcast(victim, explore::kMsgInstr,
+                          {static_cast<std::int64_t>(explore::MapOp::kTMove),
+                           static_cast<std::int64_t>(rng.below(4))});
+      ctx.spoof_broadcast(victim, explore::kMsgMapCode, {1, 0});
+      ctx.spoof_broadcast(victim, kMsgSettled);
+    }
+    co_await ctx.next_subround();
+    for (int i = 0; i < 2 && !peers.empty(); ++i) {
+      const sim::RobotId victim = peers[rng.below(peers.size())];
+      ctx.spoof_broadcast(victim, explore::kMsgTokenHere);
+    }
+    co_await ctx.end_round(rng.chance(1, 2) ? random_port(ctx, rng)
+                                            : std::nullopt);
+  }
+}
+
+}  // namespace
+
+std::string to_string(ByzStrategy s) {
+  switch (s) {
+    case ByzStrategy::kCrash: return "crash";
+    case ByzStrategy::kRandomWalker: return "random_walker";
+    case ByzStrategy::kSquatter: return "squatter";
+    case ByzStrategy::kFakeSettler: return "fake_settler";
+    case ByzStrategy::kSilentSettler: return "silent_settler";
+    case ByzStrategy::kIntentSpammer: return "intent_spammer";
+    case ByzStrategy::kMapLiar: return "map_liar";
+    case ByzStrategy::kSpoofer: return "spoofer";
+  }
+  return "unknown";
+}
+
+const std::vector<ByzStrategy>& weak_strategies() {
+  static const std::vector<ByzStrategy> kAll{
+      ByzStrategy::kCrash,         ByzStrategy::kRandomWalker,
+      ByzStrategy::kSquatter,      ByzStrategy::kFakeSettler,
+      ByzStrategy::kSilentSettler, ByzStrategy::kIntentSpammer,
+      ByzStrategy::kMapLiar,
+  };
+  return kAll;
+}
+
+sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
+                                           std::vector<sim::RobotId> peer_ids,
+                                           std::uint64_t seed) {
+  return make_byzantine_program(strategy, std::move(peer_ids), seed, 0);
+}
+
+sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
+                                           std::vector<sim::RobotId> peer_ids,
+                                           std::uint64_t seed,
+                                           std::uint64_t wake_round) {
+  switch (strategy) {
+    case ByzStrategy::kCrash:
+      return [](Ctx c) { return crash_program(c); };
+    case ByzStrategy::kRandomWalker:
+      return [=](Ctx c) { return random_walker(c, wake_round, Rng(seed)); };
+    case ByzStrategy::kSquatter:
+      return [=](Ctx c) { return squatter(c, wake_round); };
+    case ByzStrategy::kFakeSettler:
+      return [=](Ctx c) { return fake_settler(c, wake_round, Rng(seed)); };
+    case ByzStrategy::kSilentSettler:
+      return [=](Ctx c) { return silent_settler(c, wake_round); };
+    case ByzStrategy::kIntentSpammer:
+      return [=](Ctx c) { return intent_spammer(c, wake_round, Rng(seed)); };
+    case ByzStrategy::kMapLiar:
+      return [=](Ctx c) { return map_liar(c, wake_round, Rng(seed)); };
+    case ByzStrategy::kSpoofer:
+      return [=, peers = std::move(peer_ids)](Ctx c) {
+        return spoofer(c, wake_round, peers, Rng(seed));
+      };
+  }
+  throw std::invalid_argument("make_byzantine_program: bad strategy");
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,46 @@
+#pragma once
+// Byzantine behavior library — the adversary strategies the test suite and
+// benchmarks pit against the honest protocols. A weak Byzantine robot may
+// lie arbitrarily in message *payloads* and deviate from the protocol, but
+// its messages always carry its true ID (engine-enforced); a strong one
+// additionally forges sender IDs via Ctx::spoof_broadcast.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace bdg::core {
+
+enum class ByzStrategy {
+  kCrash,          ///< never communicates, never moves
+  kRandomWalker,   ///< wanders, beacons tobeSettled, never settles
+  kSquatter,       ///< sits at its start node claiming Settled forever
+  kFakeSettler,    ///< claims Settled, relocates periodically, claims again
+  kSilentSettler,  ///< claims Settled once, then goes silent (step-4 bait)
+  kIntentSpammer,  ///< always flags intent/settle announcements, never stays
+  kMapLiar,        ///< in map finding: garbage instructions / presence lies
+  kSpoofer,        ///< strong only: forges honest IDs and quorum votes
+};
+
+[[nodiscard]] std::string to_string(ByzStrategy s);
+
+/// All weak-compatible strategies (everything but kSpoofer).
+[[nodiscard]] const std::vector<ByzStrategy>& weak_strategies();
+
+/// Build the engine program for a Byzantine robot.
+/// `peer_ids` lists all robot IDs (used for spoofing and targeted lies);
+/// `seed` derives the robot's private randomness.
+[[nodiscard]] sim::ProgramFactory make_byzantine_program(
+    ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
+    std::uint64_t seed);
+
+/// Same, but the robot sleeps until `wake_round` first (scenarios use this
+/// to skip the charged oracle phases, where nothing can be attacked and
+/// staying awake would defeat round fast-forwarding).
+[[nodiscard]] sim::ProgramFactory make_byzantine_program(
+    ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
+    std::uint64_t seed, std::uint64_t wake_round);
+
+}  // namespace bdg::core

@@ -1,0 +1,25 @@
+#pragma once
+// EXTENSION (paper future-work direction 1: "to solve this problem faster,
+// it is useful to solve gathering in the presence of Byzantine robots
+// faster"): a dispersion pipeline whose Phase 1 is a REAL, fully simulated
+// gathering — no charged oracle bound — at the price of a weaker fault
+// model (crash faults: a faulty robot stops participating but never lies).
+//
+// Pipeline: bit-epoch rendezvous gathering (gather/bit_epoch.h,
+// (|Lambda|+1) * 2n real rounds) -> the Theorem 4 three-group map finding
+// and Dispersion-Using-Map from the rally point. Tolerates up to
+// floor(n/3)-1 crashed robots (the three-group quorum analysis applies to
+// silent members exactly as to Byzantine ones).
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Plan the crash-fault pipeline on g from arbitrary starts. Every round
+/// of the result is actually simulated (no oracle charges), which is what
+/// makes this variant an interesting baseline against the Theorem 2 bound.
+[[nodiscard]] AlgorithmPlan plan_crash_real_dispersion(
+    const Graph& g, std::vector<sim::RobotId> ids,
+    const gather::CostModel& cost);
+
+}  // namespace bdg::core

@@ -1,0 +1,146 @@
+#include "core/dispersion_using_map.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/protocol_msgs.h"
+#include "explore/covering_walk.h"
+
+namespace bdg::core {
+namespace {
+
+using sim::Ctx;
+using sim::RobotId;
+using sim::Task;
+
+/// Settled loop: beacon STATUS(Settled) every round until the phase ends.
+Task<void> settled_beacon(Ctx ctx, std::uint64_t remaining) {
+  for (std::uint64_t i = 0; i < remaining; ++i) {
+    ctx.broadcast(kMsgStatus, {kStateSettled});
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+}  // namespace
+
+std::uint64_t dispersion_phase_rounds(std::uint32_t n) {
+  return 6ULL * n + 16;
+}
+
+Task<DispersionOutcome> run_dispersion_using_map(Ctx ctx,
+                                                 DispersionParams params) {
+  if (params.phase_rounds == 0)
+    params.phase_rounds = dispersion_phase_rounds(ctx.n());
+  const RobotId self = ctx.self();
+
+  // A_r: per map node, the settled IDs recorded there; plus the reverse
+  // index "where was this ID first recorded" used for blacklisting.
+  std::vector<std::set<RobotId>> A(params.map.n());
+  std::map<RobotId, NodeId> recorded_at;
+  std::set<RobotId> B;  // blacklist B_r
+
+  const auto tour = dfs_tour(params.map, params.map_root);
+  std::size_t tour_i = 0;
+  NodeId v = params.map_root;
+  std::uint64_t used = 0;
+
+  DispersionOutcome out;
+  while (used < params.phase_rounds) {
+    // ---- one decision round at map node v -------------------------------
+    // Sub-round 0: status beacons.
+    ctx.broadcast(kMsgStatus, {kStateToBeSettled});
+    co_await ctx.next_subround();  // sub 1: read status
+
+    std::set<RobotId> settled_claims, tbs_claims, heard;
+    for (const sim::Msg& m : ctx.inbox()) {
+      if (m.kind != kMsgStatus || m.data.size() != 1) continue;
+      heard.insert(m.claimed);
+      if (m.data[0] == kStateSettled)
+        settled_claims.insert(m.claimed);
+      else
+        tbs_claims.insert(m.claimed);
+    }
+    // Step 4a: a robot recorded settled elsewhere that is heard here moved;
+    // blacklist it. (A settled robot never changes position or state.)
+    for (const RobotId id : heard) {
+      const auto it = recorded_at.find(id);
+      if (it != recorded_at.end() && it->second != v) B.insert(id);
+    }
+    // Recorded settlers claiming tobeSettled changed state: blacklist.
+    for (const RobotId id : tbs_claims)
+      if (recorded_at.count(id) != 0) B.insert(id);
+    // Step 4b: recorded settlers of v that failed to beacon are Byzantine.
+    for (const RobotId id : A[v])
+      if (heard.count(id) == 0) B.insert(id);
+
+    // A conflicted beacon (both states) counts as a settled claim only.
+    for (const RobotId id : settled_claims) tbs_claims.erase(id);
+
+    // Valid settlers currently visible at v.
+    std::set<RobotId> valid_settlers;
+    for (const RobotId id : settled_claims)
+      if (B.count(id) == 0) valid_settlers.insert(id);
+
+    // Sub-round 1: announce intent (flag = 1) if we might settle here.
+    if (valid_settlers.empty()) ctx.broadcast(kMsgIntent);
+
+    // Rank over the *unfiltered* tobeSettled set (identical for every
+    // honest observer; filtering by private blacklists could collide two
+    // honest decision sub-rounds).
+    tbs_claims.insert(self);
+    const std::uint32_t rank = static_cast<std::uint32_t>(
+        std::distance(tbs_claims.begin(), tbs_claims.find(self)));
+
+    // Collect SETTLED announcements from smaller ranks while waiting for
+    // sub-round 3 + rank. (We are at sub-round 1; announcements made in
+    // sub-round s are readable from s+1 on.)
+    std::set<RobotId> announced;
+    while (ctx.subround() < 3 + rank) {
+      co_await ctx.next_subround();
+      for (const sim::Msg& m : ctx.inbox())
+        if (m.kind == kMsgSettled) announced.insert(m.claimed);
+    }
+
+    // Decision: settle unless a non-blacklisted settler is visible.
+    std::set<RobotId> visible = valid_settlers;
+    for (const RobotId id : announced)
+      if (B.count(id) == 0 && id != self) visible.insert(id);
+
+    if (visible.empty()) {
+      ctx.broadcast(kMsgSettled);
+      co_await ctx.end_round(std::nullopt);
+      ++used;
+      out.settled = true;
+      out.settled_map_node = v;
+      out.settle_round = used;
+      out.blacklisted = static_cast<std::uint32_t>(B.size());
+      co_await settled_beacon(ctx, params.phase_rounds - used);
+      co_return out;
+    }
+
+    // Record the settlers that justified skipping (the paper's A_r[v]).
+    for (const RobotId id : visible) {
+      A[v].insert(id);
+      recorded_at.try_emplace(id, v);
+    }
+    ++out.nodes_skipped;
+
+    // Move along the Euler tour; wrap defensively (Lemma 4 makes one tour
+    // sufficient, the wrap only matters under adversarial surprises).
+    std::optional<Port> mv;
+    if (!tour.empty()) {
+      const TourStep step = tour[tour_i];
+      tour_i = (tour_i + 1) % tour.size();
+      mv = step.port;
+      v = step.node;
+    }
+    co_await ctx.end_round(mv);
+    ++used;
+  }
+
+  out.blacklisted = static_cast<std::uint32_t>(B.size());
+  co_return out;
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,41 @@
+#pragma once
+// Theorem 4 (three groups, gathered, f <= floor(n/3)-1 weak, O(n^3)) and
+// Theorem 5 (two groups after Hirose et al. [27] gathering, f = O(sqrt n)
+// weak, O((f + |Lambda|) X(n))).
+//
+// Both replace the O(n) pairings of the tournament by O(1) group runs of
+// the map-finding subroutine, with quorum-believed instructions:
+//  * Theorem 4: groups A, B, C by sorted ID; three runs (A vs B u C,
+//    B vs A u C, C vs B u A); the token side believes >= floor(k/6)+1
+//    agent votes, the agent side believes >= floor(k/3)+1 token votes; at
+//    most one group can be corrupted beyond its quorum, so at least two of
+//    the three maps are correct and majority voting fixes the result.
+//  * Theorem 5: two halves, one run, simple-majority quorums on each side
+//    (both halves have honest majorities when f = O(sqrt n)).
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Theorem 4 plan; robots must start gathered at node 0.
+[[nodiscard]] AlgorithmPlan plan_three_group_dispersion(
+    const Graph& g, std::vector<sim::RobotId> ids,
+    const gather::CostModel& cost);
+
+/// The reusable Phases 1+2 of Theorem 4 (three group map-finding runs with
+/// the paper's quorums, majority over the three maps, then
+/// Dispersion-Using-Map). Precondition: the robot is co-located with every
+/// other live participant (anywhere — the rally node becomes map node 0).
+/// Consumes exactly 3*t2 + phase_rounds rounds. Also used by the
+/// crash-fault extension after its real (non-oracle) gathering.
+[[nodiscard]] sim::Task<bool> run_three_group_phase(
+    sim::Ctx ctx, std::vector<sim::RobotId> ids, std::uint32_t n,
+    std::uint64_t t2, std::uint64_t phase_rounds);
+
+/// Theorem 5 plan; arbitrary start, gathering charged per [27].
+[[nodiscard]] AlgorithmPlan plan_sqrt_dispersion(const Graph& g,
+                                                 std::vector<sim::RobotId> ids,
+                                                 std::uint32_t f,
+                                                 const gather::CostModel& cost);
+
+}  // namespace bdg::core

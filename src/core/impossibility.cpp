@@ -1,0 +1,75 @@
+#include "core/impossibility.h"
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+/// The concrete deterministic algorithm A of the demonstration: k robots
+/// gathered at ring node 0 settle by rank, rank i walking i mod n steps
+/// clockwise. With f = 0 node 0 ends up with exactly ceil(k/n) robots.
+sim::Proc rank_assign_robot(sim::Ctx ctx, std::uint32_t rank,
+                            std::uint32_t n) {
+  const std::uint32_t steps = rank % n;
+  for (std::uint32_t i = 0; i < steps; ++i)
+    co_await ctx.end_round(Port{0});  // port 0 = clockwise on the ring
+  // Terminate settled; padding keeps every robot's schedule identical.
+  if (steps < n) co_await ctx.sleep_rounds(n - steps);
+}
+
+}  // namespace
+
+bool k_dispersion_feasible(std::uint32_t k, std::uint32_t n,
+                           std::uint32_t f) {
+  const std::uint64_t cap_all = (static_cast<std::uint64_t>(k) + n - 1) / n;
+  const std::uint64_t cap_good =
+      (static_cast<std::uint64_t>(k) - f + n - 1) / n;
+  return cap_all <= cap_good;
+}
+
+ImpossibilityDemo demonstrate_impossibility(std::uint32_t n, std::uint32_t k,
+                                            std::uint32_t f) {
+  if (n < 3 || k < 1 || f >= k)
+    throw std::invalid_argument("demonstrate_impossibility: bad parameters");
+  const Graph ring = make_oriented_ring(n);
+
+  ImpossibilityDemo demo;
+  {
+    // Execution 1: everyone honest; the cap ceil(k/n) is met exactly.
+    sim::Engine eng(ring);
+    for (std::uint32_t rank = 0; rank < k; ++rank) {
+      eng.add_robot(rank + 1, sim::Faultiness::kHonest, 0,
+                    [rank, n](sim::Ctx c) {
+                      return rank_assign_robot(c, rank, n);
+                    });
+    }
+    eng.run(2ULL * n + 8);
+    demo.baseline = verify_k_dispersion(eng, k, 0);
+  }
+  {
+    // Execution 2: the ranks assigned to node 0 stay honest; f of the
+    // other robots are Byzantine but replay their execution-1 behavior
+    // verbatim (the mirror step of the proof).
+    sim::Engine eng(ring);
+    std::uint32_t byz_marked = 0;
+    for (std::uint32_t rank = 0; rank < k; ++rank) {
+      const bool settles_at_zero = rank % n == 0;
+      const bool byz = !settles_at_zero && byz_marked < f;
+      if (byz) ++byz_marked;
+      eng.add_robot(rank + 1,
+                    byz ? sim::Faultiness::kWeakByzantine
+                        : sim::Faultiness::kHonest,
+                    0, [rank, n](sim::Ctx c) {
+                      return rank_assign_robot(c, rank, n);
+                    });
+    }
+    eng.run(2ULL * n + 8);
+    demo.adversarial = verify_k_dispersion(eng, k, f);
+  }
+  demo.violated = !demo.adversarial.dispersed;
+  return demo;
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,39 @@
+#pragma once
+// Theorem 8: with k robots on an n-node graph and f weak Byzantine robots,
+// no deterministic algorithm solves (generalized) Byzantine dispersion
+// when ceil(k/n) > ceil((k-f)/n).
+//
+// The proof is a mirror argument: take any algorithm A, run it with f = 0,
+// pick a node where ceil(k/n) robots settle; in a second execution make
+// those robots honest and let f Byzantine robots replay, step for step,
+// the behavior f other robots had in the first execution. Honest robots
+// observe identical histories, so the same ceil(k/n) of them co-settle —
+// exceeding the ceil((k-f)/n) cap.
+//
+// demonstrate_impossibility() executes exactly this construction against a
+// concrete deterministic algorithm (rank assignment on a ring), so the
+// benchmark can exhibit the violation rather than just assert the formula.
+#include <cstdint>
+
+#include "core/verifier.h"
+
+namespace bdg::core {
+
+/// The feasibility predicate of Theorem 8.
+[[nodiscard]] bool k_dispersion_feasible(std::uint32_t k, std::uint32_t n,
+                                         std::uint32_t f);
+
+struct ImpossibilityDemo {
+  VerifyResult baseline;     ///< execution 1: f = 0, cap ceil(k/n) — passes
+  VerifyResult adversarial;  ///< execution 2: cap ceil((k-f)/n)
+  bool violated = false;     ///< true when execution 2 breaks the cap
+};
+
+/// Run the two mirrored executions on an n-node ring with k robots, f of
+/// which are Byzantine in the second execution. Requires k >= 1, n >= 3,
+/// f < k.
+[[nodiscard]] ImpossibilityDemo demonstrate_impossibility(std::uint32_t n,
+                                                          std::uint32_t k,
+                                                          std::uint32_t f);
+
+}  // namespace bdg::core

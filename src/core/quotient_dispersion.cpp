@@ -1,0 +1,48 @@
+#include "core/quotient_dispersion.h"
+
+#include <memory>
+
+#include "core/dispersion_using_map.h"
+#include "graph/quotient.h"
+
+namespace bdg::core {
+namespace {
+
+sim::Proc quotient_robot(sim::Ctx ctx, std::uint64_t map_charge, Graph map,
+                         NodeId map_root, std::uint64_t phase_rounds) {
+  // Phase 1: Find-Map. Non-interactive; only the round charge is visible.
+  if (map_charge > 0) co_await ctx.sleep_rounds(map_charge);
+  // Phase 2: disperse with the quotient map.
+  DispersionParams params;
+  params.map = std::move(map);
+  params.map_root = map_root;
+  params.phase_rounds = phase_rounds;
+  (void)co_await run_dispersion_using_map(ctx, std::move(params));
+}
+
+}  // namespace
+
+AlgorithmPlan plan_quotient_dispersion(const Graph& g,
+                                       const gather::CostModel& cost) {
+  const auto n = static_cast<std::uint32_t>(g.n());
+  const std::uint64_t map_charge = cost.find_map_rounds(n);
+  const std::uint64_t phase = dispersion_phase_rounds(n);
+
+  // Shared, precomputed quotient (identical for every robot; the per-robot
+  // difference is only the root class).
+  auto quotient = std::make_shared<QuotientResult>(quotient_graph(g));
+
+  AlgorithmPlan plan;
+  plan.total_rounds = map_charge + phase + 4;
+  plan.byz_wake_round = map_charge;
+  plan.honest = [quotient, map_charge, phase](sim::RobotId,
+                                              NodeId start) -> sim::ProgramFactory {
+    const NodeId root = quotient->cls[start];
+    return [=](sim::Ctx c) {
+      return quotient_robot(c, map_charge, quotient->quotient, root, phase);
+    };
+  };
+  return plan;
+}
+
+}  // namespace bdg::core

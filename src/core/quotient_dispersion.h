@@ -1,0 +1,25 @@
+#pragma once
+// Theorem 1: Byzantine dispersion tolerating up to n-1 weak Byzantine
+// robots on graphs isomorphic to their quotient graph, from any starting
+// configuration, in polynomial rounds.
+//
+// Phase 1 (Find-Map): every robot independently constructs the quotient
+// graph of G (Czyzowicz et al. [16]); no Byzantine robot can interfere
+// because the procedure is non-interactive. We compute Q_G exactly (view
+// refinement) and charge the imported polynomial round bound; the robot
+// receives Q_G rooted at its own view class (DESIGN.md substitution 3).
+//
+// Phase 2: Dispersion-Using-Map (Section 2.2).
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Plans the Theorem 1 algorithm for all robots on `g`. The plan is valid
+/// for dispersion only when g has a trivial quotient (all views distinct);
+/// the caller can check with has_trivial_quotient(g). `starts[i]` is only
+/// used to root robot programs; honest() takes (id, start).
+[[nodiscard]] AlgorithmPlan plan_quotient_dispersion(
+    const Graph& g, const gather::CostModel& cost);
+
+}  // namespace bdg::core

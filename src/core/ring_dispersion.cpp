@@ -1,0 +1,42 @@
+#include "core/ring_dispersion.h"
+
+#include <stdexcept>
+
+#include "core/dispersion_using_map.h"
+#include "explore/ring_map.h"
+
+namespace bdg::core {
+namespace {
+
+sim::Proc ring_robot(sim::Ctx ctx, std::uint64_t phase_rounds) {
+  // Phase 1: constructive, communication-free Find-Map (exactly n rounds,
+  // so all robots enter Phase 2 together).
+  Graph map = co_await explore::run_ring_find_map(ctx);
+  // Phase 2: the robot is back at its start = map node 0.
+  DispersionParams params;
+  params.map = std::move(map);
+  params.map_root = 0;
+  params.phase_rounds = phase_rounds;
+  (void)co_await run_dispersion_using_map(ctx, std::move(params));
+}
+
+}  // namespace
+
+AlgorithmPlan plan_ring_dispersion(const Graph& g,
+                                   const gather::CostModel& cost) {
+  (void)cost;
+  if (!explore::is_ring(g))
+    throw std::invalid_argument("plan_ring_dispersion: graph is not a ring");
+  const auto n = static_cast<std::uint32_t>(g.n());
+  const std::uint64_t phase = dispersion_phase_rounds(n);
+
+  AlgorithmPlan plan;
+  plan.total_rounds = n + phase + 4;
+  plan.byz_wake_round = 0;
+  plan.honest = [phase](sim::RobotId, NodeId) -> sim::ProgramFactory {
+    return [phase](sim::Ctx c) { return ring_robot(c, phase); };
+  };
+  return plan;
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,21 @@
+#pragma once
+// BASELINE: ring-specialized Byzantine dispersion, the algorithm family of
+// the paper's predecessors [34, 36] that Section 2 generalizes to
+// arbitrary graphs ("we generalize that algorithm to all graphs").
+//
+// Phase 1: constructive ring Find-Map (explore/ring_map.h), n rounds, no
+// communication — tolerant of any number of Byzantine robots.
+// Phase 2: Dispersion-Using-Map.
+// Total O(n) rounds with up to n-1 weak Byzantine robots, matching the
+// time-optimal ring result of [34, 36]; benchmarked against the general
+// Theorem 1 machinery in bench_ablation_ring.
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Plan the ring baseline; requires explore::is_ring(g).
+[[nodiscard]] AlgorithmPlan plan_ring_dispersion(const Graph& g,
+                                                 const gather::CostModel& cost);
+
+}  // namespace bdg::core

@@ -1,0 +1,180 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "core/crash_dispersion.h"
+#include "core/ring_dispersion.h"
+#include "core/group_dispersion.h"
+#include "core/quotient_dispersion.h"
+#include "core/strong_dispersion.h"
+#include "core/tournament_dispersion.h"
+#include "util/rng.h"
+
+namespace bdg::core {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kQuotient: return "quotient(T1)";
+    case Algorithm::kTournamentArbitrary: return "tournament-arbitrary(T2)";
+    case Algorithm::kSqrtArbitrary: return "sqrt-arbitrary(T5)";
+    case Algorithm::kTournamentGathered: return "tournament-gathered(T3)";
+    case Algorithm::kThreeGroupGathered: return "three-group(T4)";
+    case Algorithm::kStrongArbitrary: return "strong-arbitrary(T7)";
+    case Algorithm::kStrongGathered: return "strong-gathered(T6)";
+    case Algorithm::kCrashRealGathering: return "crash-real-gathering(ext)";
+    case Algorithm::kRingBaseline: return "ring-baseline[34,36]";
+  }
+  return "unknown";
+}
+
+std::uint32_t max_tolerated_f(Algorithm a, std::uint32_t n) {
+  switch (a) {
+    case Algorithm::kQuotient:
+    case Algorithm::kRingBaseline:
+      return n >= 1 ? n - 1 : 0;
+    case Algorithm::kTournamentArbitrary:
+    case Algorithm::kTournamentGathered:
+      return n / 2 >= 1 ? n / 2 - 1 : 0;
+    case Algorithm::kThreeGroupGathered:
+    case Algorithm::kCrashRealGathering:
+      return n / 3 >= 1 ? n / 3 - 1 : 0;
+    case Algorithm::kSqrtArbitrary: {
+      // The paper's f = O(sqrt n) claim is asymptotic: the two-group run
+      // needs honest majorities in BOTH halves, i.e. f <= ceil(|A|/2)-1
+      // with |A| = floor(n/2). At small n that bound is the binding one.
+      const auto sqrtn =
+          static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n)));
+      const std::uint32_t half = n / 2;
+      const std::uint32_t group_safe = half >= 1 ? (half + 1) / 2 - 1 : 0;
+      return std::min(sqrtn, group_safe);
+    }
+    case Algorithm::kStrongArbitrary:
+    case Algorithm::kStrongGathered:
+      return n / 4 >= 1 ? n / 4 - 1 : 0;
+  }
+  return 0;
+}
+
+bool starts_gathered(Algorithm a) {
+  switch (a) {
+    case Algorithm::kQuotient:
+    case Algorithm::kTournamentArbitrary:
+    case Algorithm::kSqrtArbitrary:
+    case Algorithm::kStrongArbitrary:
+    case Algorithm::kCrashRealGathering:
+    case Algorithm::kRingBaseline:
+      return false;
+    case Algorithm::kTournamentGathered:
+    case Algorithm::kThreeGroupGathered:
+    case Algorithm::kStrongGathered:
+      return true;
+  }
+  return true;
+}
+
+bool handles_strong(Algorithm a) {
+  return a == Algorithm::kStrongGathered || a == Algorithm::kStrongArbitrary;
+}
+
+namespace {
+
+/// Distinct robot IDs from [1, n^2] (paper: IDs from [1, n^c], c > 1).
+std::vector<sim::RobotId> draw_ids(std::uint32_t n, Rng& rng) {
+  const std::uint64_t space = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(n) * n, static_cast<std::uint64_t>(n) + 1);
+  std::set<sim::RobotId> ids;
+  while (ids.size() < n) ids.insert(1 + rng.below(space));
+  return {ids.begin(), ids.end()};
+}
+
+AlgorithmPlan make_plan(Algorithm a, const Graph& g,
+                        const std::vector<sim::RobotId>& ids, std::uint32_t f,
+                        const gather::CostModel& cost) {
+  switch (a) {
+    case Algorithm::kQuotient:
+      return plan_quotient_dispersion(g, cost);
+    case Algorithm::kTournamentArbitrary:
+      return plan_tournament_dispersion(g, ids, /*gathered=*/false, f, cost);
+    case Algorithm::kTournamentGathered:
+      return plan_tournament_dispersion(g, ids, /*gathered=*/true, f, cost);
+    case Algorithm::kThreeGroupGathered:
+      return plan_three_group_dispersion(g, ids, cost);
+    case Algorithm::kSqrtArbitrary:
+      return plan_sqrt_dispersion(g, ids, f, cost);
+    case Algorithm::kStrongGathered:
+      return plan_strong_gathered_dispersion(g, ids, cost);
+    case Algorithm::kStrongArbitrary:
+      return plan_strong_arbitrary_dispersion(g, ids, f, cost);
+    case Algorithm::kCrashRealGathering:
+      return plan_crash_real_dispersion(g, ids, cost);
+    case Algorithm::kRingBaseline:
+      return plan_ring_dispersion(g, cost);
+  }
+  throw std::invalid_argument("make_plan: bad algorithm");
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
+  const auto n = static_cast<std::uint32_t>(g.n());
+  if (cfg.num_byzantine >= n)
+    throw std::invalid_argument("run_scenario: need at least one honest robot");
+  Rng rng(cfg.seed);
+  const std::vector<sim::RobotId> ids = draw_ids(n, rng);  // sorted (std::set)
+
+  // Byzantine subset: smallest IDs (worst case for rank preference) or a
+  // random subset.
+  std::vector<bool> is_byz(n, false);
+  if (cfg.byz_smallest_ids) {
+    for (std::uint32_t i = 0; i < cfg.num_byzantine; ++i) is_byz[i] = true;
+  } else {
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    for (std::uint32_t i = 0; i < cfg.num_byzantine; ++i) is_byz[idx[i]] = true;
+  }
+
+  // Placements: gathered algorithms put everyone at the rally node 0;
+  // otherwise robots are scattered uniformly (Byzantine anywhere).
+  std::vector<NodeId> starts(n, 0);
+  if (!starts_gathered(cfg.algorithm)) {
+    for (auto& s : starts) s = static_cast<NodeId>(rng.below(g.n()));
+  }
+
+  const bool strong = cfg.strong_byzantine || handles_strong(cfg.algorithm);
+  const AlgorithmPlan plan =
+      make_plan(cfg.algorithm, g, ids, cfg.num_byzantine, cfg.cost);
+
+  sim::Engine eng(g);
+  eng.set_observer(cfg.observer);
+  std::uint32_t byz_index = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (is_byz[i]) {
+      const ByzStrategy strategy =
+          cfg.strategies.empty()
+              ? cfg.strategy
+              : cfg.strategies[byz_index % cfg.strategies.size()];
+      ++byz_index;
+      eng.add_robot(ids[i],
+                    strong ? sim::Faultiness::kStrongByzantine
+                           : sim::Faultiness::kWeakByzantine,
+                    starts[i],
+                    make_byzantine_program(strategy, ids, rng.next(),
+                                           plan.byz_wake_round));
+    } else {
+      eng.add_robot(ids[i], sim::Faultiness::kHonest, starts[i],
+                    plan.honest(ids[i], starts[i]));
+    }
+  }
+
+  ScenarioResult res;
+  res.planned_rounds = plan.total_rounds;
+  res.stats = eng.run(plan.total_rounds + 16);
+  res.verify = verify_dispersion(eng);
+  return res;
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,73 @@
+#pragma once
+// Scenario harness: one call builds the robots (IDs, placements, Byzantine
+// assignment and strategies), plans the chosen algorithm, runs the engine,
+// and verifies Definition 1. Used by integration tests, benchmarks and
+// examples alike.
+#include <cstdint>
+#include <string>
+
+#include "core/algorithm_common.h"
+#include "core/byzantine.h"
+#include "core/verifier.h"
+#include "gather/gathering.h"
+#include "graph/graph.h"
+
+namespace bdg::core {
+
+enum class Algorithm {
+  kQuotient,             ///< Theorem 1 (Table 1 row 1)
+  kTournamentArbitrary,  ///< Theorem 2 (row 2)
+  kSqrtArbitrary,        ///< Theorem 5 (row 3)
+  kTournamentGathered,   ///< Theorem 3 (row 4)
+  kThreeGroupGathered,   ///< Theorem 4 (row 5)
+  kStrongArbitrary,      ///< Theorem 7 (row 6)
+  kStrongGathered,       ///< Theorem 6 (row 7)
+  /// Extension: REAL (fully simulated) bit-epoch gathering + Theorem 4
+  /// phases; crash faults only. See core/crash_dispersion.h.
+  kCrashRealGathering,
+  /// Baseline: ring-specialized O(n) algorithm of the paper's predecessors
+  /// [34, 36]; requires the graph to be a ring. See core/ring_dispersion.h.
+  kRingBaseline,
+};
+
+[[nodiscard]] std::string to_string(Algorithm a);
+
+/// Claimed weak-Byzantine tolerance of each algorithm (Table 1), given n.
+[[nodiscard]] std::uint32_t max_tolerated_f(Algorithm a, std::uint32_t n);
+
+/// Whether the algorithm assumes an initially gathered configuration.
+[[nodiscard]] bool starts_gathered(Algorithm a);
+
+/// Whether the algorithm tolerates strong Byzantine robots.
+[[nodiscard]] bool handles_strong(Algorithm a);
+
+struct ScenarioConfig {
+  Algorithm algorithm = Algorithm::kStrongGathered;
+  std::uint32_t num_byzantine = 0;
+  ByzStrategy strategy = ByzStrategy::kRandomWalker;
+  /// Optional heterogeneous adversary: when non-empty, the i-th Byzantine
+  /// robot runs strategies[i % strategies.size()] instead of `strategy`.
+  std::vector<ByzStrategy> strategies;
+  /// Give the f smallest IDs to Byzantine robots (worst case for the
+  /// rank-preference rules) instead of a random subset.
+  bool byz_smallest_ids = true;
+  /// Make the Byzantine robots strong (forced on for the strong
+  /// algorithms, which are the only ones claiming that tolerance).
+  bool strong_byzantine = false;
+  std::uint64_t seed = 1;
+  gather::CostModel cost{/*scaled=*/true};
+  /// Optional engine instrumentation (see sim::TraceRecorder); not owned.
+  sim::Observer* observer = nullptr;
+};
+
+struct ScenarioResult {
+  VerifyResult verify;
+  sim::RunStats stats;
+  std::uint64_t planned_rounds = 0;  ///< the plan's termination bound
+};
+
+/// Build, run and verify one scenario on `g` (with n = g.n() robots).
+[[nodiscard]] ScenarioResult run_scenario(const Graph& g,
+                                          const ScenarioConfig& cfg);
+
+}  // namespace bdg::core

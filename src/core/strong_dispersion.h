@@ -1,0 +1,33 @@
+#pragma once
+// Theorems 6 and 7: Byzantine dispersion with up to floor(n/4)-1 STRONG
+// Byzantine robots (robots that can fake the IDs attached to their
+// messages).
+//
+// Theorem 6 (gathered, O(n^3)): the k gathered robots split into two
+// halves by sorted ID; one run of group map finding with absolute
+// floor(n/4) quorums (every quorum counts distinct PHYSICAL senders, see
+// Msg::source — forging needs quorum-many robots, and f < floor(n/4)).
+// Phase 2 does not use communication at all: rank i in the agreed ID
+// ordering settles at node v(i) of the agreed map — strong robots cannot
+// interfere with silence.
+//
+// Theorem 7 (arbitrary start, exponential rounds, f known): gathering via
+// [24]'s strong-Byzantine group gathering (oracle-charged, exponential),
+// then the Theorem 6 algorithm.
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Theorem 6 plan; robots start gathered at node 0.
+[[nodiscard]] AlgorithmPlan plan_strong_gathered_dispersion(
+    const Graph& g, std::vector<sim::RobotId> ids,
+    const gather::CostModel& cost);
+
+/// Theorem 7 plan; arbitrary start, requires f (paper: "the knowledge of f
+/// is required in this case").
+[[nodiscard]] AlgorithmPlan plan_strong_arbitrary_dispersion(
+    const Graph& g, std::vector<sim::RobotId> ids, std::uint32_t f,
+    const gather::CostModel& cost);
+
+}  // namespace bdg::core

@@ -1,0 +1,121 @@
+#include "core/tournament_dispersion.h"
+
+#include <algorithm>
+
+#include "core/dispersion_using_map.h"
+#include "explore/engine_map.h"
+
+namespace bdg::core {
+namespace {
+
+using explore::MapFindConfig;
+using explore::MapFindOutcome;
+
+struct TournamentConfig {
+  std::vector<sim::RobotId> ids;  ///< all participants, sorted
+  std::uint32_t n = 0;
+  std::uint64_t t2 = 0;             ///< one map-finding window
+  std::uint64_t gather_rounds = 0;  ///< 0 when initially gathered
+  std::vector<Port> rally_path;     ///< robot's own path to the rally node
+  std::uint64_t phase_rounds = 0;   ///< dispersion phase length
+};
+
+sim::Proc tournament_robot(sim::Ctx ctx, TournamentConfig cfg) {
+  // Phase 1: gathering (oracle-charged; see DESIGN.md substitution 2).
+  if (cfg.gather_rounds > 0) {
+    gather::GatheringSpec spec{cfg.rally_path, cfg.gather_rounds};
+    co_await gather::run_oracle_gathering(ctx, std::move(spec));
+  }
+
+  // Phase 2: all-pairs map finding. Every window is exactly 2*t2 rounds
+  // for every robot, so the fleet stays synchronized whatever happens.
+  const auto windows = round_robin_schedule(cfg.ids);
+  std::vector<CanonicalCode> votes;
+  for (const PairingWindow& win : windows) {
+    sim::RobotId partner = 0;
+    for (const auto& [a, b] : win) {
+      if (a == ctx.self()) partner = b;
+      if (b == ctx.self()) partner = a;
+    }
+    if (partner == 0) {
+      co_await ctx.sleep_rounds(2 * cfg.t2);
+      continue;
+    }
+    MapFindConfig mine, theirs;
+    mine.agents = {ctx.self()};
+    mine.tokens = {partner};
+    mine.round_budget = cfg.t2;
+    mine.n = cfg.n;
+    theirs.agents = {partner};
+    theirs.tokens = {ctx.self()};
+    theirs.round_budget = cfg.t2;
+    theirs.n = cfg.n;
+    // The smaller ID explores first; then the roles swap. Only the maps a
+    // robot built ITSELF as the agent enter its majority vote — it never
+    // trusts a partner's claims.
+    if (ctx.self() < partner) {
+      const MapFindOutcome out = co_await explore::run_map_agent(ctx, mine);
+      if (out.code.has_value()) votes.push_back(*out.code);
+      (void)co_await explore::run_map_token(ctx, theirs);
+    } else {
+      (void)co_await explore::run_map_token(ctx, theirs);
+      const MapFindOutcome out = co_await explore::run_map_agent(ctx, mine);
+      if (out.code.has_value()) votes.push_back(*out.code);
+    }
+  }
+
+  const auto code = majority_code(votes);
+  const auto map = code.has_value() ? decode_map(*code, cfg.n) : std::nullopt;
+  if (!map.has_value()) co_return;  // tolerance exceeded; verifier will flag
+
+  // Phase 3: disperse from the rally node (map node 0).
+  DispersionParams params;
+  params.map = *map;
+  params.map_root = 0;
+  params.phase_rounds = cfg.phase_rounds;
+  (void)co_await run_dispersion_using_map(ctx, std::move(params));
+}
+
+}  // namespace
+
+AlgorithmPlan plan_tournament_dispersion(const Graph& g,
+                                         std::vector<sim::RobotId> ids,
+                                         bool gathered, std::uint32_t f,
+                                         const gather::CostModel& cost) {
+  std::sort(ids.begin(), ids.end());
+  const auto n = static_cast<std::uint32_t>(g.n());
+  const std::uint64_t t2 = explore::default_map_window(n);
+  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const std::uint32_t lambda =
+      gather::CostModel::id_bits(ids.empty() ? 1 : ids.back());
+  const std::uint64_t gather_rounds =
+      gathered ? 0
+               : std::max<std::uint64_t>(
+                     cost.rounds(gather::GatherKind::kWeakDPP, n, f, lambda),
+                     2 * g.n());  // at least enough to physically walk
+  const std::size_t k_padded = ids.size() + (ids.size() % 2);
+  const std::uint64_t pairing_rounds =
+      (k_padded == 0 ? 0 : (k_padded - 1)) * 2 * t2;
+
+  AlgorithmPlan plan;
+  plan.total_rounds = gather_rounds + pairing_rounds + phase + 8;
+  plan.byz_wake_round = gather_rounds;
+  plan.honest = [=, g = &g](sim::RobotId, NodeId start) -> sim::ProgramFactory {
+    TournamentConfig cfg;
+    cfg.ids = ids;
+    cfg.n = n;
+    cfg.t2 = t2;
+    cfg.gather_rounds = gather_rounds;
+    cfg.phase_rounds = phase;
+    if (gather_rounds > 0) {
+      auto path = g->shortest_path_ports(start, 0);
+      cfg.rally_path = path.value_or(std::vector<Port>{});
+    }
+    return [cfg = std::move(cfg)](sim::Ctx c) {
+      return tournament_robot(c, cfg);
+    };
+  };
+  return plan;
+}
+
+}  // namespace bdg::core

@@ -1,0 +1,26 @@
+#pragma once
+// Theorems 2 and 3: Byzantine dispersion tolerating up to floor(n/2)-1
+// weak Byzantine robots on ANY graph.
+//
+// Phase 1 (arbitrary start only): gather via [24] (oracle-charged,
+// O(n^4 |Lambda| X(n)) rounds — the dominating term of Theorem 2).
+// Phase 2: every robot pairs up with every other robot across O(n)
+// fixed-length windows; in each pairing both robots run the map-finding-
+// with-movable-token subroutine once as the agent and once as the token.
+// A robot keeps only the maps it built itself as the agent: with
+// f <= floor(n/2)-1, its good pairings (honest partner) outnumber its bad
+// ones, so the majority map is the true map of G.
+// Phase 3: Dispersion-Using-Map from the rally node.
+#include "core/algorithm_common.h"
+#include "gather/gathering.h"
+
+namespace bdg::core {
+
+/// Plans Theorem 2 (gathered == false) or Theorem 3 (gathered == true).
+/// `ids` = the IDs of all n robots (the gathered-set common knowledge the
+/// paper grants after Phase 1); `f` only feeds the charged gathering bound.
+[[nodiscard]] AlgorithmPlan plan_tournament_dispersion(
+    const Graph& g, std::vector<sim::RobotId> ids, bool gathered,
+    std::uint32_t f, const gather::CostModel& cost);
+
+}  // namespace bdg::core

@@ -1,0 +1,48 @@
+#include "core/verifier.h"
+
+#include <algorithm>
+
+namespace bdg::core {
+namespace {
+
+VerifyResult check(const sim::Engine& engine, std::uint32_t per_node_cap) {
+  VerifyResult res;
+  std::vector<std::uint32_t> load(engine.graph().n(), 0);
+  bool all_done = true;
+  for (std::size_t i = 0; i < engine.num_robots(); ++i) {
+    if (engine.robot_faultiness(i) != sim::Faultiness::kHonest) continue;
+    ++res.honest_count;
+    ++load[engine.robot_position(i)];
+    if (!engine.robot_done(i)) {
+      all_done = false;
+      res.detail += "robot " + std::to_string(engine.robot_id(i)) +
+                    " did not terminate; ";
+    }
+  }
+  res.all_honest_done = all_done;
+  res.worst_node_load =
+      load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+  res.dispersed = res.worst_node_load <= per_node_cap;
+  if (!res.dispersed) {
+    for (NodeId v = 0; v < load.size(); ++v)
+      if (load[v] > per_node_cap)
+        res.detail += "node " + std::to_string(v) + " holds " +
+                      std::to_string(load[v]) + " honest robots; ";
+  }
+  return res;
+}
+
+}  // namespace
+
+VerifyResult verify_dispersion(const sim::Engine& engine) {
+  return check(engine, 1);
+}
+
+VerifyResult verify_k_dispersion(const sim::Engine& engine, std::uint32_t k,
+                                 std::uint32_t f) {
+  const auto n = static_cast<std::uint32_t>(engine.graph().n());
+  const std::uint32_t cap = (k - f + n - 1) / n;  // ceil((k - f) / n)
+  return check(engine, cap);
+}
+
+}  // namespace bdg::core

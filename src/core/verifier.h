@@ -1,0 +1,32 @@
+#pragma once
+// Byzantine dispersion verifier (Definition 1): after termination, every
+// node holds at most one non-Byzantine robot, and every non-Byzantine
+// robot terminated.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace bdg::core {
+
+struct VerifyResult {
+  bool dispersed = false;        ///< <= 1 honest robot per node
+  bool all_honest_done = false;  ///< every honest program terminated
+  std::uint32_t honest_count = 0;
+  std::uint32_t worst_node_load = 0;  ///< max honest robots on one node
+  std::string detail;                 ///< human-readable failure description
+
+  [[nodiscard]] bool ok() const { return dispersed && all_honest_done; }
+};
+
+/// Inspect the engine's final state.
+[[nodiscard]] VerifyResult verify_dispersion(const sim::Engine& engine);
+
+/// Generalized check for the k-robot setting of Theorem 8: at most
+/// ceil((k - f) / n) honest robots per node.
+[[nodiscard]] VerifyResult verify_k_dispersion(const sim::Engine& engine,
+                                               std::uint32_t k,
+                                               std::uint32_t f);
+
+}  // namespace bdg::core

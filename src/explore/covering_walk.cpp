@@ -1,0 +1,39 @@
+#include "explore/covering_walk.h"
+
+#include <stdexcept>
+
+namespace bdg {
+namespace {
+
+void dfs(const Graph& g, NodeId v, std::vector<bool>& seen,
+         std::vector<TourStep>& out) {
+  seen[v] = true;
+  for (Port p = 0; p < g.degree(v); ++p) {
+    const HalfEdge he = g.hop(v, p);
+    if (seen[he.to]) continue;
+    out.push_back(TourStep{p, he.to});
+    dfs(g, he.to, seen, out);
+    out.push_back(TourStep{he.reverse, v});
+  }
+}
+
+}  // namespace
+
+std::vector<TourStep> dfs_tour(const Graph& g, NodeId root) {
+  if (root >= g.n()) throw std::invalid_argument("dfs_tour: bad root");
+  std::vector<bool> seen(g.n(), false);
+  std::vector<TourStep> out;
+  out.reserve(2 * g.n());
+  dfs(g, root, seen, out);
+  for (bool s : seen)
+    if (!s) throw std::invalid_argument("dfs_tour: graph not connected");
+  return out;
+}
+
+std::vector<Port> covering_walk_ports(const Graph& g, NodeId start) {
+  std::vector<Port> ports;
+  for (const TourStep& s : dfs_tour(g, start)) ports.push_back(s.port);
+  return ports;
+}
+
+}  // namespace bdg

@@ -1,0 +1,33 @@
+#pragma once
+// Covering walks — the library's substitute for universal exploration
+// sequences (Aleliunas et al. [2], Ta-Shma–Zwick [45]).
+//
+// The paper's imported subroutines only need a walk that visits every node
+// within a charged round budget X(n). True UES constructions have
+// impractical constants; this oracle computes, for a concrete graph and
+// start node, a DFS (Euler tour) port walk of length 2(n-1)..2m that
+// visits all nodes and returns to the start. Benchmarks charge the
+// configurable theoretical X(n) on top (see gather/gathering.h), so round
+// accounting keeps the paper's shape while the simulation stays tractable.
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bdg {
+
+/// Port walk from `start` that visits every node of the connected graph and
+/// ends back at `start` (DFS tree Euler tour: 2(n-1) steps).
+[[nodiscard]] std::vector<Port> covering_walk_ports(const Graph& g,
+                                                    NodeId start);
+
+/// Euler tour of the DFS tree of `g` rooted at `root`, annotated with the
+/// node reached after each step; used by Dispersion-Using-Map to traverse
+/// its spanning tree ("a robot locally computes a spanning tree (say, a
+/// DFS tree) on the map", paper Section 2.2).
+struct TourStep {
+  Port port;    ///< outgoing port at the current node
+  NodeId node;  ///< node reached after the move (map-local id)
+};
+[[nodiscard]] std::vector<TourStep> dfs_tour(const Graph& g, NodeId root);
+
+}  // namespace bdg

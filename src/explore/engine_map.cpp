@@ -1,0 +1,309 @@
+#include "explore/engine_map.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "explore/group_map.h"
+#include "explore/token_map.h"
+
+namespace bdg::explore {
+namespace {
+
+using sim::Ctx;
+using sim::Task;
+
+/// Shared state of one agent-side window run.
+struct AgentRun {
+  Ctx ctx;
+  MapFindConfig cfg;
+  PartialMap pm;
+  NodeId map_pos = 0;          ///< agent's node in the partial map
+  std::uint64_t used = 0;      ///< rounds consumed inside the window
+  std::vector<Port> home;      ///< arrival ports of every move (walk-home log)
+  bool failed = false;         ///< inconsistency detected -> abort
+
+  AgentRun(Ctx c, MapFindConfig f) : ctx(c), cfg(std::move(f)), pm(c.degree()) {}
+
+  /// Rounds still guaranteed to suffice for one more op plus walking home.
+  [[nodiscard]] bool can_spend() const {
+    return used + home.size() + 6 <= cfg.round_budget;
+  }
+};
+
+/// One protocol round from the agent side: instruct at sub 0, collect token
+/// presence votes at sub 2, move at the round boundary. Returns whether the
+/// token group attested presence with quorum support.
+Task<bool> a_round(AgentRun& r, MapOp op, Port port) {
+  r.ctx.broadcast(kMsgInstr,
+                  {static_cast<std::int64_t>(op), static_cast<std::int64_t>(port)});
+  co_await r.ctx.next_subround();  // sub 1: token side acts
+  co_await r.ctx.next_subround();  // sub 2: read presence votes
+  const bool here =
+      presence_support(r.ctx.inbox(), kMsgTokenHere, r.cfg.tokens) >=
+      r.cfg.token_quorum;
+  std::optional<Port> mv;
+  if (op == MapOp::kTMove || op == MapOp::kAMove) mv = port;
+  co_await r.ctx.end_round(mv);
+  ++r.used;
+  if (mv.has_value()) r.home.push_back(r.ctx.arrival_port());
+  co_return here;
+}
+
+/// Move along an already-explored map edge, cross-checking the observed
+/// arrival port and degree against the map; any mismatch proves a past lie
+/// by the token group and aborts the run.
+Task<void> a_move_known(AgentRun& r, Port s, bool with_token) {
+  const HalfEdge expect = r.pm.hop(r.map_pos, s);
+  (void)co_await a_round(r, with_token ? MapOp::kTMove : MapOp::kAMove, s);
+  if (r.ctx.arrival_port() != expect.reverse ||
+      r.ctx.degree() != r.pm.degree(expect.to)) {
+    r.failed = true;
+    co_return;
+  }
+  r.map_pos = expect.to;
+}
+
+/// Unconditional return to the rally node: replay the reversed move log.
+/// Works regardless of how corrupted the map is, because the log records
+/// physically performed moves.
+Task<void> walk_home(Ctx ctx, std::vector<Port>& home, std::uint64_t& used) {
+  while (!home.empty()) {
+    const Port p = home.back();
+    home.pop_back();
+    co_await ctx.end_round(p);
+    ++used;
+  }
+}
+
+Task<void> idle_rest(Ctx ctx, std::uint64_t used, std::uint64_t budget) {
+  if (used < budget) co_await ctx.sleep_rounds(budget - used);
+}
+
+std::vector<std::int64_t> code_payload(const CanonicalCode& code) {
+  return {code.begin(), code.end()};
+}
+
+std::optional<CanonicalCode> code_from_payload(
+    const std::vector<std::int64_t>& data) {
+  CanonicalCode code;
+  code.reserve(data.size());
+  for (std::int64_t v : data) {
+    if (v < 0 || v > static_cast<std::int64_t>(UINT32_MAX)) return std::nullopt;
+    code.push_back(static_cast<std::uint32_t>(v));
+  }
+  return code;
+}
+
+}  // namespace
+
+std::uint64_t default_map_window(std::uint32_t n) {
+  const std::uint64_t nn = n;
+  return 8 * nn * nn * nn + 64 * nn + 96;
+}
+
+Task<MapFindOutcome> run_map_agent(Ctx ctx, MapFindConfig cfg) {
+  if (cfg.round_budget == 0) cfg.round_budget = default_map_window(cfg.n);
+  AgentRun r(ctx, cfg);
+
+  // Main exploration loop: resolve frontier ports one at a time.
+  while (!r.failed) {
+    const auto frontier = r.pm.first_unexplored();
+    if (!frontier.has_value()) break;
+    const auto [u, p] = *frontier;
+
+    // 1. Travel (with the token) to the frontier node u.
+    for (const Port s : r.pm.route(r.map_pos, u)) {
+      if (!r.can_spend()) r.failed = true;
+      if (r.failed) break;
+      co_await a_move_known(r, s, /*with_token=*/true);
+    }
+    if (r.failed) break;
+
+    // 2. Step through the frontier port; observe the far endpoint.
+    if (!r.can_spend()) break;
+    (void)co_await a_round(r, MapOp::kTMove, p);
+    const std::uint32_t wdeg = r.ctx.degree();
+    const Port q = r.ctx.arrival_port();
+
+    const std::vector<NodeId> cands = r.pm.candidates(wdeg, q);
+    if (cands.empty()) {
+      // Certainly a new node: no known node could be its far side.
+      if (r.pm.size() >= cfg.n) {  // token group lied somewhere
+        r.failed = true;
+        break;
+      }
+      const NodeId w = r.pm.add_node(wdeg);
+      r.pm.connect(u, p, w, q);
+      r.map_pos = w;
+      continue;
+    }
+
+    // 3. Identity test: park the token at the far endpoint, walk back, and
+    //    probe each candidate for its presence.
+    if (!r.can_spend()) break;
+    (void)co_await a_round(r, MapOp::kPark, 0);
+    if (!r.can_spend()) break;
+    (void)co_await a_round(r, MapOp::kAMove, q);  // back over the same edge
+    if (r.ctx.arrival_port() != p || r.ctx.degree() != r.pm.degree(u)) {
+      r.failed = true;
+      break;
+    }
+    r.map_pos = u;
+
+    NodeId found = kNoNode;
+    for (const NodeId x : cands) {
+      for (const Port s : r.pm.route(r.map_pos, x)) {
+        if (!r.can_spend()) r.failed = true;
+        if (r.failed) break;
+        co_await a_move_known(r, s, /*with_token=*/false);
+      }
+      if (r.failed || !r.can_spend()) break;
+      if (co_await a_round(r, MapOp::kQuery, 0)) {
+        found = x;
+        break;
+      }
+    }
+    if (r.failed) break;
+
+    if (found != kNoNode) {
+      r.pm.connect(u, p, found, q);
+      r.map_pos = found;
+      if (!r.can_spend()) break;
+      (void)co_await a_round(r, MapOp::kAttach, 0);
+      continue;
+    }
+
+    // 4. No candidate held the token: the far endpoint is new. Return to u,
+    //    re-enter it, and pick the token back up.
+    for (const Port s : r.pm.route(r.map_pos, u)) {
+      if (!r.can_spend()) r.failed = true;
+      if (r.failed) break;
+      co_await a_move_known(r, s, /*with_token=*/false);
+    }
+    if (r.failed || !r.can_spend()) break;
+    (void)co_await a_round(r, MapOp::kAMove, p);
+    if (r.ctx.arrival_port() != q || r.ctx.degree() != wdeg) {
+      r.failed = true;
+      break;
+    }
+    if (r.pm.size() >= cfg.n) {
+      r.failed = true;
+      break;
+    }
+    const NodeId w = r.pm.add_node(wdeg);
+    r.pm.connect(u, p, w, q);
+    r.map_pos = w;
+    (void)co_await a_round(r, MapOp::kAttach, 0);
+  }
+
+  MapFindOutcome out;
+  if (!r.failed && r.pm.complete()) {
+    const CanonicalCode code = rooted_code(r.pm.to_graph(), 0);
+    // Publish the result so token-group members learn the map too.
+    r.ctx.broadcast(kMsgInstr, {static_cast<std::int64_t>(MapOp::kDone), 0});
+    r.ctx.broadcast(kMsgMapCode, code_payload(code));
+    co_await r.ctx.next_subround();
+    co_await r.ctx.next_subround();
+    co_await r.ctx.end_round(std::nullopt);
+    ++r.used;
+    out.code = code;
+  } else {
+    out.aborted = true;
+  }
+  out.active_rounds = r.used;
+  co_await walk_home(ctx, r.home, r.used);
+  co_await idle_rest(ctx, r.used, cfg.round_budget);
+  co_return out;
+}
+
+Task<MapFindOutcome> run_map_token(Ctx ctx, MapFindConfig cfg) {
+  if (cfg.round_budget == 0) cfg.round_budget = default_map_window(cfg.n);
+  std::uint64_t used = 0;
+  std::vector<Port> home;
+  std::optional<CanonicalCode> code;
+  bool finished = false;
+
+  while (used < cfg.round_budget) {
+    // Leave exactly enough rounds to walk the reversed move log back to the
+    // rally node, whatever Byzantine agents did.
+    if (finished || cfg.round_budget - used <= home.size() + 3) break;
+    co_await ctx.next_subround();  // sub 1: read instructions from sub 0
+    const auto instr =
+        believed_payload(ctx.inbox(), kMsgInstr, cfg.agents, cfg.agent_quorum);
+    std::optional<Port> mv;
+    if (instr.has_value() && instr->size() == 2) {
+      const auto op = static_cast<MapOp>((*instr)[0]);
+      const auto port = static_cast<std::uint64_t>((*instr)[1]);
+      switch (op) {
+        case MapOp::kTMove:
+          if (port < ctx.degree()) mv = static_cast<Port>(port);
+          break;
+        case MapOp::kQuery:
+          ctx.broadcast(kMsgTokenHere);
+          break;
+        case MapOp::kDone: {
+          const auto payload = believed_payload(ctx.inbox(), kMsgMapCode,
+                                                cfg.agents, cfg.agent_quorum);
+          if (payload.has_value()) code = code_from_payload(*payload);
+          finished = true;
+          break;
+        }
+        case MapOp::kAMove:
+        case MapOp::kPark:
+        case MapOp::kAttach:
+        case MapOp::kNoop:
+          break;  // the token only moves on TMove
+      }
+    }
+    co_await ctx.end_round(mv);
+    ++used;
+    if (mv.has_value()) home.push_back(ctx.arrival_port());
+  }
+
+  MapFindOutcome out;
+  out.code = code;
+  out.aborted = !code.has_value();
+  out.active_rounds = used;
+  co_await walk_home(ctx, home, used);
+  co_await idle_rest(ctx, used, cfg.round_budget);
+  co_return out;
+}
+
+namespace {
+
+sim::Proc reference_agent(Ctx ctx, MapFindConfig cfg,
+                          std::shared_ptr<MapFindOutcome> out) {
+  *out = co_await run_map_agent(ctx, cfg);
+}
+
+sim::Proc reference_token(Ctx ctx, MapFindConfig cfg,
+                          std::shared_ptr<MapFindOutcome> out) {
+  *out = co_await run_map_token(ctx, cfg);
+}
+
+}  // namespace
+
+ReferenceMapResult build_map_with_token(const Graph& g, NodeId start) {
+  sim::Engine eng(g);
+  MapFindConfig cfg;
+  cfg.agents = {1};
+  cfg.tokens = {2};
+  cfg.n = static_cast<std::uint32_t>(g.n());
+  cfg.round_budget = default_map_window(cfg.n);
+  auto agent_out = std::make_shared<MapFindOutcome>();
+  auto token_out = std::make_shared<MapFindOutcome>();
+  eng.add_robot(1, sim::Faultiness::kHonest, start, [=](Ctx c) {
+    return reference_agent(c, cfg, agent_out);
+  });
+  eng.add_robot(2, sim::Faultiness::kHonest, start, [=](Ctx c) {
+    return reference_token(c, cfg, token_out);
+  });
+  eng.run(cfg.round_budget + 8);
+  if (!agent_out->code.has_value())
+    throw std::runtime_error("build_map_with_token: honest run failed");
+  ReferenceMapResult res{graph_from_code(*agent_out->code),
+                         agent_out->active_rounds};
+  return res;
+}
+
+}  // namespace bdg::explore

@@ -1,0 +1,98 @@
+#pragma once
+// In-engine map finding with a movable token ([24], used by Theorems 2-7).
+//
+// One subroutine covers every variant in the paper:
+//  * a robot PAIR (Theorems 2/3): agents = {R}, tokens = {R'}, quorums 1/1;
+//  * three groups A/B/C (Theorem 4): agents = A, tokens = B u C,
+//    agent quorum floor(k/6)+1, token quorum floor(k/3)+1;
+//  * two halves (Theorem 5): majority quorums on each side;
+//  * two halves with absolute floor(n/4) quorums (Theorems 6/7, strong
+//    Byzantine robots that may fake IDs — quorums count distinct claimed
+//    IDs inside the expected group, so forging needs quorum-many liars).
+//
+// Protocol (per round, three sub-rounds):
+//   sub 0  every agent-group member broadcasts the next deterministic
+//          instruction INSTR[op, port] of the shared map-building algorithm;
+//   sub 1  token-group members tally instructions (>= agent_quorum distinct
+//          claimed agent IDs with identical payload), obey the winner; a
+//          QUERY is answered by broadcasting TOKEN_HERE;
+//   sub 2  agent members tally TOKEN_HERE (>= token_quorum distinct claimed
+//          token IDs); everyone commits its move for the round boundary.
+//
+// Safety against abandonment: every participant logs the arrival port of
+// each move; when the window budget runs low it walks the reversed log,
+// which provably returns it to the rally node no matter what Byzantine
+// partners did. So honest robots are always back at the rally when the
+// fixed-length window ends, keeping the outer protocol synchronized.
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/canonical.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace bdg::explore {
+
+/// Message kinds (engine-global namespace: map finding owns 100..199).
+enum MapMsgKind : std::uint32_t {
+  kMsgInstr = 100,      ///< data = [op, port]
+  kMsgTokenHere = 101,  ///< data = []
+  kMsgMapCode = 102,    ///< data = canonical code of the finished map
+};
+
+/// Instruction opcodes, carried in kMsgInstr payloads.
+enum class MapOp : std::int64_t {
+  kTMove = 1,   ///< agents and token move through `port` together
+  kAMove = 2,   ///< agents move alone (token parked elsewhere)
+  kPark = 3,    ///< token parks at the current node
+  kAttach = 4,  ///< token resumes traveling with the agents
+  kQuery = 5,   ///< token answers TOKEN_HERE if present
+  kNoop = 6,    ///< keep the round cadence without acting
+  kDone = 7,    ///< map finished; MAP_CODE carries the result
+};
+
+struct MapFindConfig {
+  std::vector<sim::RobotId> agents;  ///< agent-group member IDs (sorted)
+  std::vector<sim::RobotId> tokens;  ///< token-group member IDs (sorted)
+  std::uint32_t agent_quorum = 1;    ///< instructions believed at this count
+  std::uint32_t token_quorum = 1;    ///< presence believed at this count
+  std::uint64_t round_budget = 0;    ///< fixed window length (rounds)
+  std::uint32_t n = 0;               ///< known node count (map size cap)
+};
+
+/// Window length ample for an honest run on any simple n-node graph,
+/// including the unconditional walk-home reserve. This is the paper's T2
+/// (an O(n^3) bound for exploration with a movable token).
+[[nodiscard]] std::uint64_t default_map_window(std::uint32_t n);
+
+struct MapFindOutcome {
+  /// Canonical code of the constructed map, rooted at the rally node;
+  /// nullopt when the run aborted (budget, inconsistency, no quorum).
+  std::optional<CanonicalCode> code;
+  bool aborted = false;
+  std::uint64_t active_rounds = 0;  ///< rounds before going idle
+};
+
+/// Agent-group member program. Must start at the rally node at the first
+/// round of the window; returns after exactly cfg.round_budget rounds with
+/// the robot back at the rally node.
+[[nodiscard]] sim::Task<MapFindOutcome> run_map_agent(sim::Ctx ctx,
+                                                      MapFindConfig cfg);
+
+/// Token-group member program (same window contract). The returned code is
+/// the one the agent group broadcast with >= agent_quorum support.
+[[nodiscard]] sim::Task<MapFindOutcome> run_map_token(sim::Ctx ctx,
+                                                      MapFindConfig cfg);
+
+/// Convenience: offline honest two-robot map construction (agent id 1,
+/// token id 2) on `g` from `start`; used by tests and by harnesses needing
+/// ground-truth maps. Returns the map (isomorphic to g, node 0 = start).
+struct ReferenceMapResult {
+  Graph map;
+  std::uint64_t active_rounds = 0;
+};
+[[nodiscard]] ReferenceMapResult build_map_with_token(const Graph& g,
+                                                      NodeId start);
+
+}  // namespace bdg::explore

@@ -1,0 +1,65 @@
+#include "explore/group_map.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace bdg::explore {
+
+namespace {
+bool is_member(sim::RobotId id, const std::vector<sim::RobotId>& members) {
+  return std::binary_search(members.begin(), members.end(), id);
+}
+}  // namespace
+
+std::uint32_t support_for(const std::vector<sim::Msg>& inbox,
+                          std::uint32_t kind,
+                          const std::vector<std::int64_t>& payload,
+                          const std::vector<sim::RobotId>& members) {
+  // One vote per PHYSICAL sender (Msg::source): a strong Byzantine robot
+  // can forge the claimed ID but still presents one memory ([24]'s
+  // exposed-memory model; see Msg::source).
+  std::set<std::uint32_t> voters;
+  for (const sim::Msg& m : inbox) {
+    if (m.kind != kind || m.data != payload) continue;
+    if (!is_member(m.claimed, members)) continue;
+    voters.insert(m.source);
+  }
+  return static_cast<std::uint32_t>(voters.size());
+}
+
+std::optional<std::vector<std::int64_t>> believed_payload(
+    const std::vector<sim::Msg>& inbox, std::uint32_t kind,
+    const std::vector<sim::RobotId>& members, std::uint32_t quorum) {
+  // A robot that supports several conflicting payloads contributes one vote
+  // to each; that cannot push any forged payload beyond the liar count,
+  // which is what the quorum guards against.
+  std::map<std::vector<std::int64_t>, std::set<std::uint32_t>> votes;
+  for (const sim::Msg& m : inbox) {
+    if (m.kind != kind) continue;
+    if (!is_member(m.claimed, members)) continue;
+    votes[m.data].insert(m.source);
+  }
+  const std::vector<std::int64_t>* best = nullptr;
+  std::size_t best_count = 0;
+  for (const auto& [payload, voters] : votes) {
+    if (voters.size() > best_count) {  // map order => ties keep smaller payload
+      best_count = voters.size();
+      best = &payload;
+    }
+  }
+  if (best != nullptr && best_count >= quorum) return *best;
+  return std::nullopt;
+}
+
+std::uint32_t presence_support(const std::vector<sim::Msg>& inbox,
+                               std::uint32_t kind,
+                               const std::vector<sim::RobotId>& members) {
+  std::set<std::uint32_t> voters;
+  for (const sim::Msg& m : inbox)
+    if (m.kind == kind && is_member(m.claimed, members))
+      voters.insert(m.source);
+  return static_cast<std::uint32_t>(voters.size());
+}
+
+}  // namespace bdg::explore

@@ -1,0 +1,33 @@
+#pragma once
+// Quorum tallying for group protocols: count distinct claimed sender IDs
+// belonging to an expected membership set that support identical payloads.
+// Strong Byzantine robots can forge sender IDs, so "support" can only ever
+// be trusted above a quorum chosen per the paper's group arguments.
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace bdg::explore {
+
+/// Count distinct claimed IDs in `members` among messages of `kind`
+/// carrying exactly `payload`.
+[[nodiscard]] std::uint32_t support_for(const std::vector<sim::Msg>& inbox,
+                                        std::uint32_t kind,
+                                        const std::vector<std::int64_t>& payload,
+                                        const std::vector<sim::RobotId>& members);
+
+/// The payload of `kind` with maximum distinct support among `members`,
+/// provided that support reaches `quorum`; ties broken by smaller payload.
+[[nodiscard]] std::optional<std::vector<std::int64_t>> believed_payload(
+    const std::vector<sim::Msg>& inbox, std::uint32_t kind,
+    const std::vector<sim::RobotId>& members, std::uint32_t quorum);
+
+/// Count distinct claimed member IDs among messages of `kind`, regardless
+/// of payload (presence votes).
+[[nodiscard]] std::uint32_t presence_support(
+    const std::vector<sim::Msg>& inbox, std::uint32_t kind,
+    const std::vector<sim::RobotId>& members);
+
+}  // namespace bdg::explore

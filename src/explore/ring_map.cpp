@@ -1,0 +1,45 @@
+#include "explore/ring_map.h"
+
+#include <stdexcept>
+
+namespace bdg::explore {
+
+bool is_ring(const Graph& g) {
+  if (g.n() < 3 || !g.is_connected() || !g.is_simple()) return false;
+  for (NodeId v = 0; v < g.n(); ++v)
+    if (g.degree(v) != 2) return false;
+  return true;
+}
+
+sim::Task<Graph> run_ring_find_map(sim::Ctx ctx) {
+  const std::uint32_t n = ctx.n();
+  if (ctx.degree() != 2)
+    throw std::logic_error("run_ring_find_map: start node is not degree 2");
+
+  // Map node i = the node reached after i steps. exit[i] is the port used
+  // to leave node i; entry[i] the port node i was entered through.
+  std::vector<Port> exit_port(n, kNoPort), entry_port(n, kNoPort);
+  Port arrival = kNoPort;  // not yet moved
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Leave through the port we did not arrive by (first step: port 0).
+    const Port out = arrival == kNoPort ? Port{0} : Port{1 - arrival};
+    exit_port[i] = out;
+    co_await ctx.end_round(out);
+    arrival = ctx.arrival_port();
+    entry_port[(i + 1) % n] = arrival;
+    if (ctx.degree() != 2)
+      throw std::logic_error("run_ring_find_map: non-ring node encountered");
+  }
+  // After n steps on a simple cycle we are back at the start; entry_port[0]
+  // holds the arrival port of the closing edge.
+  std::vector<std::vector<HalfEdge>> adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) adj[i].resize(2);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t j = (i + 1) % n;
+    adj[i][exit_port[i]] = HalfEdge{j, entry_port[j]};
+    adj[j][entry_port[j]] = HalfEdge{i, exit_port[i]};
+  }
+  co_return Graph::from_adjacency(std::move(adj));
+}
+
+}  // namespace bdg::explore

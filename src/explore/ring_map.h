@@ -1,0 +1,26 @@
+#pragma once
+// Ring-specialized Find-Map — the setting of the paper's predecessors
+// (Molla-Mondal-Moses Jr. [34, 36], Time-Opt-Ring-Dispersion).
+//
+// On an anonymous ring a single robot needs no token and no imported
+// exploration bound: it walks "always exit through the port you did not
+// arrive by" for n steps, recording the port pair of every edge, and is
+// provably back at its start with a complete rooted map. O(n) rounds,
+// no communication — hence immune to any number of Byzantine robots,
+// exactly like Theorem 1's Find-Map but constructive and linear-time.
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace bdg::explore {
+
+/// True if g is a simple cycle (every node degree 2, connected, n >= 3).
+[[nodiscard]] bool is_ring(const Graph& g);
+
+/// Walk the ring once and return the map rooted at the start node
+/// (map node 0 = start). Consumes exactly ctx.n() rounds. Requires the
+/// underlying graph to be a ring (the caller checks with is_ring; the
+/// walk itself relies only on every visited node having degree 2).
+[[nodiscard]] sim::Task<Graph> run_ring_find_map(sim::Ctx ctx);
+
+}  // namespace bdg::explore

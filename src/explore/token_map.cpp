@@ -1,0 +1,79 @@
+#include "explore/token_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace bdg {
+
+PartialMap::PartialMap(std::uint32_t root_degree) {
+  nodes_.emplace_back(root_degree, HalfEdge{});
+}
+
+NodeId PartialMap::add_node(std::uint32_t deg) {
+  nodes_.emplace_back(deg, HalfEdge{});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void PartialMap::connect(NodeId u, Port pu, NodeId v, Port pv) {
+  assert(u < size() && v < size());
+  assert(pu < degree(u) && pv < degree(v));
+  if (explored(u, pu) || explored(v, pv))
+    throw std::logic_error("PartialMap::connect: slot already explored");
+  nodes_[u][pu] = HalfEdge{v, pv};
+  nodes_[v][pv] = HalfEdge{u, pu};
+}
+
+std::optional<std::pair<NodeId, Port>> PartialMap::first_unexplored() const {
+  for (NodeId v = 0; v < size(); ++v)
+    for (Port p = 0; p < degree(v); ++p)
+      if (!explored(v, p)) return std::make_pair(v, p);
+  return std::nullopt;
+}
+
+std::vector<NodeId> PartialMap::candidates(std::uint32_t deg, Port q) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < size(); ++v)
+    if (degree(v) == deg && q < degree(v) && !explored(v, q))
+      out.push_back(v);
+  return out;
+}
+
+std::vector<Port> PartialMap::route(NodeId from, NodeId to) const {
+  if (from == to) return {};
+  std::vector<NodeId> parent(size(), kNoNode);
+  std::vector<Port> via(size(), kNoPort);
+  std::queue<NodeId> q;
+  parent[from] = from;
+  q.push(from);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (Port p = 0; p < degree(v); ++p) {
+      if (!explored(v, p)) continue;
+      const NodeId u = nodes_[v][p].to;
+      if (parent[u] != kNoNode) continue;
+      parent[u] = v;
+      via[u] = p;
+      if (u == to) {
+        std::vector<Port> path;
+        for (NodeId w = to; w != from; w = parent[w]) path.push_back(via[w]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      q.push(u);
+    }
+  }
+  throw std::logic_error("PartialMap::route: no explored route");
+}
+
+bool PartialMap::complete() const { return !first_unexplored().has_value(); }
+
+Graph PartialMap::to_graph() const {
+  if (!complete())
+    throw std::logic_error("PartialMap::to_graph: map incomplete");
+  return Graph::from_adjacency(nodes_);
+}
+
+}  // namespace bdg

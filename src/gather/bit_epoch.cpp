@@ -1,0 +1,60 @@
+#include "gather/bit_epoch.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace bdg::gather {
+namespace {
+
+enum BitEpochMsg : std::uint32_t {
+  kMsgHello = 150,       ///< roster exchange (sender ID is the payload)
+  kMsgLeaderHere = 151,  ///< leader beacon in the final epoch
+};
+
+}  // namespace
+
+std::uint64_t bit_epoch_total_rounds(const BitEpochSpec& spec) {
+  return static_cast<std::uint64_t>(spec.id_bits + 1) * spec.epoch_len;
+}
+
+sim::Task<void> run_bit_epoch_gathering(sim::Ctx ctx, BitEpochSpec spec) {
+  if (spec.epoch_len < spec.tour.size() + 1)
+    throw std::invalid_argument("bit_epoch: epoch_len too small for tour");
+  std::set<sim::RobotId> roster{ctx.self()};
+
+  // Bit epochs: walkers tour, parkers wait; everyone swaps IDs on meeting.
+  for (std::uint32_t b = 0; b < spec.id_bits; ++b) {
+    const bool active = ((ctx.self() >> b) & 1ULL) != 0;
+    for (std::uint32_t step = 0; step < spec.epoch_len; ++step) {
+      ctx.broadcast(kMsgHello);
+      co_await ctx.next_subround();
+      for (const sim::Msg& m : ctx.inbox())
+        if (m.kind == kMsgHello) roster.insert(m.claimed);
+      std::optional<Port> mv;
+      if (active && step < spec.tour.size()) mv = spec.tour[step];
+      co_await ctx.end_round(mv);
+    }
+  }
+
+  // Final epoch: the smallest known ID leads; everyone else walks its tour
+  // until it hears the leader's beacon, then halts there.
+  const sim::RobotId leader = *roster.begin();
+  if (leader == ctx.self()) {
+    for (std::uint32_t step = 0; step < spec.epoch_len; ++step) {
+      ctx.broadcast(kMsgLeaderHere);
+      co_await ctx.end_round(std::nullopt);
+    }
+    co_return;
+  }
+  bool found = false;
+  for (std::uint32_t step = 0; step < spec.epoch_len; ++step) {
+    co_await ctx.next_subround();
+    for (const sim::Msg& m : ctx.inbox())
+      if (m.kind == kMsgLeaderHere && m.claimed == leader) found = true;
+    std::optional<Port> mv;
+    if (!found && step < spec.tour.size()) mv = spec.tour[step];
+    co_await ctx.end_round(mv);
+  }
+}
+
+}  // namespace bdg::gather

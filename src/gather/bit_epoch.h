@@ -1,0 +1,46 @@
+#pragma once
+// Bit-epoch rendezvous gathering — a genuine (non-oracle-charged) gathering
+// protocol for the crash-fault setting, provided as an extension (the
+// paper's future-work direction 1 asks for faster gathering subroutines).
+//
+// All robots know n. Time is split into epochs of length L = |covering
+// walk|. In epoch b, exactly the robots whose ID has bit b set walk their
+// covering tour (returning to their start); the others stay. Any two
+// distinct IDs differ in some bit, so in some epoch one of them tours all
+// nodes while the other is parked: they meet and learn each other's IDs.
+// After all bit epochs every robot knows the full roster, hence the global
+// minimum ID (the leader). In the final epoch the leader parks at its
+// start (where every epoch left it) and beacons; every other robot walks
+// its tour once and halts at the first node where it hears the leader.
+//
+// Correct for crash faults (a crashed robot is simply absent from the
+// roster); NOT Byzantine-tolerant — a lying walker can split the roster.
+// Tests cover the no-fault and crash-fault cases.
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace bdg::gather {
+
+struct BitEpochSpec {
+  /// Covering tour from the robot's start node, ending back at the start
+  /// (oracle-supplied; see covering_walk_ports).
+  std::vector<Port> tour;
+  /// Epoch length; must be >= the longest tour of any robot (use 2n).
+  std::uint32_t epoch_len = 0;
+  /// Number of ID bits B; epochs are b = 0..B-1.
+  std::uint32_t id_bits = 0;
+};
+
+/// Total rounds consumed by the protocol: (id_bits + 1) * epoch_len.
+[[nodiscard]] std::uint64_t bit_epoch_total_rounds(const BitEpochSpec& spec);
+
+/// Runs the protocol; on return (after exactly bit_epoch_total_rounds) all
+/// live cooperating robots are co-located at the leader's start node.
+[[nodiscard]] sim::Task<void> run_bit_epoch_gathering(sim::Ctx ctx,
+                                                      BitEpochSpec spec);
+
+}  // namespace bdg::gather

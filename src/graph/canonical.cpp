@@ -1,0 +1,118 @@
+#include "graph/canonical.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace bdg {
+namespace {
+
+/// Canonical BFS discovery order: visit ports in increasing order; the
+/// port labels leave no tie-breaking freedom, so the order is a complete
+/// invariant of the rooted port-labeled graph.
+std::vector<NodeId> discovery_order(const Graph& g, NodeId root,
+                                    std::vector<std::uint32_t>& index_of) {
+  index_of.assign(g.n(), UINT32_MAX);
+  std::vector<NodeId> order;
+  order.reserve(g.n());
+  std::queue<NodeId> q;
+  index_of[root] = 0;
+  order.push_back(root);
+  q.push(root);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const NodeId u = g.hop(v, p).to;
+      if (index_of[u] == UINT32_MAX) {
+        index_of[u] = static_cast<std::uint32_t>(order.size());
+        order.push_back(u);
+        q.push(u);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+CanonicalCode rooted_code(const Graph& g, NodeId root) {
+  if (root >= g.n()) throw std::invalid_argument("rooted_code: bad root");
+  std::vector<std::uint32_t> index_of;
+  const auto order = discovery_order(g, root, index_of);
+  if (order.size() != g.n())
+    throw std::invalid_argument("rooted_code: graph not connected");
+  CanonicalCode code;
+  code.reserve(1 + g.n() + 2 * g.m() * 2);
+  code.push_back(static_cast<std::uint32_t>(g.n()));
+  for (NodeId v : order) {
+    code.push_back(g.degree(v));
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge he = g.hop(v, p);
+      code.push_back(index_of[he.to]);
+      code.push_back(he.reverse);
+    }
+  }
+  return code;
+}
+
+CanonicalCode unrooted_code(const Graph& g) {
+  if (g.n() == 0) return {0};
+  CanonicalCode best = rooted_code(g, 0);
+  for (NodeId r = 1; r < g.n(); ++r) {
+    CanonicalCode c = rooted_code(g, r);
+    if (c < best) best = std::move(c);
+  }
+  return best;
+}
+
+bool rooted_isomorphic(const Graph& a, NodeId root_a, const Graph& b,
+                       NodeId root_b) {
+  if (a.n() != b.n() || a.m() != b.m()) return false;
+  return rooted_code(a, root_a) == rooted_code(b, root_b);
+}
+
+bool isomorphic(const Graph& a, const Graph& b) {
+  if (a.n() != b.n() || a.m() != b.m()) return false;
+  if (a.n() == 0) return true;
+  // Fix root 0 in a; try every root of b. Rooted codes are complete
+  // invariants, so this is exact.
+  const CanonicalCode ca = rooted_code(a, 0);
+  for (NodeId r = 0; r < b.n(); ++r)
+    if (rooted_code(b, r) == ca) return true;
+  return false;
+}
+
+std::vector<NodeId> canonical_order(const Graph& g, NodeId root) {
+  std::vector<std::uint32_t> index_of;
+  auto order = discovery_order(g, root, index_of);
+  if (order.size() != g.n())
+    throw std::invalid_argument("canonical_order: graph not connected");
+  return order;
+}
+
+Graph graph_from_code(const CanonicalCode& code) {
+  if (code.empty()) throw std::invalid_argument("graph_from_code: empty");
+  const std::size_t n = code[0];
+  std::vector<std::vector<HalfEdge>> adj(n);
+  std::size_t i = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (i >= code.size()) throw std::invalid_argument("graph_from_code: truncated");
+    const std::uint32_t deg = code[i++];
+    adj[v].resize(deg);
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      if (i + 2 > code.size())
+        throw std::invalid_argument("graph_from_code: truncated");
+      const std::uint32_t to = code[i++];
+      const std::uint32_t rev = code[i++];
+      if (to >= n) throw std::invalid_argument("graph_from_code: bad target");
+      adj[v][p] = HalfEdge{to, rev};
+    }
+  }
+  if (i != code.size()) throw std::invalid_argument("graph_from_code: trailing");
+  Graph g = Graph::from_adjacency(std::move(adj));
+  if (!g.is_port_consistent())
+    throw std::invalid_argument("graph_from_code: inconsistent ports");
+  return g;
+}
+
+}  // namespace bdg

@@ -1,0 +1,47 @@
+#pragma once
+// Canonical encodings and isomorphism of port-labeled graphs.
+//
+// Because every node totally orders its incident edges by port number, a
+// *rooted* connected port-labeled graph admits a unique canonical form: a
+// BFS from the root that explores ports in increasing order assigns each
+// node a canonical index, and the flattened adjacency (per canonical node,
+// per port: canonical neighbor + reverse port) is a complete invariant.
+// Robots use exactly this to vote by majority over the maps they built
+// (Theorems 2-4): two maps are "the same" iff their rooted codes match.
+//
+// For the unrooted case the canonical code is the lexicographic minimum of
+// the rooted codes over all roots, giving an O(n * m) isomorphism test.
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bdg {
+
+using CanonicalCode = std::vector<std::uint32_t>;
+
+/// Canonical code of (g, root). Requires g connected and root < g.n().
+[[nodiscard]] CanonicalCode rooted_code(const Graph& g, NodeId root);
+
+/// Lexicographically minimal rooted code over all roots.
+[[nodiscard]] CanonicalCode unrooted_code(const Graph& g);
+
+/// Rooted isomorphism: exists a bijection preserving ports and mapping
+/// root to root.
+[[nodiscard]] bool rooted_isomorphic(const Graph& a, NodeId root_a,
+                                     const Graph& b, NodeId root_b);
+
+/// Unrooted port-preserving isomorphism.
+[[nodiscard]] bool isomorphic(const Graph& a, const Graph& b);
+
+/// The node order assigned by the canonical BFS from root; out[i] is the
+/// NodeId holding canonical index i. This is the deterministic node
+/// ordering v(1), ..., v(n) that gathered robots agree on in Theorem 6.
+[[nodiscard]] std::vector<NodeId> canonical_order(const Graph& g, NodeId root);
+
+/// Reconstruct a graph from a rooted canonical code (inverse of
+/// rooted_code up to isomorphism; node i of the result holds canonical
+/// index i and the root is node 0). Throws on malformed codes.
+[[nodiscard]] Graph graph_from_code(const CanonicalCode& code);
+
+}  // namespace bdg

@@ -1,0 +1,81 @@
+#include "graph/quotient.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace bdg {
+namespace {
+
+/// One round of refinement: two nodes keep the same color iff they had the
+/// same color and, for every port p, the edge (p -> reverse port, neighbor
+/// color) matches. Port labels make the signature ordered, no sorting
+/// needed. Returns the number of colors after refinement.
+std::uint32_t refine_once(const Graph& g, std::vector<std::uint32_t>& color) {
+  using Sig = std::vector<std::uint64_t>;
+  std::map<Sig, std::uint32_t> palette;
+  std::vector<std::uint32_t> next(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) {
+    Sig sig;
+    sig.reserve(1 + g.degree(v));
+    sig.push_back(color[v]);
+    for (Port p = 0; p < g.degree(v); ++p) {
+      const HalfEdge he = g.hop(v, p);
+      // Pack (reverse port, neighbor color) into one word; ports and colors
+      // are both < n <= 2^32.
+      sig.push_back((static_cast<std::uint64_t>(he.reverse) << 32) |
+                    color[he.to]);
+    }
+    const auto [it, inserted] =
+        palette.try_emplace(std::move(sig), static_cast<std::uint32_t>(palette.size()));
+    next[v] = it->second;
+  }
+  color = std::move(next);
+  return static_cast<std::uint32_t>(palette.size());
+}
+
+}  // namespace
+
+QuotientResult quotient_graph(const Graph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("quotient_graph: graph must be connected");
+  QuotientResult res;
+  res.cls.assign(g.n(), 0);
+  if (g.n() == 0) return res;
+
+  // Refine to a fixed point; at most n rounds (each strict refinement adds
+  // a class). The fixed point partitions nodes exactly by view equality.
+  std::uint32_t classes = refine_once(g, res.cls);
+  for (;;) {
+    const std::uint32_t next = refine_once(g, res.cls);
+    if (next == classes) break;
+    classes = next;
+  }
+  res.num_classes = classes;
+
+  // Build the quotient multigraph from one representative per class. The
+  // representative's ports enumerate the class's edges; consistency across
+  // class members is guaranteed by the fixed point (and is asserted by the
+  // port-involution check below in debug builds).
+  std::vector<NodeId> rep(classes, kNoNode);
+  for (NodeId v = 0; v < g.n(); ++v)
+    if (rep[res.cls[v]] == kNoNode) rep[res.cls[v]] = v;
+
+  std::vector<std::vector<HalfEdge>> adj(classes);
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    const NodeId x = rep[c];
+    adj[c].resize(g.degree(x));
+    for (Port p = 0; p < g.degree(x); ++p) {
+      const HalfEdge he = g.hop(x, p);
+      adj[c][p] = HalfEdge{res.cls[he.to], he.reverse};
+    }
+  }
+  res.quotient = Graph::from_adjacency(std::move(adj));
+  return res;
+}
+
+bool has_trivial_quotient(const Graph& g) {
+  return quotient_graph(g).num_classes == g.n();
+}
+
+}  // namespace bdg

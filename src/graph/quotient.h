@@ -1,0 +1,42 @@
+#pragma once
+// Views and quotient graphs of anonymous port-labeled graphs
+// (Yamashita-Kameda [47]; used by Czyzowicz et al. [16] as the map a
+// single robot can construct, and by this paper's Theorem 1).
+//
+// The *view* of node v is the infinite rooted tree of all port-labeled
+// walks from v. Two nodes are equivalent iff their views are equal; by
+// Norris' theorem views truncated at depth n-1 already decide equality.
+// The quotient graph Q_G has one node per equivalence class, with an edge
+// (X, p) -> (Y, q) whenever some (equivalently, every) x in X has port p
+// leading to a class-Y node that sees x through port q. Q_G may contain
+// self-loops and parallel edges.
+//
+// We compute the classes by iterated signature refinement, which converges
+// to exactly the view-equivalence classes.
+//
+// Theorem 1 of the paper applies precisely to graphs where G ~ Q_G, i.e.
+// where all n views are distinct (a quotient with fewer nodes can never be
+// isomorphic to G).
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace bdg {
+
+struct QuotientResult {
+  Graph quotient;                    ///< the quotient (multi)graph
+  std::vector<std::uint32_t> cls;    ///< node -> class id (= quotient node)
+  std::uint32_t num_classes = 0;
+};
+
+/// Compute view-equivalence classes and the quotient graph of g.
+/// Requires g connected.
+[[nodiscard]] QuotientResult quotient_graph(const Graph& g);
+
+/// True iff every node of g has a distinct view, i.e. Q_G has n nodes and
+/// is therefore (trivially) isomorphic to G. This is the graph-class
+/// precondition of Theorem 1.
+[[nodiscard]] bool has_trivial_quotient(const Graph& g);
+
+}  // namespace bdg

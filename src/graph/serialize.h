@@ -1,0 +1,28 @@
+#pragma once
+// Text serialization of port-labeled graphs, for reproducible experiment
+// configs (dispersion_cli --graph-file) and golden-file tests.
+//
+// Format (whitespace-separated):
+//   bdg1 <n>
+//   <node>: (<to> <reverse_port>)*    one line per node, ports in order
+// Example (a 2-path):
+//   bdg1 2
+//   0: 1 0
+//   1: 0 0
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace bdg {
+
+/// Write g in the bdg1 text format.
+void write_graph(std::ostream& os, const Graph& g);
+[[nodiscard]] std::string graph_to_string(const Graph& g);
+
+/// Parse a bdg1 graph; throws std::invalid_argument on malformed input or
+/// port-inconsistent adjacency.
+[[nodiscard]] Graph read_graph(std::istream& is);
+[[nodiscard]] Graph graph_from_string(const std::string& text);
+
+}  // namespace bdg

@@ -1,0 +1,263 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace bdg::sim {
+
+const std::vector<Msg> Engine::kEmptyInbox{};
+
+/// Engine-side per-robot state. The program coroutine is resumed only via
+/// resume_robot(); between resumptions `wake` describes when it runs next.
+struct Engine::Robot {
+  RobotId id = 0;
+  Faultiness faultiness = Faultiness::kHonest;
+  NodeId pos = kNoNode;
+  Port arrival = kNoPort;
+  ProgramFactory factory;
+  Proc proc;
+  bool done = false;
+
+  // Pending wake condition, written by WakeAwaiter via set_command().
+  WakeKind wake = WakeKind::kSleep;
+  std::optional<Port> move;      // for kEndRound
+  std::uint64_t wake_round = 0;  // for kSleep / kEndRound: first round in
+                                 // which the robot runs again
+  // Innermost suspended coroutine; the engine resumes this, not the root,
+  // so protocols can nest phases as Task<T> children.
+  std::coroutine_handle<> leaf;
+};
+
+Engine::Engine(const Graph& g, EngineConfig cfg) : graph_(g), cfg_(cfg) {
+  if (graph_.n() == 0) throw std::invalid_argument("Engine: empty graph");
+  delivered_.resize(graph_.n());
+  pending_.resize(graph_.n());
+}
+
+Engine::~Engine() = default;
+
+void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
+                       ProgramFactory factory) {
+  if (started_) throw std::logic_error("Engine: add_robot after run()");
+  if (id == 0) throw std::invalid_argument("Engine: robot id must be nonzero");
+  if (start >= graph_.n()) throw std::invalid_argument("Engine: bad start");
+  for (const auto& r : robots_)
+    if (r->id == id) throw std::invalid_argument("Engine: duplicate robot id");
+  auto r = std::make_unique<Robot>();
+  r->id = id;
+  r->faultiness = f;
+  r->pos = start;
+  r->factory = std::move(factory);
+  robots_.push_back(std::move(r));
+}
+
+std::uint32_t Engine::subround_count() const {
+  return cfg_.subrounds != 0
+             ? cfg_.subrounds
+             : static_cast<std::uint32_t>(robots_.size()) + 6;
+}
+
+void Engine::start_programs() {
+  // Deterministic scheduling order: increasing robot ID.
+  std::sort(robots_.begin(), robots_.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  for (std::uint32_t i = 0; i < robots_.size(); ++i) {
+    Robot& r = *robots_[i];
+    r.proc = r.factory(Ctx(this, i));
+    r.leaf = r.proc.handle();
+    r.wake = WakeKind::kSubround;  // run at round 0, sub-round 0
+    r.wake_round = 0;
+  }
+  started_ = true;
+}
+
+void Engine::set_command(std::uint32_t idx, WakeKind kind,
+                         std::optional<Port> port, std::uint64_t rounds,
+                         std::coroutine_handle<> leaf) {
+  Robot& r = *robots_[idx];
+  r.wake = kind;
+  r.leaf = leaf;
+  r.move = std::nullopt;
+  switch (kind) {
+    case WakeKind::kSubround:
+      break;
+    case WakeKind::kEndRound:
+      r.move = port;
+      r.wake_round = round_ + 1;
+      break;
+    case WakeKind::kSleep:
+      r.wake_round = round_ + std::max<std::uint64_t>(rounds, 1);
+      break;
+  }
+}
+
+void Engine::resume_robot(Robot& r) {
+  if (r.done) return;
+  ++stats_.resumes;
+  if (stats_.resumes > cfg_.max_resumes)
+    throw std::runtime_error("Engine: resume budget exceeded (livelock?)");
+  r.leaf.resume();
+  if (r.proc.done()) {
+    r.done = true;
+    if (observer_ != nullptr) observer_->on_done(r.id, round_);
+    r.proc.rethrow_if_failed();
+  }
+}
+
+bool Engine::honest_all_done() const {
+  return std::all_of(robots_.begin(), robots_.end(), [](const auto& r) {
+    return r->faultiness != Faultiness::kHonest || r->done;
+  });
+}
+
+std::uint64_t Engine::next_wake_round() const {
+  std::uint64_t w = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& r : robots_)
+    if (!r->done) w = std::min(w, r->wake_round);
+  return w;
+}
+
+void Engine::run_subrounds() {
+  const std::uint32_t subs = subround_count();
+  for (subround_ = 0; subround_ < subs; ++subround_) {
+    // Deliver last sub-round's broadcasts.
+    delivered_.swap(pending_);
+    for (auto& v : pending_) v.clear();
+    const bool had_messages = any_pending_;
+    any_pending_ = false;
+
+    bool anyone = false;
+    for (auto& rp : robots_) {
+      Robot& r = *rp;
+      if (r.done || r.wake != WakeKind::kSubround) continue;
+      anyone = true;
+      resume_robot(r);
+    }
+    // Nothing scheduled for later sub-rounds and no information in flight:
+    // the rest of the round is empty.
+    if (!anyone && !had_messages && !any_pending_) break;
+  }
+  // Broadcasts from the final sub-round have no next sub-round to land in;
+  // they are dropped (protocols know the sub-round budget).
+  for (auto& v : pending_) v.clear();
+  for (auto& v : delivered_) v.clear();
+  any_pending_ = false;
+  // Robots still awaiting a sub-round when the round ends stay put and
+  // resume at sub-round 0 of the next round.
+  for (auto& rp : robots_) {
+    Robot& r = *rp;
+    if (!r.done && r.wake == WakeKind::kSubround) {
+      r.wake_round = round_ + 1;
+      r.move = std::nullopt;
+      r.wake = WakeKind::kEndRound;
+    }
+  }
+}
+
+void Engine::apply_moves() {
+  for (auto& rp : robots_) {
+    Robot& r = *rp;
+    if (r.done || r.wake != WakeKind::kEndRound || !r.move.has_value())
+      continue;
+    const Port p = *r.move;
+    if (p >= graph_.degree(r.pos))
+      throw std::logic_error("Engine: robot moved through invalid port");
+    const HalfEdge he = graph_.hop(r.pos, p);
+    if (observer_ != nullptr) observer_->on_move(r.id, r.pos, he.to, p);
+    r.pos = he.to;
+    r.arrival = he.reverse;
+    r.move = std::nullopt;
+    ++stats_.moves;
+  }
+}
+
+RunStats Engine::run(std::uint64_t max_rounds) {
+  if (!started_) start_programs();
+  stats_ = RunStats{};
+  while (round_ < max_rounds) {
+    if (honest_all_done()) break;
+    // Fast-forward stretches where nobody is scheduled.
+    const std::uint64_t wake = next_wake_round();
+    if (wake == std::numeric_limits<std::uint64_t>::max()) break;
+    if (wake > round_) {
+      round_ = std::min(wake, max_rounds);
+      if (round_ >= max_rounds) break;
+    }
+    // Wake the robots whose time has come.
+    for (auto& rp : robots_) {
+      Robot& r = *rp;
+      if (!r.done && r.wake != WakeKind::kSubround && r.wake_round <= round_)
+        r.wake = WakeKind::kSubround;
+    }
+    ++stats_.simulated_rounds;
+    if (observer_ != nullptr) observer_->on_round(round_);
+    run_subrounds();
+    apply_moves();
+    ++round_;
+  }
+  stats_.rounds = round_;
+  stats_.all_honest_done = honest_all_done();
+  return stats_;
+}
+
+std::size_t Engine::num_robots() const { return robots_.size(); }
+RobotId Engine::robot_id(std::size_t idx) const { return robots_[idx]->id; }
+Faultiness Engine::robot_faultiness(std::size_t idx) const {
+  return robots_[idx]->faultiness;
+}
+NodeId Engine::robot_position(std::size_t idx) const {
+  return robots_[idx]->pos;
+}
+bool Engine::robot_done(std::size_t idx) const { return robots_[idx]->done; }
+
+NodeId Engine::position_of(RobotId id) const {
+  for (const auto& r : robots_)
+    if (r->id == id) return r->pos;
+  throw std::invalid_argument("Engine: unknown robot id");
+}
+
+// ---- Ctx ------------------------------------------------------------------
+
+RobotId Ctx::self() const { return engine_->robots_[idx_]->id; }
+Faultiness Ctx::faultiness() const {
+  return engine_->robots_[idx_]->faultiness;
+}
+std::uint32_t Ctx::n() const {
+  return static_cast<std::uint32_t>(engine_->graph_.n());
+}
+std::uint32_t Ctx::degree() const {
+  return engine_->graph_.degree(engine_->robots_[idx_]->pos);
+}
+Port Ctx::arrival_port() const { return engine_->robots_[idx_]->arrival; }
+std::uint64_t Ctx::round() const { return engine_->round_; }
+std::uint32_t Ctx::subround() const { return engine_->subround_; }
+
+const std::vector<Msg>& Ctx::inbox() const {
+  const NodeId pos = engine_->robots_[idx_]->pos;
+  return engine_->delivered_[pos];
+}
+
+void Ctx::broadcast(std::uint32_t kind, std::vector<std::int64_t> data) {
+  const auto& r = *engine_->robots_[idx_];
+  engine_->pending_[r.pos].push_back(Msg{r.id, idx_, kind, std::move(data)});
+  engine_->any_pending_ = true;
+  ++engine_->stats_.messages;
+  if (engine_->observer_ != nullptr)
+    engine_->observer_->on_message(engine_->pending_[r.pos].back(), r.pos,
+                                   engine_->round_);
+}
+
+void Ctx::spoof_broadcast(RobotId claimed, std::uint32_t kind,
+                          std::vector<std::int64_t> data) {
+  const auto& r = *engine_->robots_[idx_];
+  if (r.faultiness != Faultiness::kStrongByzantine)
+    throw std::logic_error(
+        "Ctx: only strong Byzantine robots can fake sender IDs");
+  engine_->pending_[r.pos].push_back(Msg{claimed, idx_, kind, std::move(data)});
+  engine_->any_pending_ = true;
+  ++engine_->stats_.messages;
+}
+
+}  // namespace bdg::sim

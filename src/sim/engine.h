@@ -1,0 +1,247 @@
+#pragma once
+// Synchronous round/sub-round simulator for mobile robots on an anonymous
+// port-labeled graph, implementing the paper's model (Section 1.1):
+//
+//  * each round, co-located robots exchange messages and compute, then all
+//    robots move simultaneously along a chosen port (or stay);
+//  * a round is divided into sub-rounds used only for communication and
+//    local computation (the paper's synchronization device for
+//    Dispersion-Using-Map); movement happens only at the round boundary;
+//  * robots are anonymous to the *nodes* (nodes have no IDs), but robots
+//    carry unique IDs attached to their messages; the engine enforces that
+//    honest and WEAK Byzantine robots cannot fake the sender ID, while
+//    STRONG Byzantine robots may claim any ID (Dieudonne-Pelc-Peleg [24]
+//    strong/weak distinction);
+//  * presence is observable only through messages: a silent robot is
+//    invisible to co-located robots.
+//
+// Efficiency: robots that sleep are kept in a wake queue, and rounds where
+// every robot sleeps are fast-forwarded in O(1); sub-rounds only run while
+// some robot is participating in them. This lets benchmarks charge the
+// paper's imported round bounds (gathering, Find-Map) without paying
+// per-round simulation cost, while round accounting stays exact.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/proc.h"
+
+namespace bdg::sim {
+
+using RobotId = std::uint64_t;
+
+enum class Faultiness : std::uint8_t {
+  kHonest,
+  kWeakByzantine,
+  kStrongByzantine,
+};
+
+/// Message broadcast to co-located robots; delivered in the next sub-round
+/// to every robot present at the same node (including the sender).
+struct Msg {
+  RobotId claimed;  ///< sender ID as receivers see it (engine-enforced for
+                    ///< honest/weak robots)
+  /// Anonymous physical-sender tag. The paper inherits the exposed-memory
+  /// communication model of [24]: a strong Byzantine robot can fake the ID
+  /// written in its memory, but it still presents exactly one memory to
+  /// co-located readers. Quorum counts are therefore per physical robot
+  /// ("even if Byzantine robots duplicate IDs, still as a group they can
+  /// not make it equal to floor(n/4)", Theorem 6). Protocols may use this
+  /// tag ONLY to count distinct sources within a single inbox — never to
+  /// identify or track a robot across rounds.
+  std::uint32_t source = 0;
+  std::uint32_t kind = 0;
+  std::vector<std::int64_t> data;
+};
+
+class Engine;
+
+/// Capability handle passed to a robot program. Valid only while its
+/// coroutine is being resumed by the engine.
+class Ctx {
+ public:
+  // --- identity & model constants -------------------------------------
+  [[nodiscard]] RobotId self() const;
+  [[nodiscard]] Faultiness faultiness() const;
+  /// Number of graph nodes (robots know n; paper model).
+  [[nodiscard]] std::uint32_t n() const;
+
+  // --- local observation ------------------------------------------------
+  /// Degree of the current node (a robot always knows the ports 0..deg-1).
+  [[nodiscard]] std::uint32_t degree() const;
+  /// Port of the current node through which the robot entered on its last
+  /// move; kNoPort if it has not moved yet or stayed.
+  [[nodiscard]] Port arrival_port() const;
+  [[nodiscard]] std::uint64_t round() const;
+  [[nodiscard]] std::uint32_t subround() const;
+  /// Messages broadcast at this node in the previous sub-round.
+  [[nodiscard]] const std::vector<Msg>& inbox() const;
+
+  // --- actions ------------------------------------------------------------
+  /// Broadcast to co-located robots; delivered next sub-round. The sender
+  /// ID is the robot's true ID (enforced).
+  void broadcast(std::uint32_t kind, std::vector<std::int64_t> data = {});
+  /// Broadcast with a forged sender ID. Only strong Byzantine robots may
+  /// call this; the engine throws std::logic_error otherwise.
+  void spoof_broadcast(RobotId claimed, std::uint32_t kind,
+                       std::vector<std::int64_t> data = {});
+
+  // --- awaitables ----------------------------------------------------------
+  /// Suspend until the next sub-round of the same round. If the current
+  /// sub-round is the last, the robot stays put this round and resumes at
+  /// sub-round 0 of the next round.
+  [[nodiscard]] auto next_subround();
+  /// Finish this round, moving through `port` at the round boundary
+  /// (std::nullopt = stay). Resumes at sub-round 0 of the next round.
+  [[nodiscard]] auto end_round(std::optional<Port> port);
+  /// Stay put and skip `rounds` full rounds (counting the current one);
+  /// resumes at sub-round 0. sleep_rounds(1) == end_round(nullopt) with no
+  /// further sub-round participation this round.
+  [[nodiscard]] auto sleep_rounds(std::uint64_t rounds);
+
+ private:
+  friend class Engine;
+  Ctx(Engine* e, std::uint32_t idx) : engine_(e), idx_(idx) {}
+  Engine* engine_;
+  std::uint32_t idx_;
+};
+
+namespace detail {
+struct WakeAwaiter;
+}
+
+/// Optional engine instrumentation: register with Engine::set_observer to
+/// receive model-level events (used by the trace recorder, the CLI and
+/// debugging sessions; zero cost when unset).
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// A round is about to be simulated (fast-forwarded rounds don't fire).
+  virtual void on_round(std::uint64_t /*round*/) {}
+  virtual void on_move(RobotId /*id*/, NodeId /*from*/, NodeId /*to*/,
+                       Port /*via*/) {}
+  virtual void on_message(const Msg& /*msg*/, NodeId /*at*/,
+                          std::uint64_t /*round*/) {}
+  virtual void on_done(RobotId /*id*/, std::uint64_t /*round*/) {}
+};
+
+using ProgramFactory = std::function<Proc(Ctx)>;
+
+struct EngineConfig {
+  /// Sub-rounds per round; must exceed the ranks used by protocols
+  /// (Dispersion-Using-Map uses ranks up to #robots). 0 = #robots + 6.
+  std::uint32_t subrounds = 0;
+  /// Throw if the run exceeds this many robot resumptions (guards against
+  /// livelocked protocols in tests).
+  std::uint64_t max_resumes = 500'000'000ULL;
+};
+
+struct RunStats {
+  std::uint64_t rounds = 0;            ///< rounds elapsed (incl. fast-forwarded)
+  std::uint64_t simulated_rounds = 0;  ///< rounds actually iterated
+  std::uint64_t resumes = 0;           ///< robot coroutine resumptions
+  std::uint64_t moves = 0;             ///< edge traversals performed
+  std::uint64_t messages = 0;          ///< broadcasts delivered
+  bool all_honest_done = false;
+};
+
+/// The simulator. Add robots, then run().
+class Engine {
+ public:
+  Engine(const Graph& g, EngineConfig cfg = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a robot. IDs must be unique and nonzero. Robots are scheduled
+  /// each sub-round in increasing ID order.
+  void add_robot(RobotId id, Faultiness f, NodeId start,
+                 ProgramFactory factory);
+
+  /// Run until every honest robot's program finished or `max_rounds`
+  /// elapsed. Byzantine programs that never finish do not block completion.
+  RunStats run(std::uint64_t max_rounds);
+
+  /// Attach an observer (nullptr detaches). Not owned; must outlive run().
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+  // --- inspection (for verifiers, tests and benches) ----------------------
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t num_robots() const;
+  [[nodiscard]] RobotId robot_id(std::size_t idx) const;
+  [[nodiscard]] Faultiness robot_faultiness(std::size_t idx) const;
+  [[nodiscard]] NodeId robot_position(std::size_t idx) const;
+  [[nodiscard]] bool robot_done(std::size_t idx) const;
+  [[nodiscard]] NodeId position_of(RobotId id) const;
+  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+
+ private:
+  friend class Ctx;
+  friend struct detail::WakeAwaiter;
+  struct Robot;
+
+  enum class WakeKind : std::uint8_t { kSubround, kEndRound, kSleep };
+  void set_command(std::uint32_t idx, WakeKind kind, std::optional<Port> port,
+                   std::uint64_t rounds, std::coroutine_handle<> leaf);
+
+  [[nodiscard]] std::uint32_t subround_count() const;
+  void start_programs();
+  void run_subrounds();
+  void apply_moves();
+  [[nodiscard]] bool honest_all_done() const;
+  [[nodiscard]] std::uint64_t next_wake_round() const;
+  void resume_robot(Robot& r);
+
+  Graph graph_;
+  EngineConfig cfg_;
+  std::vector<std::unique_ptr<Robot>> robots_;  // sorted by ID
+  bool started_ = false;
+  std::uint64_t round_ = 0;
+  std::uint32_t subround_ = 0;
+  RunStats stats_;
+  // Per-node message buffers: delivered[v] = broadcasts from the previous
+  // sub-round, pending[v] = broadcasts accumulated in the current one.
+  std::vector<std::vector<Msg>> delivered_, pending_;
+  bool any_pending_ = false;
+  Observer* observer_ = nullptr;
+  static const std::vector<Msg> kEmptyInbox;
+};
+
+namespace detail {
+/// Shared awaiter for all three suspension kinds; records the robot's wish
+/// in the engine and yields control back to the scheduler.
+struct WakeAwaiter {
+  Engine* engine;
+  std::uint32_t idx;
+  Engine::WakeKind kind;
+  std::optional<Port> port;
+  std::uint64_t rounds;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine->set_command(idx, kind, port, rounds, h);
+  }
+  void await_resume() const noexcept {}
+};
+}  // namespace detail
+
+inline auto Ctx::next_subround() {
+  return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kSubround,
+                             std::nullopt, 0};
+}
+
+inline auto Ctx::end_round(std::optional<Port> port) {
+  return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kEndRound, port,
+                             0};
+}
+
+inline auto Ctx::sleep_rounds(std::uint64_t rounds) {
+  return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kSleep,
+                             std::nullopt, rounds};
+}
+
+}  // namespace bdg::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Coroutine plumbing for robot programs.
+//
+// A robot protocol is written as a C++20 coroutine returning sim::Proc.
+// The engine owns the coroutine handle and resumes it when the robot is
+// scheduled (next sub-round, next round after a move, or after a sleep).
+// Protocol code therefore reads top-to-bottom like pseudocode from the
+// paper, while scheduling stays fully deterministic and engine-driven.
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace bdg::sim {
+
+class Proc {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    Proc get_return_object() {
+      return Proc{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Proc() = default;
+  explicit Proc(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Proc(Proc&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Proc& operator=(Proc&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return h_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Root coroutine handle (the engine may instead resume a registered
+  /// leaf handle when the protocol is suspended inside a child Task).
+  [[nodiscard]] std::coroutine_handle<> handle() const noexcept { return h_; }
+
+  /// Rethrow a protocol exception recorded at the root, if any.
+  void rethrow_if_failed() const {
+    if (h_ && h_.done() && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+  /// Resume the coroutine; rethrows any exception the protocol raised.
+  void resume() {
+    h_.resume();
+    rethrow_if_failed();
+  }
+
+ private:
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace bdg::sim

@@ -1,0 +1,133 @@
+#pragma once
+// Awaitable sub-protocol tasks.
+//
+// End-to-end algorithms compose phases (gathering, map finding, dispersion)
+// as nested coroutines: a parent protocol co_awaits a Task<T> child. The
+// engine always resumes the innermost suspended coroutine (the "leaf",
+// registered by WakeAwaiter), and a finished child transfers control back
+// to its parent via symmetric transfer, so the whole stack behaves like one
+// sequential program.
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace bdg::sim {
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        auto c = h.promise().continuation;
+        return c ? c : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  // Awaitable interface: starting the child on first await.
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    h_.promise().continuation = parent;
+    return h_;  // symmetric transfer into the child
+  }
+  T await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Task<void> specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) const noexcept {
+        auto c = h.promise().continuation;
+        return c ? c : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    h_.promise().continuation = parent;
+    return h_;
+  }
+  void await_resume() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  void destroy() {
+    if (h_) h_.destroy();
+    h_ = nullptr;
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace bdg::sim

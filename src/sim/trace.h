@@ -1,0 +1,91 @@
+#pragma once
+// Trace recorder: a concrete Observer collecting per-robot activity
+// statistics and a bounded event log. Useful for debugging protocols,
+// rendering executions (dispersion_cli --trace) and asserting behavioral
+// properties in tests (e.g. "a settled robot never moves again").
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace bdg::sim {
+
+class TraceRecorder : public Observer {
+ public:
+  struct RobotActivity {
+    std::uint64_t moves = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t last_move_round = 0;
+    NodeId last_seen = kNoNode;
+    std::uint64_t done_round = 0;
+    bool done = false;
+  };
+
+  struct Event {
+    enum class Kind { kMove, kMessage, kDone } kind;
+    std::uint64_t round = 0;
+    RobotId robot = 0;   // true ID for moves/done; CLAIMED ID for messages
+    NodeId node = kNoNode;
+    std::uint32_t detail = 0;  // port for moves, msg kind for messages
+  };
+
+  /// Keep at most `max_events` most recent events (0 = stats only).
+  explicit TraceRecorder(std::size_t max_events = 4096)
+      : max_events_(max_events) {}
+
+  void on_round(std::uint64_t round) override { last_round_ = round; }
+
+  void on_move(RobotId id, NodeId from, NodeId to, Port via) override {
+    auto& a = per_robot_[id];
+    ++a.moves;
+    a.last_move_round = last_round_;
+    a.last_seen = to;
+    ++node_visits_[to];
+    push({Event::Kind::kMove, last_round_, id, from, via});
+  }
+
+  void on_message(const Msg& msg, NodeId at, std::uint64_t round) override {
+    ++per_robot_[msg.claimed].messages;
+    push({Event::Kind::kMessage, round, msg.claimed, at, msg.kind});
+  }
+
+  void on_done(RobotId id, std::uint64_t round) override {
+    auto& a = per_robot_[id];
+    a.done = true;
+    a.done_round = round;
+    push({Event::Kind::kDone, round, id, kNoNode, 0});
+  }
+
+  [[nodiscard]] const std::map<RobotId, RobotActivity>& per_robot() const {
+    return per_robot_;
+  }
+  [[nodiscard]] const std::map<NodeId, std::uint64_t>& node_visits() const {
+    return node_visits_;
+  }
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+
+  /// Total moves across robots (cross-check against RunStats::moves).
+  [[nodiscard]] std::uint64_t total_moves() const {
+    std::uint64_t sum = 0;
+    for (const auto& [id, a] : per_robot_) sum += a.moves;
+    return sum;
+  }
+
+ private:
+  void push(Event e) {
+    if (max_events_ == 0) return;
+    if (events_.size() == max_events_) events_.pop_front();
+    events_.push_back(e);
+  }
+
+  std::size_t max_events_;
+  std::uint64_t last_round_ = 0;
+  std::map<RobotId, RobotActivity> per_robot_;
+  std::map<NodeId, std::uint64_t> node_visits_;
+  std::deque<Event> events_;
+};
+
+}  // namespace bdg::sim

@@ -1,0 +1,62 @@
+#pragma once
+// Minimal thread-pool-free parallel sweep helper.
+//
+// The simulation engine is deliberately single-threaded (deterministic
+// scheduling is part of the model), but experiment sweeps — independent
+// (algorithm, n, f, seed) points — are embarrassingly parallel. The
+// benchmark harnesses use parallel_for_index to spread points across
+// hardware threads; every point stays bit-reproducible because each one
+// owns its Engine and Rng.
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bdg {
+
+/// Run body(i) for i in [0, count) across up to `threads` std::threads
+/// (0 = hardware concurrency). Exceptions are captured and the first one
+/// rethrown after all workers join.
+inline void parallel_for_index(std::size_t count,
+                               const std::function<void(std::size_t)>& body,
+                               unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(hw, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::mutex mu;
+  std::exception_ptr first_error;
+  std::size_t next = 0;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (next >= count || first_error) return;
+        i = next++;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bdg

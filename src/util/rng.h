@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation for the whole
+// library. All randomness (graph generation, adversary choices, placements)
+// flows through bdg::Rng so that every experiment is reproducible from a
+// single 64-bit seed.
+#include <cstdint>
+#include <vector>
+
+namespace bdg {
+
+/// xoshiro256** generator, seeded via splitmix64. Deterministic across
+/// platforms (unlike std::mt19937 distributions, whose mapping is
+/// implementation-defined for std::uniform_int_distribution).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with probability num/den. Requires den > 0.
+  [[nodiscard]] bool chance(std::uint64_t num, std::uint64_t den) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-robot adversary state).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bdg

@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bdg {
+
+PowerFit fit_power_law(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  PowerFit fit;
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  if (lx.size() < 2) return fit;
+  const double m = static_cast<double>(lx.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+  }
+  const double denom = m * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.exponent = (m * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / m;
+  fit.constant = std::exp(intercept);
+  // R^2 in log space.
+  const double ybar = sy / m;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    const double pred = intercept + fit.exponent * lx[i];
+    ss_res += (ly[i] - pred) * (ly[i] - pred);
+    ss_tot += (ly[i] - ybar) * (ly[i] - ybar);
+  }
+  fit.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+Summary summarize(const std::vector<double>& v) {
+  Summary s;
+  if (v.empty()) return s;
+  s.count = v.size();
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  double sum = 0;
+  for (double d : v) sum += d;
+  s.mean = sum / static_cast<double>(v.size());
+  double var = 0;
+  for (double d : v) var += (d - s.mean) * (d - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(v.size()));
+  return s;
+}
+
+}  // namespace bdg

@@ -1,0 +1,31 @@
+#pragma once
+// Small statistics helpers used by the benchmark harnesses: growth-exponent
+// fits (log-log least squares) for comparing measured round counts against
+// the paper's asymptotic bounds, and basic summaries.
+#include <cstddef>
+#include <vector>
+
+namespace bdg {
+
+struct PowerFit {
+  double exponent = 0.0;  ///< slope of log(y) vs log(x)
+  double constant = 0.0;  ///< exp(intercept)
+  double r2 = 0.0;        ///< coefficient of determination in log space
+};
+
+/// Least-squares fit of y ≈ constant * x^exponent over matched vectors.
+/// Entries with x <= 0 or y <= 0 are skipped. Requires >= 2 usable points.
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& v);
+
+}  // namespace bdg

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal fixed-width table printer used by the benchmark harnesses to
+// emit the paper-style result rows (Table 1 reproductions, scaling series).
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bdg {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// Intentionally tiny: benches print to stdout, EXPERIMENTS.md copies rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Helpers for cell formatting.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bdg

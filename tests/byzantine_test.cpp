@@ -1,0 +1,141 @@
+// Adversary library mechanics: each strategy produces the messages and
+// movement it promises, the spoofer requires a strong robot, wake rounds
+// delay activity, and behaviors are deterministic per seed.
+#include "core/byzantine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_msgs.h"
+#include "explore/engine_map.h"
+#include "graph/generators.h"
+#include "sim/trace.h"
+
+namespace bdg::core {
+namespace {
+
+/// Honest listener that records everything it hears for `rounds` rounds.
+sim::Proc listen_robot(sim::Ctx ctx, std::uint64_t rounds,
+                       std::vector<sim::Msg>* heard) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    co_await ctx.next_subround();
+    for (const sim::Msg& m : ctx.inbox()) heard->push_back(m);
+    co_await ctx.next_subround();
+    for (const sim::Msg& m : ctx.inbox()) heard->push_back(m);
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+struct Heard {
+  std::vector<sim::Msg> msgs;
+  sim::RunStats stats;
+  NodeId byz_end = kNoNode;
+};
+
+Heard observe(ByzStrategy strategy, sim::Faultiness fault,
+              std::uint64_t rounds = 12, std::uint64_t wake = 0) {
+  const Graph g = make_complete(4);  // byz random walks stay observable
+  sim::Engine eng(g);
+  Heard h;
+  eng.add_robot(5, fault, 0,
+                make_byzantine_program(strategy, {5, 9}, 42, wake));
+  eng.add_robot(9, sim::Faultiness::kHonest, 0,
+                [&](sim::Ctx c) { return listen_robot(c, rounds, &h.msgs); });
+  h.stats = eng.run(rounds + 4);
+  h.byz_end = eng.position_of(5);
+  return h;
+}
+
+std::size_t count_kind(const Heard& h, std::uint32_t kind) {
+  std::size_t c = 0;
+  for (const auto& m : h.msgs) c += (m.kind == kind);
+  return c;
+}
+
+TEST(Byzantine, CrashIsSilent) {
+  const Heard h = observe(ByzStrategy::kCrash, sim::Faultiness::kWeakByzantine);
+  std::size_t from_byz = 0;
+  for (const auto& m : h.msgs) from_byz += (m.claimed == 5);
+  EXPECT_EQ(from_byz, 0u);
+  EXPECT_EQ(h.byz_end, 0u);
+}
+
+TEST(Byzantine, SquatterClaimsSettledAndStays) {
+  const Heard h =
+      observe(ByzStrategy::kSquatter, sim::Faultiness::kWeakByzantine);
+  EXPECT_GT(count_kind(h, kMsgStatus), 5u);
+  EXPECT_EQ(h.byz_end, 0u);
+}
+
+TEST(Byzantine, SilentSettlerStopsTransmitting) {
+  const Heard h =
+      observe(ByzStrategy::kSilentSettler, sim::Faultiness::kWeakByzantine);
+  // Exactly 3 settled beacons, then silence.
+  EXPECT_EQ(count_kind(h, kMsgStatus), 3u);
+}
+
+TEST(Byzantine, IntentSpammerAnnouncesEverything) {
+  const Heard h =
+      observe(ByzStrategy::kIntentSpammer, sim::Faultiness::kWeakByzantine);
+  EXPECT_GT(count_kind(h, kMsgIntent), 0u);
+  EXPECT_GT(count_kind(h, kMsgSettled), 0u);
+}
+
+TEST(Byzantine, MapLiarFloodsMapChannels) {
+  const Heard h =
+      observe(ByzStrategy::kMapLiar, sim::Faultiness::kWeakByzantine);
+  EXPECT_GT(count_kind(h, explore::kMsgTokenHere), 0u);
+  EXPECT_GT(count_kind(h, explore::kMsgInstr), 0u);
+  EXPECT_GT(count_kind(h, explore::kMsgMapCode), 0u);
+}
+
+TEST(Byzantine, SpooferForgesPeerIds) {
+  const Heard h =
+      observe(ByzStrategy::kSpoofer, sim::Faultiness::kStrongByzantine);
+  bool forged = false;
+  for (const auto& m : h.msgs)
+    if (m.claimed == 9 && m.source == 0) forged = true;  // robot 5 is idx 0
+  EXPECT_TRUE(forged);
+}
+
+TEST(Byzantine, SpooferRequiresStrongRobot) {
+  // A weak robot running the spoofer program hits the engine's transport
+  // enforcement and the run aborts.
+  EXPECT_THROW(observe(ByzStrategy::kSpoofer, sim::Faultiness::kWeakByzantine),
+               std::logic_error);
+}
+
+TEST(Byzantine, WakeRoundDelaysActivity) {
+  const Heard active = observe(ByzStrategy::kSquatter,
+                               sim::Faultiness::kWeakByzantine, 12, 0);
+  const Heard delayed = observe(ByzStrategy::kSquatter,
+                                sim::Faultiness::kWeakByzantine, 12, 8);
+  EXPECT_GT(count_kind(active, kMsgStatus), count_kind(delayed, kMsgStatus));
+  EXPECT_GT(count_kind(delayed, kMsgStatus), 0u);  // wakes before the end
+}
+
+TEST(Byzantine, DeterministicPerSeed) {
+  auto run = [] {
+    const Graph g = make_complete(4);
+    sim::Engine eng(g);
+    eng.add_robot(5, sim::Faultiness::kWeakByzantine, 0,
+                  make_byzantine_program(ByzStrategy::kRandomWalker, {5}, 7));
+    std::vector<sim::Msg> heard;
+    eng.add_robot(9, sim::Faultiness::kHonest, 0,
+                  [&](sim::Ctx c) { return listen_robot(c, 10, &heard); });
+    eng.run(14);
+    return eng.position_of(5);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Byzantine, StrategyNamesAreUniqueAndComplete) {
+  std::set<std::string> names;
+  for (const auto s : weak_strategies()) names.insert(to_string(s));
+  EXPECT_EQ(names.size(), weak_strategies().size());
+  EXPECT_EQ(to_string(ByzStrategy::kSpoofer), "spoofer");
+  // The spoofer is deliberately NOT in the weak list.
+  for (const auto s : weak_strategies()) EXPECT_NE(s, ByzStrategy::kSpoofer);
+}
+
+}  // namespace
+}  // namespace bdg::core

@@ -1,0 +1,104 @@
+// Canonical encodings and isomorphism tests: rooted codes must be complete
+// invariants of rooted port-labeled graphs.
+#include "graph/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+
+namespace bdg {
+namespace {
+
+TEST(Canonical, RootedCodeRoundTripsThroughDecoder) {
+  Rng rng(3);
+  for (const auto& [name, g] : standard_menagerie(9, 77)) {
+    SCOPED_TRACE(name);
+    const CanonicalCode code = rooted_code(g, 0);
+    const Graph h = graph_from_code(code);
+    EXPECT_TRUE(rooted_isomorphic(g, 0, h, 0));
+  }
+}
+
+TEST(Canonical, NodeRelabelingPreservesRootedCode) {
+  Rng rng(17);
+  const Graph g = make_connected_er(10, 0.4, rng);
+  std::vector<NodeId> perm(g.n());
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.shuffle(perm);
+  const Graph h = relabel_nodes(g, perm);
+  // Root must be mapped through the permutation.
+  EXPECT_EQ(rooted_code(g, 3), rooted_code(h, perm[3]));
+  EXPECT_TRUE(isomorphic(g, h));
+}
+
+TEST(Canonical, PortShufflingBreaksRootedCode) {
+  Rng rng(9);
+  const Graph g = make_grid(3, 3);
+  const Graph s = shuffle_ports(g, rng);
+  // Port-labeled isomorphism is sensitive to port labels: a shuffled
+  // labeling is (almost surely) NOT isomorphic to the original.
+  EXPECT_NE(rooted_code(g, 0), rooted_code(s, 0));
+}
+
+TEST(Canonical, DifferentGraphsDiffer) {
+  EXPECT_FALSE(isomorphic(make_ring(6), make_path(6)));
+  EXPECT_FALSE(isomorphic(make_ring(6), make_ring(7)));
+  EXPECT_FALSE(isomorphic(make_star(5), make_path(5)));
+}
+
+TEST(Canonical, OrientedRingAllRootsEquivalent) {
+  const Graph g = make_oriented_ring(8);
+  const CanonicalCode c0 = rooted_code(g, 0);
+  for (NodeId r = 1; r < 8; ++r) EXPECT_EQ(rooted_code(g, r), c0);
+}
+
+TEST(Canonical, UnrootedCodeIsMinimalRooted) {
+  const Graph g = make_path(5);
+  CanonicalCode best = rooted_code(g, 0);
+  for (NodeId r = 1; r < g.n(); ++r) best = std::min(best, rooted_code(g, r));
+  EXPECT_EQ(unrooted_code(g), best);
+}
+
+TEST(Canonical, CanonicalOrderStartsAtRootAndCoversAll) {
+  const Graph g = make_grid(3, 4);
+  const auto order = canonical_order(g, 5);
+  EXPECT_EQ(order.size(), g.n());
+  EXPECT_EQ(order[0], 5u);
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < g.n(); ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(Canonical, DecoderRejectsGarbage) {
+  EXPECT_THROW((void)graph_from_code({}), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_code({2, 1}), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_code({2, 1, 5, 0, 1, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Canonical, RootedCodeDisconnectedThrows) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)rooted_code(g, 0), std::invalid_argument);
+}
+
+// Property sweep: relabeled copies are isomorphic, size-mismatched are not.
+class IsoSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsoSweep, RelabeledCopiesAreIsomorphic) {
+  Rng rng(GetParam());
+  for (const auto& [name, g] : standard_menagerie(8, GetParam())) {
+    SCOPED_TRACE(name);
+    std::vector<NodeId> perm(g.n());
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.shuffle(perm);
+    EXPECT_TRUE(isomorphic(g, relabel_nodes(g, perm)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsoSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace bdg

@@ -1,0 +1,149 @@
+// Cross-product integration sweep: every algorithm x several graph
+// families x adversary strategies at maximum claimed tolerance. This is
+// the suite-level statement of the paper's Table 1 guarantees.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+
+namespace bdg::core {
+namespace {
+
+struct SweepCase {
+  Algorithm algorithm;
+  const char* graph;
+  ByzStrategy strategy;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string algo = to_string(info.param.algorithm);
+  for (char& c : algo)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return algo + "__" + info.param.graph + "__" +
+         to_string(info.param.strategy);
+}
+
+Graph build(const char* name, std::uint64_t seed, bool need_trivial_quotient) {
+  Rng rng(seed);
+  if (std::string(name) == "ring") return shuffle_ports(make_ring(8), rng);
+  if (std::string(name) == "grid") return make_grid(2, 4);
+  if (std::string(name) == "tree") return make_random_tree(8, rng);
+  if (std::string(name) == "complete") return make_complete(8);
+  // "er": resample until the quotient is trivial when required (Thm 1).
+  for (int i = 0; i < 128; ++i) {
+    const Graph g = shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+    if (!need_trivial_quotient || has_trivial_quotient(g)) return g;
+  }
+  throw std::runtime_error("no suitable er sample");
+}
+
+class E2ESweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(E2ESweep, Table1GuaranteeHolds) {
+  const SweepCase& c = GetParam();
+  const bool need_trivial = c.algorithm == Algorithm::kQuotient;
+  // Theorem 1 only claims graphs with G ~ Q_G; run it on the er family.
+  if (need_trivial && std::string(c.graph) != "er") GTEST_SKIP();
+
+  const Graph g = build(c.graph, 91, need_trivial);
+  ScenarioConfig cfg;
+  cfg.algorithm = c.algorithm;
+  cfg.num_byzantine =
+      max_tolerated_f(c.algorithm, static_cast<std::uint32_t>(g.n()));
+  cfg.strategy = c.strategy;
+  cfg.seed = 13;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  EXPECT_LE(res.stats.rounds, res.planned_rounds + 16);
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  const Algorithm algos[] = {
+      Algorithm::kQuotient,          Algorithm::kTournamentGathered,
+      Algorithm::kThreeGroupGathered, Algorithm::kSqrtArbitrary,
+      Algorithm::kStrongGathered,    Algorithm::kCrashRealGathering,
+  };
+  const char* graphs[] = {"er", "ring", "grid", "tree", "complete"};
+  for (const Algorithm a : algos) {
+    for (const char* g : graphs) {
+      // One representative weak strategy per combination plus the spoofer
+      // for the strong algorithm (full strategy sweeps live in the
+      // per-algorithm suites).
+      if (handles_strong(a)) {
+        cases.push_back({a, g, ByzStrategy::kSpoofer});
+      } else if (a == Algorithm::kCrashRealGathering) {
+        cases.push_back({a, g, ByzStrategy::kCrash});
+      } else {
+        cases.push_back({a, g, ByzStrategy::kFakeSettler});
+        cases.push_back({a, g, ByzStrategy::kMapLiar});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, E2ESweep,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// The arbitrary-start algorithms have large charged prefixes; cover them
+// on two families rather than the full grid to keep the suite quick.
+class E2EArbitrary : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(E2EArbitrary, Theorem2And7FromScatteredStarts) {
+  const Graph g = build(GetParam(), 17, false);
+  for (const Algorithm a :
+       {Algorithm::kTournamentArbitrary, Algorithm::kStrongArbitrary}) {
+    SCOPED_TRACE(to_string(a));
+    ScenarioConfig cfg;
+    cfg.algorithm = a;
+    cfg.num_byzantine =
+        max_tolerated_f(a, static_cast<std::uint32_t>(g.n()));
+    cfg.strategy = handles_strong(a) ? ByzStrategy::kSpoofer
+                                     : ByzStrategy::kFakeSettler;
+    cfg.seed = 29;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, E2EArbitrary,
+                         ::testing::Values("er", "grid"));
+
+// Random-subset Byzantine assignment (not just smallest IDs).
+TEST(E2ESweep, RandomByzantineSubsets) {
+  Rng rng(7);
+  const Graph g = shuffle_ports(make_connected_er(9, 0.45, rng), rng);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioConfig cfg;
+    cfg.algorithm = Algorithm::kThreeGroupGathered;
+    cfg.num_byzantine = 2;
+    cfg.byz_smallest_ids = false;
+    cfg.strategy = ByzStrategy::kMapLiar;
+    cfg.seed = seed;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << "seed " << seed << ": "
+                                 << res.verify.detail;
+  }
+}
+
+// Theory-cost model: charged bounds blow up the round counter but must not
+// blow up wall time (fast-forwarding) nor change the outcome.
+TEST(E2ESweep, TheoryCostModelStillDisperses) {
+  Rng rng(19);
+  const Graph g = shuffle_ports(make_connected_er(7, 0.5, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentArbitrary;
+  cfg.num_byzantine = 2;
+  cfg.strategy = ByzStrategy::kCrash;
+  cfg.cost = gather::CostModel{/*scaled=*/false};
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  // X(n) = n^5 makes the charge astronomically larger than the scaled one.
+  EXPECT_GT(res.stats.rounds, 500'000'000ULL);
+  EXPECT_LT(res.stats.simulated_rounds, 2'000'000ULL);
+}
+
+}  // namespace
+}  // namespace bdg::core

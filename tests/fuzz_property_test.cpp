@@ -1,0 +1,87 @@
+// Seeded cross-module property sweeps ("fuzz" with deterministic seeds):
+// substrate invariants that must hold on every graph we can generate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "explore/engine_map.h"
+#include "graph/canonical.h"
+#include "graph/generators.h"
+#include "graph/quotient.h"
+#include "graph/serialize.h"
+
+namespace bdg {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, TrivialQuotientIffAllRootedCodesDistinct) {
+  // Two nodes have the same view iff their rooted canonical codes match,
+  // so Q_G is trivial exactly when all n rooted codes are distinct. This
+  // ties the two independent implementations (BFS codes vs refinement)
+  // to each other.
+  Rng rng(GetParam());
+  for (int i = 0; i < 4; ++i) {
+    const Graph g = shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+    std::set<CanonicalCode> codes;
+    for (NodeId v = 0; v < g.n(); ++v) codes.insert(rooted_code(g, v));
+    EXPECT_EQ(codes.size() == g.n(), has_trivial_quotient(g));
+  }
+}
+
+TEST_P(FuzzSweep, QuotientClassesMatchRootedCodeEquality) {
+  Rng rng(GetParam() * 31 + 1);
+  const Graph g = shuffle_ports(make_connected_er(9, 0.4, rng), rng);
+  const auto q = quotient_graph(g);
+  for (NodeId a = 0; a < g.n(); ++a) {
+    for (NodeId b = a + 1; b < g.n(); ++b) {
+      const bool same_class = q.cls[a] == q.cls[b];
+      const bool same_code = rooted_code(g, a) == rooted_code(g, b);
+      EXPECT_EQ(same_class, same_code) << "nodes " << a << ", " << b;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, TokenMapMatchesGroundTruth) {
+  Rng rng(GetParam() * 77 + 5);
+  for (const char* kind : {"er", "tree"}) {
+    const Graph g = std::string(kind) == "er"
+                        ? shuffle_ports(make_connected_er(7, 0.5, rng), rng)
+                        : make_random_tree(7, rng);
+    const NodeId start = static_cast<NodeId>(rng.below(g.n()));
+    const auto res = explore::build_map_with_token(g, start);
+    EXPECT_TRUE(rooted_isomorphic(res.map, 0, g, start))
+        << kind << " start " << start;
+  }
+}
+
+TEST_P(FuzzSweep, SerializationRoundTrip) {
+  Rng rng(GetParam() * 13 + 3);
+  const Graph g = shuffle_ports(make_connected_er(10, 0.35, rng), rng);
+  EXPECT_EQ(graph_from_string(graph_to_string(g)), g);
+}
+
+TEST_P(FuzzSweep, ShuffleComposedWithRelabelStaysIsomorphicUnrooted) {
+  // relabel_nodes produces a port-preserving isomorphic copy; shuffling
+  // ports afterwards destroys port-isomorphism but preserves degrees.
+  Rng rng(GetParam() * 7 + 11);
+  const Graph g = make_connected_er(8, 0.45, rng);
+  std::vector<NodeId> perm(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) perm[v] = v;
+  rng.shuffle(perm);
+  const Graph h = relabel_nodes(g, perm);
+  EXPECT_TRUE(isomorphic(g, h));
+  std::multiset<std::uint32_t> dg, dh;
+  const Graph s = shuffle_ports(h, rng);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    dg.insert(g.degree(v));
+    dh.insert(s.degree(v));
+  }
+  EXPECT_EQ(dg, dh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace bdg

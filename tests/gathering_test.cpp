@@ -1,0 +1,163 @@
+// Gathering substrate tests: cost models, oracle gathering post-condition,
+// and the genuine bit-epoch rendezvous gathering (crash-fault extension).
+#include "gather/gathering.h"
+
+#include <gtest/gtest.h>
+
+#include "explore/covering_walk.h"
+#include "gather/bit_epoch.h"
+#include "graph/generators.h"
+
+namespace bdg::gather {
+namespace {
+
+TEST(CostModel, IdBits) {
+  EXPECT_EQ(CostModel::id_bits(1), 1u);
+  EXPECT_EQ(CostModel::id_bits(2), 2u);
+  EXPECT_EQ(CostModel::id_bits(255), 8u);
+  EXPECT_EQ(CostModel::id_bits(256), 9u);
+  EXPECT_EQ(CostModel::id_bits(0), 1u);
+}
+
+TEST(CostModel, ScaledVsTheoryOrdering) {
+  const CostModel scaled{true}, theory{false};
+  for (std::uint32_t n : {8u, 16u, 32u}) {
+    EXPECT_LT(scaled.explore_rounds(n), theory.explore_rounds(n));
+    EXPECT_LT(scaled.rounds(GatherKind::kWeakDPP, n, n / 2 - 1, 10),
+              theory.rounds(GatherKind::kWeakDPP, n, n / 2 - 1, 10));
+  }
+}
+
+TEST(CostModel, WeakBoundDominatesSqrtBound) {
+  const CostModel cm{true};
+  for (std::uint32_t n : {16u, 32u, 64u}) {
+    EXPECT_GT(cm.rounds(GatherKind::kWeakDPP, n, n / 2 - 1, 10),
+              cm.rounds(GatherKind::kSqrtHirose, n, 4, 10));
+  }
+}
+
+TEST(CostModel, StrongExponentialSaturates) {
+  const CostModel cm{true};
+  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 10, 1, 5), 1ULL << 10);
+  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 100, 1, 5), 1ULL << 62);
+}
+
+TEST(CostModel, NoneIsZero) {
+  const CostModel cm{true};
+  EXPECT_EQ(cm.rounds(GatherKind::kNone, 16, 3, 8), 0u);
+}
+
+sim::Proc gather_then_stop(sim::Ctx c, GatheringSpec spec) {
+  co_await run_oracle_gathering(c, std::move(spec));
+}
+
+TEST(OracleGathering, RobotsEndAtRallyAfterChargedPhase) {
+  Rng rng(8);
+  const Graph g = make_connected_er(9, 0.4, rng);
+  sim::Engine eng(g);
+  const std::uint64_t budget = 5000;
+  for (sim::RobotId id = 1; id <= 5; ++id) {
+    const NodeId start = static_cast<NodeId>((id * 2) % g.n());
+    GatheringSpec spec;
+    spec.path_to_rally = g.shortest_path_ports(start, 0).value();
+    spec.total_rounds = budget;
+    eng.add_robot(id, sim::Faultiness::kHonest, start,
+                  [spec](sim::Ctx c) { return gather_then_stop(c, spec); });
+  }
+  const sim::RunStats st = eng.run(budget + 4);
+  for (std::size_t i = 0; i < eng.num_robots(); ++i)
+    EXPECT_EQ(eng.robot_position(i), 0u);
+  EXPECT_GE(st.rounds, budget);
+  // Charged rounds are fast-forwarded, not simulated one by one.
+  EXPECT_LT(st.simulated_rounds, 64u);
+}
+
+TEST(OracleGathering, RejectsBudgetBelowPathLength) {
+  const Graph g = make_path(6);
+  sim::Engine eng(g);
+  GatheringSpec spec;
+  spec.path_to_rally = g.shortest_path_ports(5, 0).value();
+  spec.total_rounds = 2;  // path needs 5
+  eng.add_robot(1, sim::Faultiness::kHonest, 5,
+                [spec](sim::Ctx c) { return gather_then_stop(c, spec); });
+  EXPECT_THROW(eng.run(10), std::invalid_argument);
+}
+
+// --- bit-epoch gathering ---------------------------------------------------
+
+sim::Proc bit_epoch_robot(sim::Ctx c, BitEpochSpec spec) {
+  co_await run_bit_epoch_gathering(c, std::move(spec));
+}
+
+void run_bit_epoch_case(const Graph& g, const std::vector<sim::RobotId>& ids,
+                        const std::vector<NodeId>& starts,
+                        const std::vector<bool>& crashed) {
+  sim::Engine eng(g);
+  const auto epoch =
+      static_cast<std::uint32_t>(2 * g.n());  // covers every tour + 1
+  std::uint32_t bits = 0;
+  for (const sim::RobotId id : ids)
+    bits = std::max(bits, gather::CostModel::id_bits(id));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (crashed[i]) {
+      eng.add_robot(ids[i], sim::Faultiness::kWeakByzantine, starts[i],
+                    [](sim::Ctx) -> sim::Proc { co_return; });
+      continue;
+    }
+    BitEpochSpec spec;
+    spec.tour = covering_walk_ports(g, starts[i]);
+    spec.epoch_len = epoch;
+    spec.id_bits = bits;
+    eng.add_robot(ids[i], sim::Faultiness::kHonest, starts[i],
+                  [spec](sim::Ctx c) { return bit_epoch_robot(c, spec); });
+  }
+  eng.run(static_cast<std::uint64_t>(bits + 2) * epoch + 8);
+  // All live robots co-located.
+  NodeId rally = kNoNode;
+  for (std::size_t i = 0; i < eng.num_robots(); ++i) {
+    if (eng.robot_faultiness(i) != sim::Faultiness::kHonest) continue;
+    if (rally == kNoNode) rally = eng.robot_position(i);
+    EXPECT_EQ(eng.robot_position(i), rally) << "robot " << eng.robot_id(i);
+  }
+}
+
+TEST(BitEpochGathering, AllRobotsGatherOnVariousGraphs) {
+  Rng rng(3);
+  for (const auto& [name, g] : standard_menagerie(7, 44)) {
+    SCOPED_TRACE(name);
+    std::vector<sim::RobotId> ids{3, 5, 9, 12, 18};
+    std::vector<NodeId> starts;
+    std::vector<bool> crashed(ids.size(), false);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      starts.push_back(static_cast<NodeId>(rng.below(g.n())));
+    run_bit_epoch_case(g, ids, starts, crashed);
+  }
+}
+
+TEST(BitEpochGathering, SurvivesCrashedRobots) {
+  const Graph g = make_grid(3, 3);
+  const std::vector<sim::RobotId> ids{2, 4, 7, 11, 13};
+  const std::vector<NodeId> starts{0, 2, 4, 6, 8};
+  std::vector<bool> crashed{false, true, false, true, false};
+  run_bit_epoch_case(g, ids, starts, crashed);
+}
+
+TEST(BitEpochGathering, TwoRobotsRendezvous) {
+  const Graph g = make_ring(8);
+  run_bit_epoch_case(g, {6, 9}, {1, 5}, {false, false});
+}
+
+TEST(BitEpochGathering, RejectsTooShortEpoch) {
+  const Graph g = make_path(5);
+  sim::Engine eng(g);
+  BitEpochSpec spec;
+  spec.tour = covering_walk_ports(g, 0);
+  spec.epoch_len = 2;
+  spec.id_bits = 3;
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [spec](sim::Ctx c) { return bit_epoch_robot(c, spec); });
+  EXPECT_THROW(eng.run(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bdg::gather

@@ -1,0 +1,115 @@
+// Unit tests for the port-labeled graph substrate.
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace bdg {
+namespace {
+
+TEST(Graph, EmptyGraphBasics) {
+  Graph g;
+  EXPECT_EQ(g.n(), 0u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.is_port_consistent());
+}
+
+TEST(Graph, AddEdgeAssignsSequentialPorts) {
+  Graph g(3);
+  const auto [p01a, p01b] = g.add_edge(0, 1);
+  EXPECT_EQ(p01a, 0u);
+  EXPECT_EQ(p01b, 0u);
+  const auto [p02a, p02b] = g.add_edge(0, 2);
+  EXPECT_EQ(p02a, 1u);
+  EXPECT_EQ(p02b, 0u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_TRUE(g.is_port_consistent());
+}
+
+TEST(Graph, HopFollowsPortsBothWays) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const HalfEdge he = g.hop(0, 0);
+  EXPECT_EQ(he.to, 1u);
+  const HalfEdge back = g.hop(he.to, he.reverse);
+  EXPECT_EQ(back.to, 0u);
+  EXPECT_EQ(back.reverse, 0u);
+}
+
+TEST(Graph, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto d = g.bfs_distances(0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Graph, BfsDistancesUnreachable) {
+  Graph g(2);  // no edges
+  const auto d = g.bfs_distances(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], UINT32_MAX);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, ShortestPathPortsWalksToTarget) {
+  const Graph g = make_grid(3, 4);
+  for (NodeId s = 0; s < g.n(); ++s) {
+    for (NodeId t = 0; t < g.n(); ++t) {
+      const auto path = g.shortest_path_ports(s, t);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(g.walk(s, *path), t);
+      EXPECT_EQ(path->size(), g.bfs_distances(s)[t]);
+    }
+  }
+}
+
+TEST(Graph, ShortestPathSelfIsEmpty) {
+  const Graph g = make_ring(5);
+  const auto path = g.shortest_path_ports(2, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(Graph, WalkRejectsBadPort) {
+  const Graph g = make_path(3);
+  EXPECT_EQ(g.walk(0, {5}), kNoNode);
+}
+
+TEST(Graph, DiameterOfRing) {
+  EXPECT_EQ(make_ring(6).diameter(), 3u);
+  EXPECT_EQ(make_ring(7).diameter(), 3u);
+  EXPECT_EQ(make_complete(5).diameter(), 1u);
+  EXPECT_EQ(make_path(8).diameter(), 7u);
+}
+
+TEST(Graph, IsSimpleDetectsParallelEdges) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.is_simple());
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_TRUE(g.is_port_consistent());  // multigraphs stay port-consistent
+}
+
+TEST(Graph, MaxDegree) {
+  EXPECT_EQ(make_star(7).max_degree(), 6u);
+  EXPECT_EQ(make_ring(5).max_degree(), 2u);
+}
+
+TEST(Graph, EqualityIsStructural) {
+  EXPECT_EQ(make_ring(5), make_ring(5));
+  EXPECT_NE(make_ring(5), make_ring(6));
+}
+
+TEST(Graph, FromAdjacencyRoundTrip) {
+  const Graph g = make_grid(2, 3);
+  std::vector<std::vector<HalfEdge>> adj(g.n());
+  for (NodeId v = 0; v < g.n(); ++v) adj[v] = g.edges_of(v);
+  EXPECT_EQ(Graph::from_adjacency(std::move(adj)), g);
+}
+
+}  // namespace
+}  // namespace bdg

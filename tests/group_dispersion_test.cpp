@@ -1,0 +1,110 @@
+// Theorem 4 (three groups, floor(n/3)-1) and Theorem 5 (O(sqrt n),
+// arbitrary start) end-to-end.
+#include "core/group_dispersion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "core/tournament_dispersion.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+class ThreeGroup
+    : public ::testing::TestWithParam<std::tuple<ByzStrategy, std::uint32_t>> {
+};
+
+TEST_P(ThreeGroup, Row5DispersesUnderAdversary) {
+  const auto [strategy, f] = GetParam();
+  Rng rng(7);
+  const Graph g = shuffle_ports(make_connected_er(9, 0.4, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kThreeGroupGathered;
+  cfg.num_byzantine = f;  // tolerance floor(9/3)-1 = 2
+  cfg.strategy = strategy;
+  cfg.seed = 31;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversaries, ThreeGroup,
+    ::testing::Combine(::testing::Values(ByzStrategy::kMapLiar,
+                                         ByzStrategy::kFakeSettler,
+                                         ByzStrategy::kSilentSettler),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ThreeGroup, ByzantineCanCorruptOneGroupOnly) {
+  // All Byzantine robots take the smallest IDs (the whole of group A):
+  // the A-run may be garbage, but runs 2 and 3 still produce the correct
+  // map, so the 2-of-3 majority fixes everything (the paper's argument).
+  const Graph g = make_ring(9);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kThreeGroupGathered;
+  cfg.num_byzantine = 2;
+  cfg.byz_smallest_ids = true;
+  cfg.strategy = ByzStrategy::kMapLiar;
+  cfg.seed = 12;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(ThreeGroup, FasterThanTournament) {
+  // The design point of Theorem 4: O(1) group runs instead of O(n)
+  // pairings. Compare planned round budgets directly.
+  Rng rng(3);
+  const Graph g = shuffle_ports(make_connected_er(9, 0.4, rng), rng);
+  std::vector<sim::RobotId> ids;
+  for (std::size_t i = 0; i < g.n(); ++i) ids.push_back(10 + i);
+  const gather::CostModel cm{true};
+  const auto three = plan_three_group_dispersion(g, ids, cm);
+  const auto tour = plan_tournament_dispersion(g, ids, true, 2, cm);
+  EXPECT_LT(three.total_rounds, tour.total_rounds);
+}
+
+TEST(SqrtArbitrary, Row3GatherThenOneRun) {
+  // n = 25 sits inside the paper's asymptotic regime: f = sqrt(25) = 5
+  // leaves honest majorities in both halves even when all Byzantine IDs
+  // land in one group.
+  Rng rng(8);
+  const Graph g = shuffle_ports(make_connected_er(25, 0.0, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kSqrtArbitrary;
+  cfg.num_byzantine = max_tolerated_f(Algorithm::kSqrtArbitrary, 25);
+  EXPECT_EQ(cfg.num_byzantine, 5u);
+  cfg.strategy = ByzStrategy::kFakeSettler;
+  cfg.seed = 19;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(SqrtArbitrary, AllWeakStrategies) {
+  const Graph g = make_grid(3, 3);
+  const std::uint32_t f = max_tolerated_f(Algorithm::kSqrtArbitrary, 9);
+  EXPECT_EQ(f, 1u);  // small-n regime: group-majority is the binding bound
+  for (const ByzStrategy s : weak_strategies()) {
+    SCOPED_TRACE(to_string(s));
+    ScenarioConfig cfg;
+    cfg.algorithm = Algorithm::kSqrtArbitrary;
+    cfg.num_byzantine = f;
+    cfg.strategy = s;
+    cfg.seed = 4;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  }
+}
+
+TEST(SqrtArbitrary, CheaperGatheringThanTheorem2) {
+  const gather::CostModel cm{true};
+  // The point of Theorem 5: [27]'s gathering charge beats [24]'s.
+  EXPECT_LT(cm.rounds(gather::GatherKind::kSqrtHirose, 16, 4, 8),
+            cm.rounds(gather::GatherKind::kWeakDPP, 16, 7, 8));
+}
+
+}  // namespace
+}  // namespace bdg::core

@@ -1,0 +1,70 @@
+// Theorem 8: feasibility predicate and the mirror-execution demonstrator.
+#include "core/impossibility.h"
+
+#include <gtest/gtest.h>
+
+namespace bdg::core {
+namespace {
+
+TEST(Impossibility, FeasibilityPredicate) {
+  // k <= n with f < k is always fine: both caps are 1.
+  EXPECT_TRUE(k_dispersion_feasible(5, 5, 4));
+  EXPECT_TRUE(k_dispersion_feasible(4, 5, 2));
+  // k = n + 1, f = 1: ceil(k/n) = 2 > ceil((k-f)/n) = 1 -> infeasible.
+  EXPECT_FALSE(k_dispersion_feasible(6, 5, 1));
+  // k = 2n, f = n: 2 > 1 -> infeasible.
+  EXPECT_FALSE(k_dispersion_feasible(10, 5, 5));
+  // k = 2n, f = 0: caps equal -> feasible.
+  EXPECT_TRUE(k_dispersion_feasible(10, 5, 0));
+}
+
+TEST(Impossibility, BoundaryArithmetic) {
+  // ceil(12/5) = 3, ceil((12-2)/5) = 2: infeasible.
+  EXPECT_FALSE(k_dispersion_feasible(12, 5, 2));
+  // ceil(12/5) = 3, ceil((12-1)/5) = 3: feasible.
+  EXPECT_TRUE(k_dispersion_feasible(12, 5, 1));
+}
+
+TEST(Impossibility, DemoShowsViolation) {
+  // k = 2n robots, f = n Byzantine: the mirror execution co-settles
+  // ceil(k/n) = 2 honest robots while the cap is ceil((k-f)/n) = 1.
+  const auto demo = demonstrate_impossibility(/*n=*/5, /*k=*/10, /*f=*/5);
+  EXPECT_TRUE(demo.baseline.ok()) << demo.baseline.detail;
+  EXPECT_TRUE(demo.violated);
+  EXPECT_FALSE(demo.adversarial.dispersed);
+}
+
+TEST(Impossibility, DemoNoViolationWhenFeasible) {
+  // f = 0: the adversarial execution is the baseline; no violation.
+  const auto demo = demonstrate_impossibility(5, 10, 0);
+  EXPECT_TRUE(demo.baseline.ok());
+  EXPECT_FALSE(demo.violated);
+}
+
+TEST(Impossibility, DemoParameterValidation) {
+  EXPECT_THROW((void)demonstrate_impossibility(2, 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)demonstrate_impossibility(5, 3, 3), std::invalid_argument);
+}
+
+TEST(Impossibility, DemoMatchesPredicateAcrossSweep) {
+  for (std::uint32_t n = 3; n <= 7; ++n) {
+    for (std::uint32_t k = n; k <= 3 * n; k += n / 2 + 1) {
+      for (std::uint32_t f = 0; f < k && f <= k / 2; ++f) {
+        const bool feasible = k_dispersion_feasible(k, n, f);
+        const auto demo = demonstrate_impossibility(n, k, f);
+        if (!feasible) {
+          EXPECT_TRUE(demo.violated)
+              << "n=" << n << " k=" << k << " f=" << f;
+        } else {
+          // Our concrete algorithm A is a correct generalized-dispersion
+          // algorithm for f=0-style mirrors, so no violation may appear.
+          EXPECT_FALSE(demo.violated)
+              << "n=" << n << " k=" << k << " f=" << f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdg::core

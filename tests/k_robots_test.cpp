@@ -1,0 +1,104 @@
+// Fewer robots than nodes (k < n): Definition 1 only caps per-node honest
+// load, so every algorithmic core must keep working when robots are
+// scarce. Complements the Theorem 8 suite (which covers k > n).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/byzantine.h"
+#include "core/dispersion_using_map.h"
+#include "core/verifier.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+sim::Proc disperse_robot(sim::Ctx c, DispersionParams params,
+                         std::shared_ptr<DispersionOutcome> out) {
+  *out = co_await run_dispersion_using_map(c, std::move(params));
+}
+
+struct KOutcome {
+  VerifyResult verify;
+  std::vector<std::shared_ptr<DispersionOutcome>> outs;
+};
+
+KOutcome run_k(const Graph& g, std::size_t k, std::size_t f,
+               ByzStrategy strategy, std::uint64_t seed) {
+  Rng rng(seed);
+  sim::Engine eng(g);
+  const std::uint64_t phase =
+      dispersion_phase_rounds(static_cast<std::uint32_t>(g.n()));
+  KOutcome out;
+  std::vector<sim::RobotId> ids;
+  for (std::size_t i = 0; i < k; ++i) ids.push_back(5 + 3 * i);
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId start = static_cast<NodeId>(rng.below(g.n()));
+    if (i < f) {
+      eng.add_robot(ids[i], sim::Faultiness::kWeakByzantine, start,
+                    make_byzantine_program(strategy, ids, seed + i));
+      continue;
+    }
+    DispersionParams params;
+    params.map = g;
+    params.map_root = start;
+    params.phase_rounds = phase;
+    auto slot = std::make_shared<DispersionOutcome>();
+    out.outs.push_back(slot);
+    eng.add_robot(ids[i], sim::Faultiness::kHonest, start,
+                  [params, slot](sim::Ctx c) {
+                    return disperse_robot(c, params, slot);
+                  });
+  }
+  eng.run(phase + 8);
+  out.verify = verify_dispersion(eng);
+  return out;
+}
+
+TEST(KRobots, FewRobotsManyNodes) {
+  const Graph g = make_grid(3, 4);  // 12 nodes
+  for (const std::size_t k : {1u, 2u, 5u, 9u}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const KOutcome out = run_k(g, k, 0, ByzStrategy::kCrash, 3);
+    EXPECT_TRUE(out.verify.ok()) << out.verify.detail;
+    for (const auto& o : out.outs) EXPECT_TRUE(o->settled);
+  }
+}
+
+TEST(KRobots, FewRobotsWithByzantineInterference) {
+  const Graph g = make_ring(10);
+  for (const ByzStrategy s :
+       {ByzStrategy::kSquatter, ByzStrategy::kFakeSettler,
+        ByzStrategy::kIntentSpammer}) {
+    SCOPED_TRACE(to_string(s));
+    const KOutcome out = run_k(g, 6, 3, s, 11);
+    EXPECT_TRUE(out.verify.ok()) << out.verify.detail;
+  }
+}
+
+TEST(KRobots, SettlesFasterWithFewerRobots) {
+  // With fewer contenders, skip counts drop: a lone cluster of 2 robots
+  // needs at most a couple of skips; 8 gathered robots need up to 7.
+  const Graph g = make_path(8);
+  const KOutcome small = run_k(g, 2, 0, ByzStrategy::kCrash, 5);
+  const KOutcome large = run_k(g, 8, 0, ByzStrategy::kCrash, 5);
+  std::uint32_t small_skips = 0, large_skips = 0;
+  for (const auto& o : small.outs) small_skips += o->nodes_skipped;
+  for (const auto& o : large.outs) large_skips += o->nodes_skipped;
+  EXPECT_TRUE(small.verify.ok());
+  EXPECT_TRUE(large.verify.ok());
+  EXPECT_LE(small_skips, large_skips);
+}
+
+TEST(KRobots, SingleHonestAmongByzantineHorde) {
+  // k = n robots, n-1 Byzantine squatters, one honest: Theorem 1's extreme
+  // point at the Dispersion-Using-Map level.
+  const Graph g = make_complete(7);
+  const KOutcome out = run_k(g, 7, 6, ByzStrategy::kSquatter, 21);
+  EXPECT_TRUE(out.verify.ok()) << out.verify.detail;
+  ASSERT_EQ(out.outs.size(), 1u);
+  EXPECT_TRUE(out.outs[0]->settled);
+}
+
+}  // namespace
+}  // namespace bdg::core

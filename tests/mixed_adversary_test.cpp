@@ -1,0 +1,78 @@
+// Heterogeneous adversaries: different Byzantine robots running different
+// strategies in one execution, across the algorithms' tolerance budgets.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+TEST(MixedAdversary, ThreeGroupWithThreeDifferentLiars) {
+  Rng rng(2);
+  const Graph g = shuffle_ports(make_connected_er(12, 0.35, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kThreeGroupGathered;
+  cfg.num_byzantine = 3;  // floor(12/3)-1
+  cfg.strategies = {ByzStrategy::kMapLiar, ByzStrategy::kFakeSettler,
+                    ByzStrategy::kSilentSettler};
+  cfg.seed = 77;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(MixedAdversary, TournamentWithAlternatingStrategies) {
+  const Graph g = make_grid(2, 4);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = 3;
+  cfg.strategies = {ByzStrategy::kMapLiar, ByzStrategy::kIntentSpammer};
+  cfg.seed = 5;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(MixedAdversary, StrongMixOfSpooferAndLiar) {
+  const Graph g = make_torus(4, 4);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongGathered;
+  cfg.num_byzantine = 3;  // floor(16/4)-1
+  cfg.strategies = {ByzStrategy::kSpoofer, ByzStrategy::kMapLiar,
+                    ByzStrategy::kSpoofer};
+  cfg.seed = 9;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(MixedAdversary, SingletonListEquivalentToScalar) {
+  Rng rng(4);
+  const Graph g = shuffle_ports(make_connected_er(9, 0.45, rng), rng);
+  ScenarioConfig scalar;
+  scalar.algorithm = Algorithm::kThreeGroupGathered;
+  scalar.num_byzantine = 2;
+  scalar.strategy = ByzStrategy::kFakeSettler;
+  scalar.seed = 31;
+  ScenarioConfig list = scalar;
+  list.strategies = {ByzStrategy::kFakeSettler};
+  const ScenarioResult a = run_scenario(g, scalar);
+  const ScenarioResult b = run_scenario(g, list);
+  EXPECT_EQ(a.stats.moves, b.stats.moves);
+  EXPECT_EQ(a.stats.messages, b.stats.messages);
+  EXPECT_EQ(a.verify.ok(), b.verify.ok());
+}
+
+TEST(MixedAdversary, QuotientAgainstTheFullZoo) {
+  // Theorem 1 at f = n-1: every honest-robot slot sees a different lie.
+  Rng rng(8);
+  Graph g = shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kQuotient;
+  cfg.num_byzantine = 7;
+  cfg.strategies = weak_strategies();  // all seven, round-robin
+  cfg.seed = 15;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+}  // namespace
+}  // namespace bdg::core

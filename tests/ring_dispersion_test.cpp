@@ -1,0 +1,123 @@
+// Ring baseline ([34, 36]): constructive linear-time Find-Map on rings and
+// Byzantine dispersion tolerating up to n-1 weak Byzantine robots.
+#include "core/ring_dispersion.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.h"
+#include "explore/ring_map.h"
+#include "graph/canonical.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+TEST(RingMap, IsRingPredicate) {
+  EXPECT_TRUE(explore::is_ring(make_ring(5)));
+  EXPECT_TRUE(explore::is_ring(make_oriented_ring(7)));
+  EXPECT_FALSE(explore::is_ring(make_path(5)));
+  EXPECT_FALSE(explore::is_ring(make_grid(2, 3)));
+  EXPECT_FALSE(explore::is_ring(make_complete(4)));
+  Rng rng(1);
+  EXPECT_TRUE(explore::is_ring(shuffle_ports(make_ring(9), rng)));
+}
+
+sim::Proc find_map_wrapper(sim::Ctx c, std::shared_ptr<Graph> out) {
+  *out = co_await explore::run_ring_find_map(c);
+}
+
+TEST(RingMap, WalkBuildsRootedMapFromEveryStart) {
+  Rng rng(7);
+  for (const std::size_t n : {3u, 5u, 8u, 12u}) {
+    const Graph g = shuffle_ports(make_ring(n), rng);
+    for (NodeId start = 0; start < g.n(); ++start) {
+      sim::Engine eng(g);
+      auto out = std::make_shared<Graph>();
+      eng.add_robot(1, sim::Faultiness::kHonest, start,
+                    [out](sim::Ctx c) { return find_map_wrapper(c, out); });
+      const sim::RunStats st = eng.run(2 * n + 4);
+      EXPECT_TRUE(rooted_isomorphic(*out, 0, g, start))
+          << "n=" << n << " start=" << start;
+      EXPECT_EQ(st.moves, n);  // exactly one lap
+      EXPECT_EQ(eng.position_of(1), start);  // back where it began
+    }
+  }
+}
+
+TEST(RingMap, RejectsNonRingStart) {
+  const Graph g = make_star(5);  // center has degree 4
+  sim::Engine eng(g);
+  auto out = std::make_shared<Graph>();
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [out](sim::Ctx c) { return find_map_wrapper(c, out); });
+  EXPECT_THROW(eng.run(20), std::logic_error);
+}
+
+TEST(RingBaseline, MaxByzantineToleranceOnShuffledRings) {
+  Rng rng(3);
+  for (const std::size_t n : {5u, 8u, 11u}) {
+    const Graph g = shuffle_ports(make_ring(n), rng);
+    ScenarioConfig cfg;
+    cfg.algorithm = Algorithm::kRingBaseline;
+    cfg.num_byzantine = static_cast<std::uint32_t>(n) - 1;
+    cfg.strategy = ByzStrategy::kFakeSettler;
+    cfg.seed = n;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << "n=" << n << ": " << res.verify.detail;
+  }
+}
+
+TEST(RingBaseline, AllWeakStrategies) {
+  Rng rng(11);
+  const Graph g = shuffle_ports(make_ring(8), rng);
+  for (const ByzStrategy s : weak_strategies()) {
+    SCOPED_TRACE(to_string(s));
+    ScenarioConfig cfg;
+    cfg.algorithm = Algorithm::kRingBaseline;
+    cfg.num_byzantine = 4;
+    cfg.strategy = s;
+    cfg.seed = 9;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  }
+}
+
+TEST(RingBaseline, LinearRoundCount) {
+  // The headline of [34, 36]: O(n) rounds end to end.
+  Rng rng(5);
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    const Graph g = shuffle_ports(make_ring(n), rng);
+    ScenarioConfig cfg;
+    cfg.algorithm = Algorithm::kRingBaseline;
+    cfg.num_byzantine = static_cast<std::uint32_t>(n) / 2;
+    cfg.strategy = ByzStrategy::kSquatter;
+    const ScenarioResult res = run_scenario(g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+    EXPECT_LE(res.stats.rounds, 8 * n + 32);  // n walk + 6n+16 phase + slack
+  }
+}
+
+TEST(RingBaseline, RefusesNonRings) {
+  const Graph g = make_grid(2, 3);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kRingBaseline;
+  cfg.num_byzantine = 0;
+  EXPECT_THROW((void)run_scenario(g, cfg), std::invalid_argument);
+}
+
+TEST(RingBaseline, OrientedRingSymmetricLabeling) {
+  // The oriented ring has a single-node quotient, so Theorem 1 does NOT
+  // apply — but the ring baseline does not need distinct views at all.
+  const Graph g = make_oriented_ring(9);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kRingBaseline;
+  cfg.num_byzantine = 4;
+  cfg.strategy = ByzStrategy::kFakeSettler;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+}  // namespace
+}  // namespace bdg::core

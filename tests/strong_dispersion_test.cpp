@@ -1,0 +1,97 @@
+// Theorems 6 and 7: strong Byzantine robots (ID forgery) against the
+// two-group quorum map finding and the silent assignment phase.
+#include "core/strong_dispersion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+class StrongGathered
+    : public ::testing::TestWithParam<std::tuple<ByzStrategy, std::uint32_t>> {
+};
+
+TEST_P(StrongGathered, Row7DispersesUnderAdversary) {
+  const auto [strategy, f] = GetParam();
+  Rng rng(2);
+  const Graph g = shuffle_ports(make_connected_er(12, 0.35, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongGathered;
+  cfg.num_byzantine = f;  // tolerance floor(12/4)-1 = 2
+  cfg.strategy = strategy;
+  cfg.seed = 6;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversaries, StrongGathered,
+    ::testing::Combine(::testing::Values(ByzStrategy::kSpoofer,
+                                         ByzStrategy::kMapLiar,
+                                         ByzStrategy::kCrash),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(StrongGathered, SpooferCannotForgeQuorum) {
+  // f = floor(n/4)-1 strong spoofers forging agent-group IDs: the physical
+  // vote count stays below the floor(n/4) quorum, so honest robots still
+  // obtain the true map (the Msg::source model; paper Section 4).
+  const Graph g = make_torus(4, 4);  // n = 16, quorum 4, f = 3
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongGathered;
+  cfg.num_byzantine = 3;
+  cfg.strategy = ByzStrategy::kSpoofer;
+  cfg.seed = 14;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(StrongGathered, RoundsAreCubicShaped) {
+  // Theorem 6: O(n^3) — the window budget (our T2 = Theta(n^3)) dominates.
+  const Graph g = make_ring(8);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongGathered;
+  cfg.num_byzantine = 1;
+  cfg.strategy = ByzStrategy::kSpoofer;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  const std::uint64_t n = g.n();
+  EXPECT_GE(res.stats.rounds, 8 * n * n * n);
+  EXPECT_LE(res.stats.rounds, 8 * n * n * n + 200 * n);
+}
+
+TEST(StrongArbitrary, Row6ExponentialGatherThenDisperse) {
+  const Graph g = make_ring(8);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongArbitrary;
+  cfg.num_byzantine = 1;  // floor(8/4)-1
+  cfg.strategy = ByzStrategy::kSpoofer;
+  cfg.seed = 44;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  // The charged exponential gathering dominates: >= 2^n rounds.
+  EXPECT_GE(res.stats.rounds, 1ULL << 8);
+  // ...but the engine never simulates them one by one.
+  EXPECT_LT(res.stats.simulated_rounds, res.stats.rounds);
+}
+
+TEST(StrongArbitrary, WorksOnLargerNWithoutWallClockBlowup) {
+  // 2^24 charged rounds, fast-forwarded.
+  const Graph g = make_grid(4, 6);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongArbitrary;
+  cfg.num_byzantine = 2;
+  cfg.strategy = ByzStrategy::kCrash;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  EXPECT_GE(res.stats.rounds, 1ULL << 24);
+}
+
+}  // namespace
+}  // namespace bdg::core

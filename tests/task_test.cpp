@@ -1,0 +1,165 @@
+// Coroutine plumbing semantics: nested Task composition, value and
+// exception propagation through arbitrary depths, and engine interaction
+// with deeply nested protocol phases.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace bdg::sim {
+namespace {
+
+Task<int> leaf_value(Ctx ctx, int v) {
+  co_await ctx.end_round(std::nullopt);
+  co_return v;
+}
+
+Task<int> middle_sum(Ctx ctx, int a, int b) {
+  const int x = co_await leaf_value(ctx, a);
+  const int y = co_await leaf_value(ctx, b);
+  co_return x + y;
+}
+
+Proc sum_robot(Ctx ctx, int* out) {
+  *out = co_await middle_sum(ctx, 3, 4);
+}
+
+TEST(Task, NestedValuePropagation) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  int out = 0;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return sum_robot(c, &out); });
+  const RunStats st = eng.run(10);
+  EXPECT_EQ(out, 7);
+  // Two child suspensions = two rounds, plus the round in which the engine
+  // detects completion.
+  EXPECT_EQ(st.rounds, 3u);
+}
+
+Task<void> thrower(Ctx ctx) {
+  co_await ctx.end_round(std::nullopt);
+  throw std::runtime_error("child failed");
+}
+
+Task<void> pass_through(Ctx ctx) { co_await thrower(ctx); }
+
+Proc failing_robot(Ctx ctx) { co_await pass_through(ctx); }
+
+TEST(Task, ExceptionPropagatesThroughNesting) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [](Ctx c) { return failing_robot(c); });
+  EXPECT_THROW(eng.run(10), std::runtime_error);
+}
+
+Proc catching_robot(Ctx ctx, bool* caught) {
+  try {
+    co_await pass_through(ctx);
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+  co_await ctx.end_round(std::nullopt);
+}
+
+TEST(Task, ProtocolCanCatchChildExceptions) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  bool caught = false;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return catching_robot(c, &caught); });
+  const RunStats st = eng.run(10);
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(st.all_honest_done);
+}
+
+Task<int> immediate(int v) { co_return v; }
+
+Proc no_suspend_robot(Ctx ctx, int* out) {
+  // A child that finishes without ever touching the engine.
+  *out = co_await immediate(5);
+  co_await ctx.end_round(std::nullopt);
+}
+
+TEST(Task, ChildWithoutSuspensionCompletesInline) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  int out = 0;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return no_suspend_robot(c, &out); });
+  eng.run(10);
+  EXPECT_EQ(out, 5);
+}
+
+Task<std::vector<int>> build_vector(Ctx ctx, int len) {
+  std::vector<int> v;
+  for (int i = 0; i < len; ++i) {
+    v.push_back(i);
+    co_await ctx.end_round(std::nullopt);
+  }
+  co_return v;
+}
+
+Proc vector_robot(Ctx ctx, std::vector<int>* out) {
+  *out = co_await build_vector(ctx, 4);
+}
+
+TEST(Task, MoveOnlyResultsTransferCleanly) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  std::vector<int> out;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return vector_robot(c, &out); });
+  eng.run(10);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Two robots with interleaved nested tasks must not interfere.
+Proc interleaved(Ctx ctx, int* out, int a, int b) {
+  *out = co_await middle_sum(ctx, a, b);
+}
+
+TEST(Task, TwoRobotsNestedTasksIndependent) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  int out1 = 0, out2 = 0;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return interleaved(c, &out1, 1, 2); });
+  eng.add_robot(2, Faultiness::kHonest, 1,
+                [&](Ctx c) { return interleaved(c, &out2, 10, 20); });
+  eng.run(10);
+  EXPECT_EQ(out1, 3);
+  EXPECT_EQ(out2, 30);
+}
+
+Proc deep_robot(Ctx ctx, int* out, int depth);
+
+Task<int> deep_task(Ctx ctx, int depth) {
+  if (depth == 0) {
+    co_await ctx.end_round(std::nullopt);
+    co_return 1;
+  }
+  const int below = co_await deep_task(ctx, depth - 1);
+  co_return below + 1;
+}
+
+Proc deep_robot(Ctx ctx, int* out, int depth) {
+  *out = co_await deep_task(ctx, depth);
+}
+
+TEST(Task, DeepRecursionOfTasks) {
+  const Graph g = make_path(2);
+  Engine eng(g);
+  int out = 0;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [&](Ctx c) { return deep_robot(c, &out, 50); });
+  eng.run(10);
+  EXPECT_EQ(out, 51);
+}
+
+}  // namespace
+}  // namespace bdg::sim

@@ -1,0 +1,127 @@
+// Theorems 2 and 3 end-to-end: all-pairs tournament map finding with
+// majority voting, then dispersion. Includes the pairing-schedule unit
+// tests (all pairs covered, at most one pairing per robot per window).
+#include "core/tournament_dispersion.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/algorithm_common.h"
+#include "core/scenario.h"
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+TEST(RoundRobin, CoversAllPairsExactlyOnce) {
+  for (const std::size_t k : {2u, 3u, 4u, 7u, 8u, 11u}) {
+    std::vector<sim::RobotId> ids;
+    for (std::size_t i = 0; i < k; ++i) ids.push_back(100 + 7 * i);
+    const auto windows = round_robin_schedule(ids);
+    EXPECT_EQ(windows.size(), (k % 2 == 0 ? k - 1 : k));
+    std::set<std::pair<sim::RobotId, sim::RobotId>> seen;
+    for (const auto& win : windows) {
+      std::set<sim::RobotId> in_window;
+      for (const auto& [a, b] : win) {
+        EXPECT_LT(a, b);
+        EXPECT_TRUE(in_window.insert(a).second) << "robot paired twice";
+        EXPECT_TRUE(in_window.insert(b).second);
+        EXPECT_TRUE(seen.insert({a, b}).second) << "pair repeated";
+      }
+    }
+    EXPECT_EQ(seen.size(), k * (k - 1) / 2);
+  }
+}
+
+TEST(RoundRobin, EmptyAndSingleton) {
+  EXPECT_TRUE(round_robin_schedule({}).empty());
+  const auto w = round_robin_schedule({5});
+  for (const auto& win : w) EXPECT_TRUE(win.empty());
+}
+
+TEST(MajorityCode, PicksMostFrequent) {
+  const CanonicalCode a{1, 2}, b{3, 4};
+  EXPECT_EQ(majority_code({a, b, a}), a);
+  EXPECT_EQ(majority_code({b}), b);
+  EXPECT_FALSE(majority_code({}).has_value());
+}
+
+TEST(DecodeMap, RejectsWrongSizeAndGarbage) {
+  const Graph g = make_ring(5);
+  const CanonicalCode code = rooted_code(g, 0);
+  EXPECT_TRUE(decode_map(code, 5).has_value());
+  EXPECT_FALSE(decode_map(code, 6).has_value());
+  EXPECT_FALSE(decode_map({1, 0}, 5).has_value());
+  EXPECT_FALSE(decode_map({99, 1, 2}, 99).has_value());
+}
+
+class TournamentGathered
+    : public ::testing::TestWithParam<std::tuple<ByzStrategy, std::uint32_t>> {
+};
+
+TEST_P(TournamentGathered, Row4DispersesUnderAdversary) {
+  const auto [strategy, f] = GetParam();
+  Rng rng(41);
+  const Graph g = shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = f;
+  cfg.strategy = strategy;
+  cfg.seed = 5;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Adversaries, TournamentGathered,
+    ::testing::Combine(::testing::Values(ByzStrategy::kMapLiar,
+                                         ByzStrategy::kFakeSettler,
+                                         ByzStrategy::kCrash,
+                                         ByzStrategy::kIntentSpammer),
+                       ::testing::Values(1u, 3u)),  // f up to n/2-1 = 3
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TournamentGathered, MaxToleranceOnRing) {
+  const Graph g = make_ring(8);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = 3;  // floor(8/2) - 1
+  cfg.strategy = ByzStrategy::kMapLiar;
+  cfg.seed = 9;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+TEST(TournamentArbitrary, Row2GatherThenDisperse) {
+  Rng rng(43);
+  const Graph g = shuffle_ports(make_connected_er(7, 0.5, rng), rng);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentArbitrary;
+  cfg.num_byzantine = 2;  // floor(7/2) - 1
+  cfg.strategy = ByzStrategy::kFakeSettler;
+  cfg.seed = 21;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  // Phase 1's charged gathering bound dominates the round count (the
+  // Theorem 2 shape), even in the scaled cost model.
+  const gather::CostModel cm{true};
+  EXPECT_GE(res.stats.rounds,
+            cm.rounds(gather::GatherKind::kWeakDPP, 7, 2,
+                      gather::CostModel::id_bits(49)));
+}
+
+TEST(TournamentGathered, AllHonestSmall) {
+  const Graph g = make_grid(2, 3);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = 0;
+  const ScenarioResult res = run_scenario(g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+}  // namespace
+}  // namespace bdg::core

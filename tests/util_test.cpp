@@ -1,0 +1,143 @@
+// Unit tests for the util module: deterministic RNG, statistics fits,
+// table formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace bdg {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 500 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.chance(5, 5));
+    EXPECT_FALSE(rng.chance(0, 5));
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto reshuffled = v;
+  std::sort(reshuffled.begin(), reshuffled.end());
+  EXPECT_EQ(reshuffled, sorted);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // Child stream should not simply replay the parent's.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Stats, PowerFitRecoversExactLaw) {
+  std::vector<double> x, y;
+  for (double n : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    x.push_back(n);
+    y.push_back(3.0 * n * n * n);  // 3 n^3
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 3.0, 1e-9);
+  EXPECT_NEAR(fit.constant, 3.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerFitSkipsNonPositive) {
+  const PowerFit fit =
+      fit_power_law({0.0, 2.0, 4.0, 8.0}, {-1.0, 4.0, 16.0, 64.0});
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+}
+
+TEST(Stats, PowerFitDegenerate) {
+  EXPECT_EQ(fit_power_law({}, {}).exponent, 0.0);
+  EXPECT_EQ(fit_power_law({1.0}, {1.0}).exponent, 0.0);
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.118, 1e-3);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Table, AlignsColumnsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-3}), "-3");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace bdg

@@ -1,0 +1,94 @@
+// Verifier unit tests: Definition 1's per-node cap, termination checking,
+// and the Theorem 8 generalized cap.
+#include "core/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace bdg::core {
+namespace {
+
+sim::Proc settle_at(sim::Ctx ctx, std::vector<Port> walk) {
+  for (const Port p : walk) co_await ctx.end_round(p);
+}
+
+sim::Proc never_finish(sim::Ctx ctx) {
+  for (;;) co_await ctx.end_round(std::nullopt);
+}
+
+TEST(Verifier, AcceptsProperDispersion) {
+  const Graph g = make_path(3);
+  sim::Engine eng(g);
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.add_robot(2, sim::Faultiness::kHonest, 1,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.run(5);
+  const VerifyResult res = verify_dispersion(eng);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.honest_count, 2u);
+  EXPECT_EQ(res.worst_node_load, 1u);
+  EXPECT_TRUE(res.detail.empty());
+}
+
+TEST(Verifier, RejectsCollision) {
+  const Graph g = make_path(3);
+  sim::Engine eng(g);
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.add_robot(2, sim::Faultiness::kHonest, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.run(5);
+  const VerifyResult res = verify_dispersion(eng);
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.dispersed);
+  EXPECT_EQ(res.worst_node_load, 2u);
+  EXPECT_NE(res.detail.find("node 0"), std::string::npos);
+}
+
+TEST(Verifier, ByzantineRobotsDoNotCount) {
+  const Graph g = make_path(3);
+  sim::Engine eng(g);
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.add_robot(2, sim::Faultiness::kWeakByzantine, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.add_robot(3, sim::Faultiness::kStrongByzantine, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.run(5);
+  const VerifyResult res = verify_dispersion(eng);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.honest_count, 1u);
+}
+
+TEST(Verifier, FlagsUnterminatedHonestRobot) {
+  const Graph g = make_path(3);
+  sim::Engine eng(g);
+  eng.add_robot(1, sim::Faultiness::kHonest, 0,
+                [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.add_robot(2, sim::Faultiness::kHonest, 1,
+                [](sim::Ctx c) { return never_finish(c); });
+  eng.run(5);
+  const VerifyResult res = verify_dispersion(eng);
+  EXPECT_TRUE(res.dispersed);
+  EXPECT_FALSE(res.all_honest_done);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.detail.find("did not terminate"), std::string::npos);
+}
+
+TEST(Verifier, KDispersionUsesGeneralizedCap) {
+  // 4 honest robots on 2 nodes: cap ceil((k-f)/n) = ceil(4/2) = 2 passes.
+  const Graph g = make_path(2);
+  sim::Engine eng(g);
+  for (sim::RobotId id = 1; id <= 4; ++id)
+    eng.add_robot(id, sim::Faultiness::kHonest, id <= 2 ? 0 : 1,
+                  [](sim::Ctx c) { return settle_at(c, {}); });
+  eng.run(5);
+  EXPECT_TRUE(verify_k_dispersion(eng, 4, 0).ok());
+  // With f = 2 the cap drops to 1: same layout now fails.
+  EXPECT_FALSE(verify_k_dispersion(eng, 4, 2).ok());
+}
+
+}  // namespace
+}  // namespace bdg::core
