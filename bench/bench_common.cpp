@@ -1,8 +1,30 @@
 #include "bench_common.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 
 namespace bdg::bench {
+
+run::SweepSpec sweep_base() {
+  run::SweepSpec spec;
+  spec.families = {"er"};
+  spec.require_trivial_quotient = true;
+  spec.er_edge_probability = 0.0;  // near the connectivity threshold
+  spec.strategy_follows_algorithm = false;
+  // Controlled comparison: every algorithm and every f at a given (n,
+  // seed) measure the same graph, as the paper's tables compare rows.
+  spec.common_graphs = true;
+  return spec;
+}
+
+Graph sweep_graph(std::uint32_t n, std::uint64_t seed) {
+  auto g = run::build_family_graph("er", n, seed,
+                                   /*need_trivial_quotient=*/true,
+                                   /*er_edge_probability=*/0.0);
+  if (!g) throw std::runtime_error("sweep_graph: no trivial-quotient sample");
+  return *std::move(g);
+}
 
 RowPoint run_point(core::Algorithm algo, const Graph& g, std::uint32_t f,
                    core::ByzStrategy strategy, std::uint64_t seed) {
@@ -24,29 +46,72 @@ RowPoint run_point(core::Algorithm algo, const Graph& g, std::uint32_t f,
   return p;
 }
 
+RowPoint to_row_point(const run::PointResult& p) {
+  RowPoint r;
+  r.n = p.point.n;
+  r.f = p.point.f;
+  r.rounds = p.stats.rounds;
+  r.simulated = p.stats.simulated_rounds;
+  r.dispersed = p.ok;
+  r.seconds = p.seconds;
+  return r;
+}
+
+void maybe_dump_sweep(const run::SweepResult& result) {
+  const auto dump = [&](const char* env, const char* what,
+                        void (*write)(std::ostream&, const run::SweepResult&)) {
+    const char* path = std::getenv(env);
+    if (path == nullptr) return;
+    std::ofstream os(path);
+    write(os, result);
+    os.flush();  // surface buffered write errors before claiming success
+    std::fprintf(stderr, os ? "[sweep %s -> %s]\n" : "[sweep %s: cannot write %s]\n",
+                 what, path);
+  };
+  dump("BDG_SWEEP_JSON", "json", run::write_json);
+  dump("BDG_SWEEP_CSV", "csv", run::write_points_csv);
+}
+
 std::vector<RowPoint> run_row_bench(const RowBenchSpec& spec) {
   std::printf("== %s ==\n", spec.title.c_str());
   std::printf("paper claim: %s\n", spec.claim.c_str());
   std::printf("adversary: %s at maximum claimed tolerance\n\n",
               core::to_string(spec.strategy).c_str());
 
+  run::SweepSpec sweep = sweep_base();
+  sweep.algorithms = {spec.algorithm};
+  sweep.sizes = spec.sizes;
+  sweep.strategy = spec.strategy;
+  const run::SweepResult result = run::run_sweep(sweep);
+  maybe_dump_sweep(result);
+
   Table table({"n", "f", "rounds", "simulated", spec.bound_name,
                "rounds/" + spec.bound_name, "dispersed", "sec"});
   std::vector<RowPoint> points;
   std::vector<double> xs, ys;
-  for (const std::uint32_t n : spec.sizes) {
-    const Graph g = sweep_graph(n, 1000 + n);
-    const std::uint32_t f = core::max_tolerated_f(spec.algorithm, n);
-    const RowPoint p = run_point(spec.algorithm, g, f, spec.strategy, n);
+  for (const run::PointResult& pr : result.points) {
+    if (pr.skipped) {
+      // A row bench point that cannot run is a failure of the bench, not
+      // silence: record it undispersed so callers exit nonzero.
+      std::printf("n=%u SKIPPED (%s) — counting as failure\n", pr.point.n,
+                  pr.skip_reason.c_str());
+      RowPoint p;
+      p.n = pr.point.n;
+      p.f = pr.point.f;
+      p.dispersed = false;
+      points.push_back(p);
+      continue;
+    }
+    const RowPoint p = to_row_point(pr);
     points.push_back(p);
-    const double bound = spec.bound(n);
+    const double bound = spec.bound(p.n);
     table.add_row({Table::num(static_cast<std::uint64_t>(p.n)),
                    Table::num(static_cast<std::uint64_t>(p.f)),
                    Table::num(p.rounds), Table::num(p.simulated),
                    Table::num(bound, 0),
                    Table::num(static_cast<double>(p.rounds) / bound, 3),
                    p.dispersed ? "yes" : "NO", Table::num(p.seconds, 2)});
-    xs.push_back(n);
+    xs.push_back(p.n);
     ys.push_back(static_cast<double>(p.rounds));
   }
   table.print(std::cout);

@@ -1,10 +1,14 @@
 #pragma once
-// Shared harness for the Table 1 row benchmarks.
+// Shared harness for the Table 1 row benchmarks, built on the run/ sweep
+// subsystem.
 //
 // Each row bench sweeps n, runs the row's algorithm at its maximum claimed
 // Byzantine tolerance against a chosen adversary, and prints a paper-style
 // table: measured rounds, the claimed bound, tolerance verdict, plus a
-// fitted growth exponent of the measured series. Wall-clock timing of the
+// fitted growth exponent of the measured series. The points themselves are
+// expanded and executed (in parallel, bit-reproducibly) by
+// run::run_sweep; set BDG_SWEEP_JSON / BDG_SWEEP_CSV to a path to also
+// dump the raw sweep result for plotting. Wall-clock timing of the
 // substrate operations is handled separately by google-benchmark in
 // bench_substrates.
 #include <cstdint>
@@ -17,6 +21,8 @@
 #include "core/scenario.h"
 #include "graph/generators.h"
 #include "graph/quotient.h"
+#include "run/report.h"
+#include "run/sweep.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -31,20 +37,26 @@ struct RowPoint {
   double seconds = 0.0;
 };
 
-/// Graph used across the sweeps: a port-shuffled connected ER graph with
-/// all-distinct views (so every algorithm, including Theorem 1, applies).
-[[nodiscard]] inline Graph sweep_graph(std::uint32_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  for (int attempt = 0; attempt < 128; ++attempt) {
-    const Graph g = shuffle_ports(make_connected_er(n, 0.0, rng), rng);
-    if (has_trivial_quotient(g)) return g;
-  }
-  throw std::runtime_error("sweep_graph: no trivial-quotient sample");
-}
+/// Base sweep spec shared by the row/figure benches: the sparse ER family
+/// restricted to all-distinct views (so every algorithm, including
+/// Theorem 1, applies to the same graphs).
+[[nodiscard]] run::SweepSpec sweep_base();
 
+/// Graph used by ad-hoc bench probes: a port-shuffled connected ER graph
+/// with all-distinct views, via the run/ registry.
+[[nodiscard]] Graph sweep_graph(std::uint32_t n, std::uint64_t seed);
+
+/// Run one (algorithm, graph, f) probe through core::run_scenario.
 [[nodiscard]] RowPoint run_point(core::Algorithm algo, const Graph& g,
                                  std::uint32_t f, core::ByzStrategy strategy,
                                  std::uint64_t seed);
+
+[[nodiscard]] RowPoint to_row_point(const run::PointResult& p);
+
+/// Honor BDG_SWEEP_JSON / BDG_SWEEP_CSV: dump the raw sweep result to the
+/// given paths (no-op when unset). Each binary should issue one sweep and
+/// dump once — a second dump truncate-overwrites the file.
+void maybe_dump_sweep(const run::SweepResult& result);
 
 struct RowBenchSpec {
   std::string title;             ///< e.g. "Table 1 row 5 (Theorem 4)"

@@ -4,7 +4,8 @@
 //   row5 O(n^3) ~ row7 O(n^3) < row4 O(n^4) < row2 (gather-dominated)
 //   << row6 exponential,
 // with row1 sitting at its charged Find-Map polynomial and row3 between
-// row5 and row4.
+// row5 and row4. Every series is one run::run_sweep call, so the points
+// execute in parallel and land in deterministic grid order.
 #include <cstdio>
 #include <iostream>
 
@@ -37,19 +38,39 @@ int main() {
   };
 
   const std::vector<std::uint32_t> sizes{8, 12, 16};
+
+  // One sweep over the full (algorithm x n) grid — all 21 points run in
+  // parallel, each algorithm against its own adversary via the overrides.
+  run::SweepSpec sweep = bench::sweep_base();
+  sweep.sizes = sizes;
+  for (const Entry& e : entries) {
+    sweep.algorithms.push_back(e.algo);
+    sweep.strategy_overrides[e.algo] = e.strategy;
+  }
+  const run::SweepResult result = run::run_sweep(sweep);
+  bench::maybe_dump_sweep(result);
+
   Table table({"algorithm", "n=8", "n=12", "n=16", "fitted n^e"});
   bool ok = true;
+  std::size_t next = 0;  // grid order is algorithm-major, sizes within
   for (const Entry& e : entries) {
     std::vector<std::string> row{e.label};
     std::vector<double> xs, ys;
-    for (const std::uint32_t n : sizes) {
-      const Graph g = bench::sweep_graph(n, 500 + n);
-      const std::uint32_t f = core::max_tolerated_f(e.algo, n);
-      const auto p = bench::run_point(e.algo, g, f, e.strategy, n);
-      ok = ok && p.dispersed;
-      row.push_back(Table::num(p.rounds) + (p.dispersed ? "" : "(FAIL)"));
-      xs.push_back(n);
-      ys.push_back(static_cast<double>(p.rounds));
+    for (std::size_t i = 0; i < sizes.size(); ++i, ++next) {
+      const run::PointResult& pr = result.points.at(next);
+      if (pr.point.algorithm != e.algo || pr.point.n != sizes[i]) {
+        std::fprintf(stderr, "grid order mismatch at point %zu\n", next);
+        return 2;
+      }
+      if (pr.skipped) {
+        ok = false;
+        row.push_back("SKIP");
+        continue;
+      }
+      ok = ok && pr.ok;
+      row.push_back(Table::num(pr.stats.rounds) + (pr.ok ? "" : "(FAIL)"));
+      xs.push_back(pr.point.n);
+      ys.push_back(static_cast<double>(pr.stats.rounds));
     }
     const PowerFit fit = fit_power_law(xs, ys);
     row.push_back(Table::num(fit.exponent, 2));

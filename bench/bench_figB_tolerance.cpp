@@ -3,20 +3,22 @@
 // dispersion still holds against the strongest matching adversary in the
 // library. Within the claimed bound the verdict must be "ok" on every run;
 // beyond it the guarantee lapses (failures are expected, though a weak
-// adversary may still happen to lose).
+// adversary may still happen to lose). The whole (algorithm x f) grid is
+// one run::run_sweep call with tolerance clamping off and per-algorithm
+// strategy overrides, so all 45 points run in parallel; the grid is
+// exported via BDG_SWEEP_JSON/CSV.
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
-#include "util/parallel.h"
 
 int main() {
   using namespace bdg;
   using core::Algorithm;
   std::printf("== Figure B: tolerance frontier (n = 12) ==\n\n");
 
-  const std::uint32_t n = 12;
-  const Graph g = bench::sweep_graph(n, 321);
+  constexpr std::uint32_t kN = 12;
+  constexpr std::uint32_t kMaxF = 8;
 
   struct Entry {
     Algorithm algo;
@@ -37,37 +39,44 @@ int main() {
   };
 
   std::vector<std::string> header{"algorithm \\ f"};
-  for (std::uint32_t f = 0; f <= 8; ++f)
+  for (std::uint32_t f = 0; f <= kMaxF; ++f)
     header.push_back("f=" + std::to_string(f));
   Table table(std::move(header));
 
-  // The grid points are independent executions: sweep them in parallel
-  // (each point owns its engine; results stay bit-reproducible).
-  constexpr std::uint32_t kMaxF = 8;
-  const std::size_t num_entries = std::size(entries);
-  std::vector<bench::RowPoint> grid(num_entries * (kMaxF + 1));
-  parallel_for_index(grid.size(), [&](std::size_t idx) {
-    const Entry& e = entries[idx / (kMaxF + 1)];
-    const auto f = static_cast<std::uint32_t>(idx % (kMaxF + 1));
-    if (f >= n) return;
-    grid[idx] = bench::run_point(e.algo, g, f, e.strategy, 7 * f + 3);
-  });
+  run::SweepSpec sweep = bench::sweep_base();
+  sweep.sizes = {kN};
+  sweep.clamp_f_to_tolerance = false;
+  for (std::uint32_t f = 0; f <= kMaxF; ++f)
+    sweep.byzantine_counts.push_back(f);
+  for (const Entry& e : entries) {
+    sweep.algorithms.push_back(e.algo);
+    sweep.strategy_overrides[e.algo] = e.strategy;
+  }
+  const run::SweepResult result = run::run_sweep(sweep);
+  bench::maybe_dump_sweep(result);
 
   bool claims_hold = true;
-  for (std::size_t ei = 0; ei < num_entries; ++ei) {
-    const Entry& e = entries[ei];
+  std::size_t next = 0;  // grid order: algorithm-major, f within
+  for (const Entry& e : entries) {
+    const std::uint32_t claimed = core::max_tolerated_f(e.algo, kN);
     std::vector<std::string> row{e.label};
-    const std::uint32_t claimed = core::max_tolerated_f(e.algo, n);
-    for (std::uint32_t f = 0; f <= kMaxF; ++f) {
-      if (f >= n) {
-        row.push_back("-");
+    for (std::uint32_t f = 0; f <= kMaxF; ++f, ++next) {
+      const run::PointResult& p = result.points.at(next);
+      if (p.point.algorithm != e.algo || p.point.f != f) {
+        std::fprintf(stderr, "grid order mismatch at point %zu\n", next);
+        return 2;
+      }
+      const bool within = p.point.f <= claimed;
+      if (p.skipped) {
+        // A hole beyond the claim (f >= n, or no sample) proves nothing;
+        // a hole within the claim voids the verdict.
+        if (within) claims_hold = false;
+        row.push_back(within ? "SKIP!" : "-");
         continue;
       }
-      const bench::RowPoint& p = grid[ei * (kMaxF + 1) + f];
-      const bool within = f <= claimed;
-      if (within && !p.dispersed) claims_hold = false;
-      row.push_back(p.dispersed ? (within ? "ok" : "ok*")
-                                : (within ? "FAIL!" : "fail"));
+      if (within && !p.ok) claims_hold = false;
+      row.push_back(p.ok ? (within ? "ok" : "ok*")
+                         : (within ? "FAIL!" : "fail"));
     }
     table.add_row(std::move(row));
   }

@@ -1,0 +1,123 @@
+#include "run/report.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace bdg::run {
+namespace {
+
+/// Family names and strategy names are identifier-like, but escape anyway
+/// so free-form verifier details stay valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Quote a field when it contains CSV metacharacters (the ring-baseline
+/// algorithm name carries a literal comma in its citation brackets).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_points_csv(std::ostream& os, const SweepResult& result) {
+  os << "algorithm,family,n,f,seed,strategy,derived_seed,ok,rounds,"
+        "simulated_rounds,moves,messages,planned_rounds,seconds\n";
+  for (const PointResult& p : result.points) {
+    if (p.skipped) continue;
+    os << csv_field(core::to_string(p.point.algorithm)) << ','
+       << csv_field(p.point.family) << ',' << p.point.n << ',' << p.point.f
+       << ',' << p.point.seed << ','
+       << csv_field(core::to_string(p.point.strategy)) << ','
+       << p.derived_seed << ',' << (p.ok ? 1 : 0) << ',' << p.stats.rounds
+       << ',' << p.stats.simulated_rounds << ',' << p.stats.moves << ','
+       << p.stats.messages << ',' << p.planned_rounds << ',' << p.seconds
+       << '\n';
+  }
+}
+
+void write_cells_csv(std::ostream& os, const SweepResult& result) {
+  os << "algorithm,family,n,f,runs,dispersed,min_rounds,max_rounds,"
+        "mean_rounds,mean_simulated,mean_moves,mean_messages,mean_seconds\n";
+  for (const CellAggregate& c : result.cells) {
+    os << csv_field(core::to_string(c.algorithm)) << ',' << csv_field(c.family)
+       << ',' << c.n << ',' << c.f << ',' << c.runs << ',' << c.dispersed
+       << ',' << c.min_rounds << ',' << c.max_rounds << ',' << c.mean_rounds
+       << ',' << c.mean_simulated << ',' << c.mean_moves << ','
+       << c.mean_messages << ',' << c.mean_seconds << '\n';
+  }
+}
+
+void write_json(std::ostream& os, const SweepResult& result) {
+  os << "{\n  \"wall_seconds\": " << result.wall_seconds
+     << ",\n  \"points\": [";
+  bool first = true;
+  for (const PointResult& p : result.points) {
+    os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
+       << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
+       << json_escape(p.point.family) << "\", \"n\": " << p.point.n
+       << ", \"f\": " << p.point.f << ", \"seed\": " << p.point.seed
+       << ", \"strategy\": \""
+       << json_escape(core::to_string(p.point.strategy)) << "\", \"derived_seed\": "
+       << p.derived_seed;
+    if (p.skipped) {
+      os << ", \"skipped\": true, \"skip_reason\": \""
+         << json_escape(p.skip_reason) << "\"}";
+    } else {
+      os << ", \"ok\": " << (p.ok ? "true" : "false")
+         << ", \"rounds\": " << p.stats.rounds
+         << ", \"simulated_rounds\": " << p.stats.simulated_rounds
+         << ", \"moves\": " << p.stats.moves
+         << ", \"messages\": " << p.stats.messages
+         << ", \"planned_rounds\": " << p.planned_rounds
+         << ", \"seconds\": " << p.seconds;
+      if (!p.ok) os << ", \"detail\": \"" << json_escape(p.detail) << "\"";
+      os << '}';
+    }
+    first = false;
+  }
+  os << "\n  ],\n  \"cells\": [";
+  first = true;
+  for (const CellAggregate& c : result.cells) {
+    os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
+       << json_escape(core::to_string(c.algorithm)) << "\", \"family\": \""
+       << json_escape(c.family) << "\", \"n\": " << c.n << ", \"f\": " << c.f
+       << ", \"runs\": " << c.runs << ", \"dispersed\": " << c.dispersed
+       << ", \"min_rounds\": " << c.min_rounds
+       << ", \"max_rounds\": " << c.max_rounds
+       << ", \"mean_rounds\": " << c.mean_rounds
+       << ", \"mean_simulated\": " << c.mean_simulated
+       << ", \"mean_moves\": " << c.mean_moves
+       << ", \"mean_messages\": " << c.mean_messages
+       << ", \"mean_seconds\": " << c.mean_seconds << '}';
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace bdg::run

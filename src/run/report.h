@@ -1,0 +1,21 @@
+#pragma once
+// Render SweepResult as machine-readable CSV / JSON (per-point and
+// per-cell), for EXPERIMENTS.md tables, plotting scripts and CI artifacts.
+#include <iosfwd>
+
+#include "run/sweep.h"
+
+namespace bdg::run {
+
+/// One CSV row per non-skipped point:
+/// algorithm,family,n,f,seed,strategy,derived_seed,ok,rounds,
+/// simulated_rounds,moves,messages,planned_rounds,seconds
+void write_points_csv(std::ostream& os, const SweepResult& result);
+
+/// One CSV row per (algorithm, family, n, f) cell aggregate.
+void write_cells_csv(std::ostream& os, const SweepResult& result);
+
+/// Full result (points incl. skips, cells, wall time) as a JSON document.
+void write_json(std::ostream& os, const SweepResult& result);
+
+}  // namespace bdg::run

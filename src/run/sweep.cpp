@@ -1,0 +1,312 @@
+#include "run/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/quotient.h"
+#include "util/parallel.h"
+
+namespace bdg::run {
+namespace {
+
+// splitmix64 step — the same finalizer Rng seeds with, reused here so a
+// point's seed is a platform-stable function of its coordinates only.
+std::uint64_t mix(std::uint64_t state, std::uint64_t value) {
+  std::uint64_t z = state + 0x9E3779B97F4A7C15ULL + value;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Largest divisor of n that is <= sqrt(n) (>= 1).
+std::uint32_t balanced_rows(std::uint32_t n) {
+  std::uint32_t best = 1;
+  for (std::uint32_t r = 1; r * r <= n; ++r)
+    if (n % r == 0) best = r;
+  return best;
+}
+
+/// Divisor r of n with 3 <= r and 3 <= n/r, closest to sqrt(n); 0 if none.
+std::uint32_t torus_rows(std::uint32_t n) {
+  std::uint32_t best = 0;
+  for (std::uint32_t r = 3; r * r <= n; ++r)
+    if (n % r == 0 && n / r >= 3) best = r;
+  return best;
+}
+
+bool is_power_of_two(std::uint32_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// One sample of the family (no quotient requirement yet).
+Graph sample(const std::string& family, std::uint32_t n, Rng& rng,
+             double er_p) {
+  if (family == "er")
+    return shuffle_ports(make_connected_er(n, er_p, rng), rng);
+  if (family == "ring") return shuffle_ports(make_ring(n), rng);
+  if (family == "oriented_ring") return make_oriented_ring(n);
+  if (family == "grid") {
+    const std::uint32_t r = balanced_rows(n);
+    return make_grid(r, n / r);
+  }
+  if (family == "tree") return make_random_tree(n, rng);
+  if (family == "complete") return make_complete(n);
+  if (family == "star") return make_star(n);
+  if (family == "lollipop") return make_lollipop(n);
+  if (family == "torus") {
+    const std::uint32_t r = torus_rows(n);
+    return make_torus(r, n / r);
+  }
+  if (family == "hypercube") {
+    std::uint32_t dim = 0;
+    while ((1U << dim) < n) ++dim;
+    return make_hypercube(dim);
+  }
+  if (family == "regular") return shuffle_ports(make_random_regular(n, 3, rng), rng);
+  throw std::invalid_argument("unknown graph family: " + family);
+}
+
+core::ByzStrategy strategy_for(const SweepSpec& spec, core::Algorithm a) {
+  const auto it = spec.strategy_overrides.find(a);
+  if (it != spec.strategy_overrides.end()) return it->second;
+  if (!spec.strategy_follows_algorithm) return spec.strategy;
+  if (core::handles_strong(a)) return core::ByzStrategy::kSpoofer;
+  if (a == core::Algorithm::kCrashRealGathering) return core::ByzStrategy::kCrash;
+  return spec.strategy;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_families() {
+  static const std::vector<std::string> kFamilies = {
+      "er",   "ring",     "oriented_ring", "grid",  "tree",    "complete",
+      "star", "lollipop", "torus",         "hypercube", "regular"};
+  return kFamilies;
+}
+
+bool family_supports(const std::string& family, std::uint32_t n) {
+  if (family == "er") return n >= 2;  // make_connected_er rejects n < 2
+  if (family == "tree" || family == "grid") return n >= 1;
+  if (family == "ring" || family == "oriented_ring") return n >= 3;
+  if (family == "complete" || family == "star") return n >= 2;
+  if (family == "lollipop") return n >= 4;
+  if (family == "torus") return torus_rows(n) != 0;
+  if (family == "hypercube") return n >= 2 && is_power_of_two(n);
+  if (family == "regular") return n >= 4 && n % 2 == 0;
+  return false;
+}
+
+std::optional<Graph> build_family_graph(const std::string& family,
+                                        std::uint32_t n, std::uint64_t seed,
+                                        bool need_trivial_quotient,
+                                        double er_edge_probability) {
+  if (!family_supports(family, n)) return std::nullopt;
+  Rng rng(seed);
+  if (!need_trivial_quotient) return sample(family, n, rng, er_edge_probability);
+  // Theorem 1 needs all views distinct; resample until the quotient is
+  // trivial. Families with random structure re-roll on their own; the
+  // deterministic ones get fresh port shuffles instead — except
+  // oriented_ring, whose port orientation IS the family (and whose
+  // quotient is a single node by construction, so it can never satisfy
+  // the request).
+  const bool reshuffle = family == "grid" || family == "complete" ||
+                         family == "star" || family == "lollipop" ||
+                         family == "torus" || family == "hypercube";
+  if (family == "oriented_ring") return std::nullopt;
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    Graph g = sample(family, n, rng, er_edge_probability);
+    if (reshuffle) g = shuffle_ports(g, rng);
+    if (has_trivial_quotient(g)) return g;
+  }
+  return std::nullopt;
+}
+
+std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
+  const std::vector<std::string>& known = known_families();
+  for (const std::string& family : spec.families) {
+    if (std::find(known.begin(), known.end(), family) == known.end())
+      throw std::invalid_argument("unknown graph family: " + family);
+  }
+  std::vector<SweepPoint> points;
+  for (const core::Algorithm a : spec.algorithms) {
+    for (const std::string& family : spec.families) {
+      for (const std::uint32_t n : spec.sizes) {
+        const std::uint32_t max_f = core::max_tolerated_f(a, n);
+        std::vector<std::uint32_t> fs;
+        if (spec.byzantine_counts.empty()) {
+          fs.push_back(max_f);
+        } else if (spec.clamp_f_to_tolerance) {
+          for (const std::uint32_t f : spec.byzantine_counts)
+            fs.push_back(std::min(f, max_f));
+          std::sort(fs.begin(), fs.end());
+          fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+        } else {
+          fs = spec.byzantine_counts;
+        }
+        for (const std::uint32_t f : fs) {
+          for (const std::uint64_t seed : spec.seeds) {
+            points.push_back(
+                {a, family, n, f, seed, strategy_for(spec, a)});
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::uint64_t point_seed(std::uint64_t base_seed, const SweepPoint& p) {
+  std::uint64_t s = mix(base_seed, static_cast<std::uint64_t>(p.algorithm));
+  s = mix(s, fnv1a(p.family));
+  s = mix(s, p.n);
+  s = mix(s, p.f);
+  s = mix(s, p.seed);
+  return s;
+}
+
+std::uint64_t point_graph_seed(const SweepSpec& spec, const SweepPoint& p) {
+  if (!spec.common_graphs) return point_seed(spec.base_seed, p);
+  std::uint64_t s = mix(spec.base_seed, fnv1a(p.family));
+  s = mix(s, p.n);
+  s = mix(s, p.seed);
+  return s;
+}
+
+PointResult run_point(const SweepSpec& spec, const SweepPoint& p) {
+  PointResult r;
+  r.point = p;
+  r.derived_seed = point_seed(spec.base_seed, p);
+
+  if (p.algorithm == core::Algorithm::kRingBaseline && p.family != "ring" &&
+      p.family != "oriented_ring") {
+    r.skipped = true;
+    r.skip_reason = "ring baseline requires a ring family";
+    return r;
+  }
+  if (p.f >= p.n) {
+    r.skipped = true;
+    r.skip_reason = "f must be < n";
+    return r;
+  }
+  // With common_graphs, a sweep containing kQuotient must hold the
+  // trivial-quotient requirement for every point, or the quotient points
+  // would silently resample onto a different graph than their cell mates.
+  const bool need_trivial =
+      spec.require_trivial_quotient ||
+      p.algorithm == core::Algorithm::kQuotient ||
+      (spec.common_graphs &&
+       std::find(spec.algorithms.begin(), spec.algorithms.end(),
+                 core::Algorithm::kQuotient) != spec.algorithms.end());
+  const std::optional<Graph> g =
+      build_family_graph(p.family, p.n, point_graph_seed(spec, p),
+                         need_trivial, spec.er_edge_probability);
+  if (!g) {
+    r.skipped = true;
+    r.skip_reason = family_supports(p.family, p.n)
+                        ? "no trivial-quotient sample"
+                        : "family does not support this n";
+    return r;
+  }
+
+  core::ScenarioConfig cfg;
+  cfg.algorithm = p.algorithm;
+  cfg.num_byzantine = p.f;
+  cfg.strategy = p.strategy;
+  cfg.byz_smallest_ids = spec.byz_smallest_ids;
+  cfg.strong_byzantine = core::handles_strong(p.algorithm);
+  cfg.seed = mix(r.derived_seed, 0x5CE42AE05C0F5AB1ULL);
+  cfg.cost = spec.cost;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScenarioResult res = core::run_scenario(*g, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  r.ok = res.verify.ok();
+  r.detail = res.verify.detail;
+  r.stats = res.stats;
+  r.planned_rounds = res.planned_rounds;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+bool SweepResult::all_dispersed() const {
+  for (const PointResult& p : points)
+    if (!p.skipped && !p.ok) return false;
+  return true;
+}
+
+std::size_t SweepResult::skipped() const {
+  std::size_t count = 0;
+  for (const PointResult& p : points)
+    if (p.skipped) ++count;
+  return count;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult result;
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  result.points.resize(grid.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Each point owns its Engine and Rng; results land at their grid index,
+  // so the output is byte-identical for every thread count.
+  parallel_for_index(
+      grid.size(),
+      [&](std::size_t i) { result.points[i] = run_point(spec, grid[i]); },
+      spec.threads);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Grid order keeps each (algorithm, family, n, f) cell contiguous in the
+  // common case, but don't rely on it (unclamped duplicate f values can
+  // repeat coordinates): match against every existing cell.
+  for (const PointResult& p : result.points) {
+    if (p.skipped) continue;
+    CellAggregate* cell = nullptr;
+    for (CellAggregate& c : result.cells) {
+      if (c.algorithm == p.point.algorithm && c.family == p.point.family &&
+          c.n == p.point.n && c.f == p.point.f) {
+        cell = &c;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      result.cells.push_back({});
+      cell = &result.cells.back();
+      cell->algorithm = p.point.algorithm;
+      cell->family = p.point.family;
+      cell->n = p.point.n;
+      cell->f = p.point.f;
+      cell->min_rounds = p.stats.rounds;
+      cell->max_rounds = p.stats.rounds;
+    }
+    const double k = static_cast<double>(cell->runs);
+    ++cell->runs;
+    if (p.ok) ++cell->dispersed;
+    cell->min_rounds = std::min(cell->min_rounds, p.stats.rounds);
+    cell->max_rounds = std::max(cell->max_rounds, p.stats.rounds);
+    const double w = 1.0 / static_cast<double>(cell->runs);
+    cell->mean_rounds =
+        (cell->mean_rounds * k + static_cast<double>(p.stats.rounds)) * w;
+    cell->mean_simulated =
+        (cell->mean_simulated * k + static_cast<double>(p.stats.simulated_rounds)) * w;
+    cell->mean_moves =
+        (cell->mean_moves * k + static_cast<double>(p.stats.moves)) * w;
+    cell->mean_messages =
+        (cell->mean_messages * k + static_cast<double>(p.stats.messages)) * w;
+    cell->mean_seconds = (cell->mean_seconds * k + p.seconds) * w;
+  }
+  return result;
+}
+
+}  // namespace bdg::run

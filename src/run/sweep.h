@@ -1,0 +1,179 @@
+#pragma once
+// Deterministic parallel scenario-sweep runner.
+//
+// A sweep expands an (algorithm x graph-family x n x f x seed) grid into
+// points, runs every point in its own Engine + Rng (bit-reproducible: the
+// per-point seed is derived by hashing the point's coordinates into the
+// spec's base seed, never by position in a shared generator — the
+// deterministic per-point seeding idiom of the exposed-memory model
+// literature), and aggregates RunStats per (algorithm, family, n, f) cell.
+// Points run across hardware threads via util/parallel.h; results land in
+// grid order, so output is identical for every thread count, including 1.
+//
+// This is the one harness behind the Table 1 row benches, the figure
+// sweeps and the e2e conformance tests; report.h renders results as
+// JSON/CSV for downstream tooling.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace bdg::run {
+
+// ---------------------------------------------------------------------------
+// Graph-family registry
+// ---------------------------------------------------------------------------
+
+/// Names accepted by SweepSpec::families, in registry order:
+/// "er", "ring", "oriented_ring", "grid", "tree", "complete", "star",
+/// "lollipop", "torus", "hypercube", "regular".
+[[nodiscard]] const std::vector<std::string>& known_families();
+
+/// Whether `family` can produce a graph on exactly n nodes (e.g. "torus"
+/// needs a rows x cols factorization with both sides >= 3, "hypercube"
+/// needs n to be a power of two).
+[[nodiscard]] bool family_supports(const std::string& family, std::uint32_t n);
+
+/// Build a graph of `family` on n nodes from `seed` (deterministic). When
+/// `need_trivial_quotient` is set (Theorem 1), resamples until all views
+/// are distinct; returns nullopt if the family cannot satisfy the request
+/// (unsupported n, or no trivial-quotient sample found).
+[[nodiscard]] std::optional<Graph> build_family_graph(
+    const std::string& family, std::uint32_t n, std::uint64_t seed,
+    bool need_trivial_quotient = false, double er_edge_probability = 0.45);
+
+// ---------------------------------------------------------------------------
+// Sweep specification and results
+// ---------------------------------------------------------------------------
+
+struct SweepSpec {
+  std::vector<core::Algorithm> algorithms;
+  std::vector<std::string> families;
+  std::vector<std::uint32_t> sizes;  ///< n values
+  /// Byzantine counts to sweep. Empty = one point per (algorithm, n) at the
+  /// algorithm's maximum claimed tolerance (Table 1). Values exceeding the
+  /// tolerance for some algorithm are clamped to it unless
+  /// `clamp_f_to_tolerance` is off (tolerance-frontier sweeps probe past
+  /// the claim on purpose).
+  std::vector<std::uint32_t> byzantine_counts;
+  bool clamp_f_to_tolerance = true;
+  /// Require every graph to have all views distinct (G ~ Q_G), not just the
+  /// Theorem 1 points — the Table 1 row benches share one family across all
+  /// algorithms so that every theorem applies to the same graphs.
+  bool require_trivial_quotient = false;
+  /// Edge probability for the "er" family (<= 0 = near the connectivity
+  /// threshold, the sparse regime the row benches sweep).
+  double er_edge_probability = 0.45;
+  /// Grid seeds (each is an independent repetition of every cell).
+  std::vector<std::uint64_t> seeds = {1};
+  /// Adversary. When `strategy_follows_algorithm` is set the strategy is
+  /// chosen per algorithm as the e2e suite does (spoofer for the strong
+  /// algorithms, crash for crash-real gathering, `strategy` otherwise).
+  /// `strategy_overrides` wins over both for the listed algorithms, so one
+  /// sweep can pit each algorithm against its own adversary (the figure
+  /// benches sweep all algorithms in a single parallel grid this way).
+  core::ByzStrategy strategy = core::ByzStrategy::kFakeSettler;
+  bool strategy_follows_algorithm = true;
+  std::map<core::Algorithm, core::ByzStrategy> strategy_overrides;
+  /// Mixed into every per-point seed; change it to resample the whole sweep.
+  std::uint64_t base_seed = 0x9E3779B97F4A7C15ULL;
+  /// Derive the *graph* seed from (family, n, seed) only, so every
+  /// algorithm and every f of a cell run on the same graph — the
+  /// controlled-comparison mode the figure/row benches use (scenario
+  /// randomness still differs per point). Off by default: independent
+  /// graphs per point give sweeps more scenario diversity.
+  bool common_graphs = false;
+  /// Worker threads for the sweep (0 = hardware concurrency). Results do
+  /// not depend on this value.
+  unsigned threads = 0;
+  gather::CostModel cost{/*scaled=*/true};
+  /// Give the f smallest IDs to Byzantine robots (worst case).
+  bool byz_smallest_ids = true;
+};
+
+/// One expanded grid point.
+struct SweepPoint {
+  core::Algorithm algorithm{};
+  std::string family;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::uint64_t seed = 0;  ///< grid seed (repetition index), not the derived one
+  core::ByzStrategy strategy{};
+};
+
+struct PointResult {
+  SweepPoint point;
+  std::uint64_t derived_seed = 0;  ///< actual graph/scenario seed used
+  /// Point could not run: family unsupported at this n, or the algorithm's
+  /// preconditions don't hold there (quotient/ring requirements).
+  bool skipped = false;
+  std::string skip_reason;
+  bool ok = false;  ///< Definition 1 verified
+  std::string detail;
+  sim::RunStats stats;
+  std::uint64_t planned_rounds = 0;
+  double seconds = 0.0;
+};
+
+/// Per-cell aggregate over seeds: (algorithm, family, n, f).
+struct CellAggregate {
+  core::Algorithm algorithm{};
+  std::string family;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  std::size_t runs = 0;       ///< non-skipped points
+  std::size_t dispersed = 0;  ///< points with ok == true
+  std::uint64_t min_rounds = 0;
+  std::uint64_t max_rounds = 0;
+  double mean_rounds = 0.0;
+  double mean_simulated = 0.0;
+  double mean_moves = 0.0;
+  double mean_messages = 0.0;
+  double mean_seconds = 0.0;
+};
+
+struct SweepResult {
+  std::vector<PointResult> points;  ///< grid order, independent of threads
+  std::vector<CellAggregate> cells;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool all_dispersed() const;
+  [[nodiscard]] std::size_t skipped() const;
+};
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// Expand the grid in deterministic order: algorithm-major, then family,
+/// n, f, seed. Throws std::invalid_argument on a family name that is not
+/// in known_families() (a typo'd family must not silently skip its
+/// coverage).
+[[nodiscard]] std::vector<SweepPoint> expand_grid(const SweepSpec& spec);
+
+/// Seed for one point: splitmix-style hash of the coordinates into
+/// base_seed. Stable across platforms and sweep composition (adding more
+/// sizes/algorithms never changes another point's seed).
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t base_seed,
+                                       const SweepPoint& p);
+
+/// Seed the point's graph is built from: point_seed, or (with
+/// spec.common_graphs) the hash of (family, n, seed) only, shared across
+/// the algorithm and f axes.
+[[nodiscard]] std::uint64_t point_graph_seed(const SweepSpec& spec,
+                                             const SweepPoint& p);
+
+/// Run one point in its own Engine + Rng; fills everything but `seconds`'
+/// surroundings deterministically.
+[[nodiscard]] PointResult run_point(const SweepSpec& spec,
+                                    const SweepPoint& p);
+
+/// Expand, run (in parallel), aggregate.
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace bdg::run

@@ -1,0 +1,99 @@
+// Golden conformance tier: the seven Table 1 theorem rows, asserted on
+// small n through the run/ sweep runner. Each row must (a) disperse at its
+// maximum claimed Byzantine tolerance against the row bench's adversary,
+// (b) stay within a fixed multiple of the claimed asymptotic bound, and
+// (c) stay within the plan's own termination bound. The margins are
+// calibrated against the deterministic sweep seeding (SweepSpec::base_seed
+// default); they are goldens — a change that moves a row past its margin
+// is a behavioral regression (or an intentional reseeding, which should
+// update this file).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "run/sweep.h"
+
+namespace bdg::run {
+namespace {
+
+using core::Algorithm;
+using core::ByzStrategy;
+
+struct GoldenRow {
+  const char* name;
+  Algorithm algorithm;
+  ByzStrategy strategy;
+  std::uint32_t n;
+  double (*bound)(std::uint32_t n);  ///< claimed asymptotic bound
+  double margin;  ///< measured/bound headroom at this n (golden)
+};
+
+double n3(std::uint32_t n) { return static_cast<double>(n) * n * n; }
+double n4(std::uint32_t n) { return static_cast<double>(n) * n * n * n; }
+double gather_n4(std::uint32_t n) {
+  const double lambda = std::ceil(std::log2(static_cast<double>(n) * n));
+  return 4.0 * std::pow(n, 4) * lambda * (2.0 * n + 2.0);
+}
+double sqrt_8n3(std::uint32_t n) { return 8.0 * std::pow(n, 3); }
+double exp2n(std::uint32_t n) { return std::pow(2.0, n); }
+
+class GoldenRows : public ::testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenRows, RoundBoundHolds) {
+  const GoldenRow& row = GetParam();
+
+  SweepSpec spec;
+  spec.algorithms = {row.algorithm};
+  spec.families = {"er"};
+  spec.require_trivial_quotient = true;  // all rows on the same family
+  spec.er_edge_probability = 0.0;        // sparse regime, as the benches run
+  spec.sizes = {row.n};
+  spec.strategy = row.strategy;
+  spec.strategy_follows_algorithm = false;
+
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  const PointResult& p = result.points[0];
+  ASSERT_FALSE(p.skipped) << p.skip_reason;
+
+  EXPECT_EQ(p.point.f, core::max_tolerated_f(row.algorithm, row.n));
+  EXPECT_TRUE(p.ok) << p.detail;
+  EXPECT_LE(p.stats.rounds, p.planned_rounds + 16);
+  const double limit = row.margin * row.bound(row.n);
+  EXPECT_LE(static_cast<double>(p.stats.rounds), limit)
+      << "measured " << p.stats.rounds << " rounds vs bound "
+      << row.bound(row.n) << " * margin " << row.margin;
+  // The margin must stay meaningful: if measurements drift far below it,
+  // tighten the golden rather than letting it rot.
+  EXPECT_GE(static_cast<double>(p.stats.rounds) * 16.0, limit)
+      << "measured " << p.stats.rounds
+      << " rounds; margin is > 16x too loose, tighten it";
+}
+
+std::string row_name(const ::testing::TestParamInfo<GoldenRow>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, GoldenRows,
+    ::testing::Values(
+        // Margins calibrated 2026-07 against the default sweep seeding:
+        // measured/bound was 1.13, 1.04, 1.16, 16.1, 26.9, 19.4, 9.2.
+        GoldenRow{"row1_quotient", Algorithm::kQuotient,
+                  ByzStrategy::kFakeSettler, 8, n3, 1.5},
+        GoldenRow{"row2_half_arbitrary", Algorithm::kTournamentArbitrary,
+                  ByzStrategy::kFakeSettler, 8, gather_n4, 1.5},
+        GoldenRow{"row3_sqrt_arbitrary", Algorithm::kSqrtArbitrary,
+                  ByzStrategy::kFakeSettler, 9, sqrt_8n3, 1.5},
+        GoldenRow{"row4_half_gathered", Algorithm::kTournamentGathered,
+                  ByzStrategy::kMapLiar, 8, n4, 24.0},
+        GoldenRow{"row5_third_gathered", Algorithm::kThreeGroupGathered,
+                  ByzStrategy::kMapLiar, 9, n3, 40.0},
+        GoldenRow{"row6_strong_arbitrary", Algorithm::kStrongArbitrary,
+                  ByzStrategy::kSpoofer, 8, exp2n, 30.0},
+        GoldenRow{"row7_strong_gathered", Algorithm::kStrongGathered,
+                  ByzStrategy::kSpoofer, 8, n3, 14.0}),
+    row_name);
+
+}  // namespace
+}  // namespace bdg::run
