@@ -1,0 +1,106 @@
+// Hot-path wall-clock benchmark: the two sweep-time dominators called out
+// by the ROADMAP, measured in isolation so baselines/perf_diff can gate
+// them directly.
+//
+//  * quotient refinement (graph/quotient.cpp) on graphs chosen to stress
+//    both regimes: near-symmetric graphs where refinement needs many
+//    passes (path/ring: the single port "defect" propagates one hop per
+//    pass) and random graphs that shatter into singletons quickly;
+//  * engine sub-round scheduling (sim/engine.cpp) via mid-size scenario
+//    points, where per-round work — not the protocol — dominates.
+//
+// Output: two CSVs (quotient rows: name,n,num_classes,reps,seconds;
+// engine rows: the run/ points schema). Usage:
+//   bench_hotpaths [quotient_csv [engine_csv]]
+// Paths default to stdout; "-" also means stdout. `seconds` is the
+// minimum over reps; every other column is deterministic and compared
+// exactly by perf_diff.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace bdg;
+
+double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void quotient_rows(std::ostream& os) {
+  struct Case {
+    std::string name;
+    Graph g;
+  };
+  Rng rng(7);
+  const Case cases[] = {
+      {"path", make_path(1024)},
+      {"ring", make_ring(512)},
+      {"ring", make_ring(1024)},
+      {"er_shuffled", shuffle_ports(make_connected_er(512, 0.0, rng), rng)},
+      {"er_shuffled", shuffle_ports(make_connected_er(1024, 0.0, rng), rng)},
+      {"torus", make_torus(32, 32)},
+      {"hypercube", make_hypercube(10)},
+  };
+  os << "name,n,num_classes,reps,seconds\n";
+  for (const Case& c : cases) {
+    constexpr int kReps = 3;
+    std::uint32_t classes = 0;
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double s =
+          time_once([&] { classes = quotient_graph(c.g).num_classes; });
+      best = rep == 0 ? s : std::min(best, s);
+    }
+    os << c.name << ',' << c.g.n() << ',' << classes << ',' << kReps << ','
+       << best << '\n';
+    std::fprintf(stderr, "[quotient %s n=%zu: %u classes, %.4fs]\n",
+                 c.name.c_str(), c.g.n(), classes, best);
+  }
+}
+
+run::SweepResult engine_points() {
+  run::SweepSpec spec = bench::sweep_base();
+  spec.algorithms = {core::Algorithm::kQuotient,
+                     core::Algorithm::kThreeGroupGathered};
+  spec.strategy_overrides[core::Algorithm::kThreeGroupGathered] =
+      core::ByzStrategy::kMapLiar;
+  spec.sizes = {48, 64};
+  return run::run_sweep(spec);
+}
+
+bool write_to(const char* path, const std::function<void(std::ostream&)>& fn) {
+  if (path == nullptr || std::string(path) == "-") {
+    fn(std::cout);
+    return true;
+  }
+  std::ofstream os(path);
+  fn(os);
+  os.flush();
+  std::fprintf(stderr, os ? "[hotpaths -> %s]\n" : "[hotpaths: cannot write %s]\n",
+               path);
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ok = write_to(argc > 1 ? argv[1] : nullptr, quotient_rows);
+  const run::SweepResult engine = engine_points();
+  ok &= write_to(argc > 2 ? argv[2] : nullptr, [&](std::ostream& os) {
+    run::write_points_csv(os, engine);
+  });
+  for (const run::PointResult& p : engine.points)
+    if (!p.skipped && !p.ok) {
+      std::fprintf(stderr, "engine point failed: %s\n", p.detail.c_str());
+      ok = false;
+    }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,259 @@
+// sweep_cli: the run/ scenario-sweep runner on the command line.
+//
+// Exposes the full (algorithm x graph-family x n x f x seed) grid that the
+// benches drive programmatically, and reuses the run/ report writers, so a
+// shell loop can produce the same JSON/CSV artifacts CI consumes:
+//
+//   sweep_cli --algorithms=quotient,three-group --families=er,ring
+//             --sizes=8,12,16 --seeds=1,2,3 --points-csv=points.csv
+//
+// Run with --help for the full flag list. Exit code: 0 when every
+// non-skipped point disperses, 1 otherwise, 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "run/report.h"
+#include "run/sweep.h"
+
+namespace {
+
+using namespace bdg;
+
+constexpr struct {
+  const char* name;
+  core::Algorithm algorithm;
+} kAlgorithms[] = {
+    {"quotient", core::Algorithm::kQuotient},
+    {"tournament-arbitrary", core::Algorithm::kTournamentArbitrary},
+    {"sqrt-arbitrary", core::Algorithm::kSqrtArbitrary},
+    {"tournament-gathered", core::Algorithm::kTournamentGathered},
+    {"three-group", core::Algorithm::kThreeGroupGathered},
+    {"strong-arbitrary", core::Algorithm::kStrongArbitrary},
+    {"strong-gathered", core::Algorithm::kStrongGathered},
+    {"crash-real-gathering", core::Algorithm::kCrashRealGathering},
+    {"ring-baseline", core::Algorithm::kRingBaseline},
+};
+
+constexpr struct {
+  const char* name;
+  core::ByzStrategy strategy;
+} kStrategies[] = {
+    {"crash", core::ByzStrategy::kCrash},
+    {"random_walker", core::ByzStrategy::kRandomWalker},
+    {"squatter", core::ByzStrategy::kSquatter},
+    {"fake_settler", core::ByzStrategy::kFakeSettler},
+    {"silent_settler", core::ByzStrategy::kSilentSettler},
+    {"intent_spammer", core::ByzStrategy::kIntentSpammer},
+    {"map_liar", core::ByzStrategy::kMapLiar},
+    {"spoofer", core::ByzStrategy::kSpoofer},
+};
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: sweep_cli [flags]\n"
+      "grid:\n"
+      "  --algorithms=a,b,...   algorithms to sweep, or 'all' (default: all\n"
+      "                         general-graph algorithms, no ring-baseline)\n"
+      "  --families=f,g,...     graph families, or 'all' (default: er)\n"
+      "  --sizes=n1,n2,...      node counts (default: 8,12,16)\n"
+      "  --byz=f1,f2,...        Byzantine counts (default: per-algorithm\n"
+      "                         maximum claimed tolerance)\n"
+      "  --seeds=s1,s2,...      grid seeds, one repetition each (default: 1)\n"
+      "scenario:\n"
+      "  --strategy=name        fixed adversary for all algorithms (default:\n"
+      "                         per-algorithm as the e2e suite chooses)\n"
+      "  --no-clamp             keep f values beyond an algorithm's tolerance\n"
+      "  --require-trivial-quotient  restrict graphs to all-distinct views\n"
+      "  --common-graphs        share the graph across algorithms and f per\n"
+      "                         (family, n, seed) cell\n"
+      "  --er-p=P               ER edge probability (<=0: connectivity\n"
+      "                         threshold; default 0.45)\n"
+      "  --base-seed=S          reseed the whole sweep\n"
+      "execution:\n"
+      "  --threads=N            worker threads (default: hardware)\n"
+      "output:\n"
+      "  --points-csv=PATH      per-point CSV ('-' = stdout)\n"
+      "  --cells-csv=PATH       per-cell aggregate CSV ('-' = stdout)\n"
+      "  --json=PATH            full JSON report ('-' = stdout)\n"
+      "  --quiet                suppress the summary line\n"
+      "algorithm names:\n",
+      to);
+  for (const auto& a : kAlgorithms) std::fprintf(to, "  %s\n", a.name);
+  std::fputs("strategy names:\n", to);
+  for (const auto& s : kStrategies) std::fprintf(to, "  %s\n", s.name);
+}
+
+std::optional<core::Algorithm> parse_algorithm(const std::string& name) {
+  for (const auto& a : kAlgorithms)
+    if (name == a.name) return a.algorithm;
+  return std::nullopt;
+}
+
+std::optional<core::ByzStrategy> parse_strategy(const std::string& name) {
+  for (const auto& s : kStrategies)
+    if (name == s.name) return s.strategy;
+  return std::nullopt;
+}
+
+bool write_report(const std::string& path, const run::SweepResult& result,
+                  void (*write)(std::ostream&, const run::SweepResult&)) {
+  if (path == "-") {
+    write(std::cout, result);
+    return true;
+  }
+  std::ofstream os(path);
+  write(os, result);
+  os.flush();
+  if (!os) std::fprintf(stderr, "sweep_cli: cannot write %s\n", path.c_str());
+  return static_cast<bool>(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run::SweepSpec spec;
+  spec.families = {"er"};
+  spec.sizes = {8, 12, 16};
+  std::string points_csv, cells_csv, json;
+  bool quiet = false;
+
+  const auto value_of = [](const char* arg, const char* flag)
+      -> std::optional<std::string> {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
+      return std::string(arg + len + 1);
+    return std::nullopt;
+  };
+
+  try {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (auto v = value_of(argv[i], "--algorithms")) {
+      for (const std::string& name : split(*v, ',')) {
+        if (name == "all") {
+          for (const auto& a : kAlgorithms)
+            spec.algorithms.push_back(a.algorithm);
+          continue;
+        }
+        const auto a = parse_algorithm(name);
+        if (!a) {
+          std::fprintf(stderr, "sweep_cli: unknown algorithm '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        spec.algorithms.push_back(*a);
+      }
+    } else if (auto v = value_of(argv[i], "--families")) {
+      spec.families.clear();
+      for (const std::string& name : split(*v, ',')) {
+        if (name == "all") {
+          const auto& known = run::known_families();
+          spec.families.insert(spec.families.end(), known.begin(),
+                               known.end());
+        } else {
+          spec.families.push_back(name);  // expand_grid validates
+        }
+      }
+    } else if (auto v = value_of(argv[i], "--sizes")) {
+      spec.sizes.clear();
+      for (const std::string& n : split(*v, ','))
+        spec.sizes.push_back(static_cast<std::uint32_t>(std::stoul(n)));
+    } else if (auto v = value_of(argv[i], "--byz")) {
+      for (const std::string& f : split(*v, ','))
+        spec.byzantine_counts.push_back(
+            static_cast<std::uint32_t>(std::stoul(f)));
+    } else if (auto v = value_of(argv[i], "--seeds")) {
+      spec.seeds.clear();
+      for (const std::string& s : split(*v, ','))
+        spec.seeds.push_back(std::stoull(s));
+    } else if (auto v = value_of(argv[i], "--strategy")) {
+      const auto s = parse_strategy(*v);
+      if (!s) {
+        std::fprintf(stderr, "sweep_cli: unknown strategy '%s'\n", v->c_str());
+        return 2;
+      }
+      spec.strategy = *s;
+      spec.strategy_follows_algorithm = false;
+    } else if (arg == "--no-clamp") {
+      spec.clamp_f_to_tolerance = false;
+    } else if (arg == "--require-trivial-quotient") {
+      spec.require_trivial_quotient = true;
+    } else if (arg == "--common-graphs") {
+      spec.common_graphs = true;
+    } else if (auto v = value_of(argv[i], "--er-p")) {
+      spec.er_edge_probability = std::stod(*v);
+    } else if (auto v = value_of(argv[i], "--base-seed")) {
+      spec.base_seed = std::stoull(*v);
+    } else if (auto v = value_of(argv[i], "--threads")) {
+      spec.threads = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = value_of(argv[i], "--points-csv")) {
+      points_csv = *v;
+    } else if (auto v = value_of(argv[i], "--cells-csv")) {
+      cells_csv = *v;
+    } else if (auto v = value_of(argv[i], "--json")) {
+      json = *v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "sweep_cli: unknown flag '%s'\n\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  } catch (const std::exception& e) {
+    // std::stoul and friends throw on malformed numbers: a usage error.
+    std::fprintf(stderr, "sweep_cli: bad flag value (%s)\n", e.what());
+    return 2;
+  }
+  if (spec.algorithms.empty()) {
+    // General-graph default: every algorithm except the ring-only baseline.
+    for (const auto& a : kAlgorithms)
+      if (a.algorithm != core::Algorithm::kRingBaseline)
+        spec.algorithms.push_back(a.algorithm);
+  }
+
+  run::SweepResult result;
+  try {
+    result = run::run_sweep(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_cli: %s\n", e.what());
+    return 2;
+  }
+
+  bool write_ok = true;
+  if (!points_csv.empty())
+    write_ok &= write_report(points_csv, result, run::write_points_csv);
+  if (!cells_csv.empty())
+    write_ok &= write_report(cells_csv, result, run::write_cells_csv);
+  if (!json.empty()) write_ok &= write_report(json, result, run::write_json);
+  if (points_csv.empty() && cells_csv.empty() && json.empty())
+    run::write_points_csv(std::cout, result);
+
+  std::size_t failed = 0;
+  for (const run::PointResult& p : result.points)
+    if (!p.skipped && !p.ok) ++failed;
+  if (!quiet)
+    std::fprintf(stderr,
+                 "[sweep_cli: %zu points, %zu skipped, %zu failed, %.2fs]\n",
+                 result.points.size(), result.skipped(), failed,
+                 result.wall_seconds);
+  return failed == 0 && write_ok ? 0 : 1;
+}

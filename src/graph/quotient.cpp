@@ -1,37 +1,182 @@
 #include "graph/quotient.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace bdg {
 namespace {
 
-/// One round of refinement: two nodes keep the same color iff they had the
-/// same color and, for every port p, the edge (p -> reverse port, neighbor
-/// color) matches. Port labels make the signature ordered, no sorting
-/// needed. Returns the number of colors after refinement.
-std::uint32_t refine_once(const Graph& g, std::vector<std::uint32_t>& color) {
-  using Sig = std::vector<std::uint64_t>;
-  std::map<Sig, std::uint32_t> palette;
-  std::vector<std::uint32_t> next(g.n());
-  for (NodeId v = 0; v < g.n(); ++v) {
-    Sig sig;
-    sig.reserve(1 + g.degree(v));
-    sig.push_back(color[v]);
-    for (Port p = 0; p < g.degree(v); ++p) {
-      const HalfEdge he = g.hop(v, p);
-      // Pack (reverse port, neighbor color) into one word; ports and colors
-      // are both < n <= 2^32.
-      sig.push_back((static_cast<std::uint64_t>(he.reverse) << 32) |
-                    color[he.to]);
-    }
-    const auto [it, inserted] =
-        palette.try_emplace(std::move(sig), static_cast<std::uint32_t>(palette.size()));
-    next[v] = it->second;
+/// Hash of a packed signature; collisions are resolved by full word
+/// comparison, so this only needs to spread well (FNV-1a over words with a
+/// final avalanche).
+std::uint64_t hash_words(const std::uint64_t* w, std::size_t len) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= w[i];
+    h *= 0x100000001B3ULL;
   }
-  color = std::move(next);
-  return static_cast<std::uint32_t>(palette.size());
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Worklist color refinement to the coarsest stable partition — exactly
+/// the view-equivalence classes (Yamashita-Kameda). Instead of re-hashing
+/// every node every round, only classes containing a node whose own or
+/// neighbor color changed in the previous round are re-examined; a class
+/// splits by grouping its members over a hash table keyed on the packed
+/// signature (own color, then (reverse port, neighbor color) per port).
+/// Because the old color is part of the signature, refinement only ever
+/// splits, so singleton classes are final and stable classes are never
+/// re-hashed — the fixed point costs nothing beyond the last round that
+/// actually changed something.
+struct Refinement {
+  std::vector<std::uint32_t> color;  ///< node -> class, first-appearance ids
+  std::uint32_t num_classes = 0;
+};
+
+Refinement refine_classes(const Graph& g) {
+  const std::uint32_t n = static_cast<std::uint32_t>(g.n());
+  Refinement res;
+  res.color.assign(n, 0);
+  res.num_classes = n == 0 ? 0 : 1;
+  if (n <= 1) return res;
+
+  std::vector<std::uint32_t>& color = res.color;
+  std::uint32_t num_classes = 1;
+
+  std::vector<std::vector<NodeId>> members(1);
+  members[0].resize(n);
+  std::vector<NodeId> changed(n);
+  for (NodeId v = 0; v < n; ++v) members[0][v] = changed[v] = v;
+
+  std::vector<char> touched_flag(n, 0);
+  std::vector<NodeId> touched;
+  std::vector<char> class_queued;
+  std::vector<std::uint32_t> affected;
+
+  // Per-class scratch, reused across splits: flat signature buffer with
+  // per-member offsets, member group assignment, and the open-addressing
+  // palette (slot -> group index + 1; 0 = empty).
+  std::vector<std::uint64_t> sigbuf;
+  std::vector<std::uint32_t> sig_off, group_of, group_rep;
+  std::vector<std::uint32_t> palette;
+
+  const auto signature_at = [&](std::uint32_t i) {
+    return sigbuf.data() + sig_off[i];
+  };
+  const auto signature_len = [&](std::uint32_t i) {
+    return sig_off[i + 1] - sig_off[i];
+  };
+
+  while (!changed.empty()) {
+    // A node's signature changed iff its own or a neighbor's color did.
+    touched.clear();
+    const auto touch = [&](NodeId v) {
+      if (!touched_flag[v]) {
+        touched_flag[v] = 1;
+        touched.push_back(v);
+      }
+    };
+    for (const NodeId v : changed) {
+      touch(v);
+      for (const HalfEdge& he : g.edges_of(v)) touch(he.to);
+    }
+    changed.clear();
+
+    class_queued.assign(num_classes, 0);
+    affected.clear();
+    for (const NodeId v : touched) {
+      const std::uint32_t c = color[v];
+      // Singleton classes can never split again.
+      if (!class_queued[c] && members[c].size() >= 2) {
+        class_queued[c] = 1;
+        affected.push_back(c);
+      }
+      touched_flag[v] = 0;
+    }
+
+    for (const std::uint32_t c : affected) {
+      // Moved out: members grows below, which would invalidate a reference.
+      std::vector<NodeId> mem = std::move(members[c]);
+      const std::uint32_t k = static_cast<std::uint32_t>(mem.size());
+
+      sigbuf.clear();
+      sig_off.assign(1, 0);
+      for (const NodeId v : mem) {
+        sigbuf.push_back(color[v]);
+        for (const HalfEdge& he : g.edges_of(v)) {
+          // Pack (reverse port, neighbor color) into one word; ports and
+          // colors are both < n <= 2^32.
+          sigbuf.push_back((static_cast<std::uint64_t>(he.reverse) << 32) |
+                           color[he.to]);
+        }
+        sig_off.push_back(static_cast<std::uint32_t>(sigbuf.size()));
+      }
+
+      std::uint32_t slots = 4;
+      while (slots < 2 * k) slots <<= 1;
+      palette.assign(slots, 0);
+      group_rep.clear();
+      group_of.assign(k, 0);
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const std::uint32_t len = signature_len(i);
+        std::uint64_t slot = hash_words(signature_at(i), len) & (slots - 1);
+        for (;; slot = (slot + 1) & (slots - 1)) {
+          if (palette[slot] == 0) {
+            palette[slot] = static_cast<std::uint32_t>(group_rep.size()) + 1;
+            group_of[i] = static_cast<std::uint32_t>(group_rep.size());
+            group_rep.push_back(i);
+            break;
+          }
+          const std::uint32_t grp = palette[slot] - 1;
+          const std::uint32_t rep = group_rep[grp];
+          if (signature_len(rep) == len &&
+              std::equal(signature_at(rep), signature_at(rep) + len,
+                         signature_at(i))) {
+            group_of[i] = grp;
+            break;
+          }
+        }
+      }
+      if (group_rep.size() == 1) {
+        members[c] = std::move(mem);
+        continue;
+      }
+
+      // Split: the group of the first member keeps color c, the others get
+      // fresh colors; only recolored nodes enter the next worklist.
+      const std::uint32_t base = num_classes;
+      num_classes += static_cast<std::uint32_t>(group_rep.size()) - 1;
+      members.resize(num_classes);
+      std::vector<NodeId> keep;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const NodeId v = mem[i];
+        if (group_of[i] == 0) {
+          keep.push_back(v);
+        } else {
+          const std::uint32_t nc = base + group_of[i] - 1;
+          color[v] = nc;
+          members[nc].push_back(v);
+          changed.push_back(v);
+        }
+      }
+      members[c] = std::move(keep);
+    }
+  }
+
+  // First-appearance renumbering in node order — the same ids a full
+  // refinement pass over nodes 0..n-1 would assign.
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> remap(num_classes, kUnset);
+  std::uint32_t next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (remap[color[v]] == kUnset) remap[color[v]] = next++;
+    color[v] = remap[color[v]];
+  }
+  res.num_classes = num_classes;
+  return res;
 }
 
 }  // namespace
@@ -40,17 +185,14 @@ QuotientResult quotient_graph(const Graph& g) {
   if (!g.is_connected())
     throw std::invalid_argument("quotient_graph: graph must be connected");
   QuotientResult res;
-  res.cls.assign(g.n(), 0);
-  if (g.n() == 0) return res;
-
-  // Refine to a fixed point; at most n rounds (each strict refinement adds
-  // a class). The fixed point partitions nodes exactly by view equality.
-  std::uint32_t classes = refine_once(g, res.cls);
-  for (;;) {
-    const std::uint32_t next = refine_once(g, res.cls);
-    if (next == classes) break;
-    classes = next;
+  if (g.n() == 0) {
+    res.cls.clear();
+    return res;
   }
+
+  Refinement ref = refine_classes(g);
+  res.cls = std::move(ref.color);
+  const std::uint32_t classes = ref.num_classes;
   res.num_classes = classes;
 
   // Build the quotient multigraph from one representative per class. The
@@ -75,7 +217,12 @@ QuotientResult quotient_graph(const Graph& g) {
 }
 
 bool has_trivial_quotient(const Graph& g) {
-  return quotient_graph(g).num_classes == g.n();
+  if (!g.is_connected())
+    throw std::invalid_argument("quotient_graph: graph must be connected");
+  // Classes-only fast path: callers probing for all-distinct views (the
+  // resampling loop in run/sweep graph construction) don't need the
+  // quotient multigraph built.
+  return refine_classes(g).num_classes == g.n();
 }
 
 }  // namespace bdg

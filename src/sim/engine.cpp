@@ -7,10 +7,10 @@
 
 namespace bdg::sim {
 
-const std::vector<Msg> Engine::kEmptyInbox{};
-
 /// Engine-side per-robot state. The program coroutine is resumed only via
 /// resume_robot(); between resumptions `wake` describes when it runs next.
+/// Robots live contiguously in Engine::robots_; the vector never grows
+/// after start_programs(), so handles created then stay valid.
 struct Engine::Robot {
   RobotId id = 0;
   Faultiness faultiness = Faultiness::kHonest;
@@ -43,13 +43,14 @@ void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
   if (started_) throw std::logic_error("Engine: add_robot after run()");
   if (id == 0) throw std::invalid_argument("Engine: robot id must be nonzero");
   if (start >= graph_.n()) throw std::invalid_argument("Engine: bad start");
-  for (const auto& r : robots_)
-    if (r->id == id) throw std::invalid_argument("Engine: duplicate robot id");
-  auto r = std::make_unique<Robot>();
-  r->id = id;
-  r->faultiness = f;
-  r->pos = start;
-  r->factory = std::move(factory);
+  if (!index_of_.try_emplace(id, static_cast<std::uint32_t>(robots_.size()))
+           .second)
+    throw std::invalid_argument("Engine: duplicate robot id");
+  Robot r;
+  r.id = id;
+  r.faultiness = f;
+  r.pos = start;
+  r.factory = std::move(factory);
   robots_.push_back(std::move(r));
 }
 
@@ -62,13 +63,17 @@ std::uint32_t Engine::subround_count() const {
 void Engine::start_programs() {
   // Deterministic scheduling order: increasing robot ID.
   std::sort(robots_.begin(), robots_.end(),
-            [](const auto& a, const auto& b) { return a->id < b->id; });
+            [](const Robot& a, const Robot& b) { return a.id < b.id; });
+  honest_live_ = 0;
   for (std::uint32_t i = 0; i < robots_.size(); ++i) {
-    Robot& r = *robots_[i];
+    Robot& r = robots_[i];
+    index_of_[r.id] = i;
     r.proc = r.factory(Ctx(this, i));
     r.leaf = r.proc.handle();
     r.wake = WakeKind::kSubround;  // run at round 0, sub-round 0
     r.wake_round = 0;
+    next_round_.push_back(i);
+    if (r.faultiness == Faultiness::kHonest) ++honest_live_;
   }
   started_ = true;
 }
@@ -76,19 +81,26 @@ void Engine::start_programs() {
 void Engine::set_command(std::uint32_t idx, WakeKind kind,
                          std::optional<Port> port, std::uint64_t rounds,
                          std::coroutine_handle<> leaf) {
-  Robot& r = *robots_[idx];
+  Robot& r = robots_[idx];
   r.wake = kind;
   r.leaf = leaf;
   r.move = std::nullopt;
   switch (kind) {
     case WakeKind::kSubround:
+      next_runnable_.push_back(idx);
       break;
     case WakeKind::kEndRound:
       r.move = port;
       r.wake_round = round_ + 1;
+      next_round_.push_back(idx);
+      if (port.has_value()) movers_.push_back(idx);
       break;
     case WakeKind::kSleep:
       r.wake_round = round_ + std::max<std::uint64_t>(rounds, 1);
+      if (r.wake_round == round_ + 1)
+        next_round_.push_back(idx);
+      else
+        wake_queue_.push({r.wake_round, idx});
       break;
   }
 }
@@ -101,66 +113,61 @@ void Engine::resume_robot(Robot& r) {
   r.leaf.resume();
   if (r.proc.done()) {
     r.done = true;
+    if (r.faultiness == Faultiness::kHonest) --honest_live_;
     if (observer_ != nullptr) observer_->on_done(r.id, round_);
     r.proc.rethrow_if_failed();
   }
 }
 
-bool Engine::honest_all_done() const {
-  return std::all_of(robots_.begin(), robots_.end(), [](const auto& r) {
-    return r->faultiness != Faultiness::kHonest || r->done;
-  });
-}
-
-std::uint64_t Engine::next_wake_round() const {
-  std::uint64_t w = std::numeric_limits<std::uint64_t>::max();
-  for (const auto& r : robots_)
-    if (!r->done) w = std::min(w, r->wake_round);
-  return w;
+void Engine::release_inbox(std::vector<Msg>& box) {
+  box.clear();
+  if (box.capacity() != 0) msg_arena_.push_back(std::move(box));
 }
 
 void Engine::run_subrounds() {
   const std::uint32_t subs = subround_count();
   for (subround_ = 0; subround_ < subs; ++subround_) {
-    // Deliver last sub-round's broadcasts.
-    delivered_.swap(pending_);
-    for (auto& v : pending_) v.clear();
-    const bool had_messages = any_pending_;
-    any_pending_ = false;
+    // Deliver last sub-round's broadcasts: recycle the previous inboxes,
+    // promote pending buffers, swap the dirty lists.
+    for (const NodeId v : delivered_dirty_) release_inbox(delivered_[v]);
+    delivered_dirty_.clear();
+    for (const NodeId v : pending_dirty_) delivered_[v].swap(pending_[v]);
+    delivered_dirty_.swap(pending_dirty_);
 
-    bool anyone = false;
-    for (auto& rp : robots_) {
-      Robot& r = *rp;
-      if (r.done || r.wake != WakeKind::kSubround) continue;
-      anyone = true;
-      resume_robot(r);
-    }
+    const bool had_messages = !delivered_dirty_.empty();
+    const bool anyone = !runnable_.empty();
+    for (const std::uint32_t idx : runnable_) resume_robot(robots_[idx]);
+    runnable_.swap(next_runnable_);
+    next_runnable_.clear();
     // Nothing scheduled for later sub-rounds and no information in flight:
     // the rest of the round is empty.
-    if (!anyone && !had_messages && !any_pending_) break;
+    if (!anyone && !had_messages && pending_dirty_.empty()) break;
   }
   // Broadcasts from the final sub-round have no next sub-round to land in;
   // they are dropped (protocols know the sub-round budget).
-  for (auto& v : pending_) v.clear();
-  for (auto& v : delivered_) v.clear();
-  any_pending_ = false;
+  for (const NodeId v : delivered_dirty_) release_inbox(delivered_[v]);
+  for (const NodeId v : pending_dirty_) release_inbox(pending_[v]);
+  delivered_dirty_.clear();
+  pending_dirty_.clear();
   // Robots still awaiting a sub-round when the round ends stay put and
   // resume at sub-round 0 of the next round.
-  for (auto& rp : robots_) {
-    Robot& r = *rp;
-    if (!r.done && r.wake == WakeKind::kSubround) {
-      r.wake_round = round_ + 1;
-      r.move = std::nullopt;
-      r.wake = WakeKind::kEndRound;
-    }
+  for (const std::uint32_t idx : runnable_) {
+    Robot& r = robots_[idx];
+    r.wake = WakeKind::kEndRound;
+    r.move = std::nullopt;
+    r.wake_round = round_ + 1;
+    next_round_.push_back(idx);
   }
+  runnable_.clear();
 }
 
 void Engine::apply_moves() {
-  for (auto& rp : robots_) {
-    Robot& r = *rp;
-    if (r.done || r.wake != WakeKind::kEndRound || !r.move.has_value())
-      continue;
+  // set_command order interleaves sub-rounds; restore ID order so moves
+  // (and their observer events) apply exactly as the per-robot scan did.
+  std::sort(movers_.begin(), movers_.end());
+  for (const std::uint32_t idx : movers_) {
+    Robot& r = robots_[idx];
+    if (r.done || !r.move.has_value()) continue;
     const Port p = *r.move;
     if (p >= graph_.degree(r.pos))
       throw std::logic_error("Engine: robot moved through invalid port");
@@ -171,6 +178,7 @@ void Engine::apply_moves() {
     r.move = std::nullopt;
     ++stats_.moves;
   }
+  movers_.clear();
 }
 
 RunStats Engine::run(std::uint64_t max_rounds) {
@@ -178,19 +186,25 @@ RunStats Engine::run(std::uint64_t max_rounds) {
   stats_ = RunStats{};
   while (round_ < max_rounds) {
     if (honest_all_done()) break;
-    // Fast-forward stretches where nobody is scheduled.
-    const std::uint64_t wake = next_wake_round();
-    if (wake == std::numeric_limits<std::uint64_t>::max()) break;
-    if (wake > round_) {
-      round_ = std::min(wake, max_rounds);
-      if (round_ >= max_rounds) break;
+    if (next_round_.empty() && wake_queue_.empty()) break;
+    // Fast-forward stretches where nobody is scheduled (bucket empty =>
+    // everybody sleeps until at least the heap's earliest wake).
+    if (next_round_.empty()) {
+      const std::uint64_t wake = wake_queue_.top().first;
+      if (wake > round_) {
+        round_ = std::min(wake, max_rounds);
+        if (round_ >= max_rounds) break;
+      }
     }
-    // Wake the robots whose time has come.
-    for (auto& rp : robots_) {
-      Robot& r = *rp;
-      if (!r.done && r.wake != WakeKind::kSubround && r.wake_round <= round_)
-        r.wake = WakeKind::kSubround;
+    // Wake the robots whose time has come: the next-round bucket plus due
+    // heap entries, sorted so robots run in ID order.
+    runnable_.swap(next_round_);
+    while (!wake_queue_.empty() && wake_queue_.top().first <= round_) {
+      runnable_.push_back(wake_queue_.top().second);
+      wake_queue_.pop();
     }
+    std::sort(runnable_.begin(), runnable_.end());
+    for (const std::uint32_t idx : runnable_) robots_[idx].wake = WakeKind::kSubround;
     ++stats_.simulated_rounds;
     if (observer_ != nullptr) observer_->on_round(round_);
     run_subrounds();
@@ -203,61 +217,76 @@ RunStats Engine::run(std::uint64_t max_rounds) {
 }
 
 std::size_t Engine::num_robots() const { return robots_.size(); }
-RobotId Engine::robot_id(std::size_t idx) const { return robots_[idx]->id; }
+RobotId Engine::robot_id(std::size_t idx) const { return robots_[idx].id; }
 Faultiness Engine::robot_faultiness(std::size_t idx) const {
-  return robots_[idx]->faultiness;
+  return robots_[idx].faultiness;
 }
 NodeId Engine::robot_position(std::size_t idx) const {
-  return robots_[idx]->pos;
+  return robots_[idx].pos;
 }
-bool Engine::robot_done(std::size_t idx) const { return robots_[idx]->done; }
+bool Engine::robot_done(std::size_t idx) const { return robots_[idx].done; }
 
 NodeId Engine::position_of(RobotId id) const {
-  for (const auto& r : robots_)
-    if (r->id == id) return r->pos;
-  throw std::invalid_argument("Engine: unknown robot id");
+  const auto it = index_of_.find(id);
+  if (it == index_of_.end())
+    throw std::invalid_argument("Engine: unknown robot id");
+  return robots_[it->second].pos;
 }
 
 // ---- Ctx ------------------------------------------------------------------
 
-RobotId Ctx::self() const { return engine_->robots_[idx_]->id; }
+RobotId Ctx::self() const { return engine_->robots_[idx_].id; }
 Faultiness Ctx::faultiness() const {
-  return engine_->robots_[idx_]->faultiness;
+  return engine_->robots_[idx_].faultiness;
 }
 std::uint32_t Ctx::n() const {
   return static_cast<std::uint32_t>(engine_->graph_.n());
 }
 std::uint32_t Ctx::degree() const {
-  return engine_->graph_.degree(engine_->robots_[idx_]->pos);
+  return engine_->graph_.degree(engine_->robots_[idx_].pos);
 }
-Port Ctx::arrival_port() const { return engine_->robots_[idx_]->arrival; }
+Port Ctx::arrival_port() const { return engine_->robots_[idx_].arrival; }
 std::uint64_t Ctx::round() const { return engine_->round_; }
 std::uint32_t Ctx::subround() const { return engine_->subround_; }
 
 const std::vector<Msg>& Ctx::inbox() const {
-  const NodeId pos = engine_->robots_[idx_]->pos;
+  const NodeId pos = engine_->robots_[idx_].pos;
   return engine_->delivered_[pos];
 }
 
 void Ctx::broadcast(std::uint32_t kind, std::vector<std::int64_t> data) {
-  const auto& r = *engine_->robots_[idx_];
-  engine_->pending_[r.pos].push_back(Msg{r.id, idx_, kind, std::move(data)});
-  engine_->any_pending_ = true;
-  ++engine_->stats_.messages;
-  if (engine_->observer_ != nullptr)
-    engine_->observer_->on_message(engine_->pending_[r.pos].back(), r.pos,
-                                   engine_->round_);
+  Engine& e = *engine_;
+  const auto& r = e.robots_[idx_];
+  auto& box = e.pending_[r.pos];
+  if (box.empty()) {
+    e.pending_dirty_.push_back(r.pos);
+    if (box.capacity() == 0 && !e.msg_arena_.empty()) {
+      box = std::move(e.msg_arena_.back());
+      e.msg_arena_.pop_back();
+    }
+  }
+  box.push_back(Msg{r.id, idx_, kind, std::move(data)});
+  ++e.stats_.messages;
+  if (e.observer_ != nullptr) e.observer_->on_message(box.back(), r.pos, e.round_);
 }
 
 void Ctx::spoof_broadcast(RobotId claimed, std::uint32_t kind,
                           std::vector<std::int64_t> data) {
-  const auto& r = *engine_->robots_[idx_];
+  Engine& e = *engine_;
+  const auto& r = e.robots_[idx_];
   if (r.faultiness != Faultiness::kStrongByzantine)
     throw std::logic_error(
         "Ctx: only strong Byzantine robots can fake sender IDs");
-  engine_->pending_[r.pos].push_back(Msg{claimed, idx_, kind, std::move(data)});
-  engine_->any_pending_ = true;
-  ++engine_->stats_.messages;
+  auto& box = e.pending_[r.pos];
+  if (box.empty()) {
+    e.pending_dirty_.push_back(r.pos);
+    if (box.capacity() == 0 && !e.msg_arena_.empty()) {
+      box = std::move(e.msg_arena_.back());
+      e.msg_arena_.pop_back();
+    }
+  }
+  box.push_back(Msg{claimed, idx_, kind, std::move(data)});
+  ++e.stats_.messages;
 }
 
 }  // namespace bdg::sim

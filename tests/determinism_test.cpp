@@ -133,10 +133,11 @@ run::SweepSpec small_sweep(unsigned threads) {
 }
 
 // Sweep results are a function of the spec only, not of the thread count
-// that happened to execute them (1, 2, 4 and hardware default).
+// that happened to execute them (1, 2, 4, 8 and hardware default) — the
+// event-driven engine scheduler must stay oblivious to its host thread.
 TEST(Determinism, SweepIsThreadCountInvariant) {
   const run::SweepResult serial = run::run_sweep(small_sweep(1));
-  for (const unsigned threads : {2u, 4u, 0u}) {
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     const run::SweepResult parallel = run::run_sweep(small_sweep(threads));
     expect_same_points(serial, parallel);
