@@ -15,6 +15,11 @@ run::SweepSpec sweep_base() {
   // Controlled comparison: every algorithm and every f at a given (n,
   // seed) measure the same graph, as the paper's tables compare rows.
   spec.common_graphs = true;
+  // Result caching across bench invocations: point a JSON-lines
+  // checkpoint at a path and re-runs reuse every completed point (their
+  // recorded wall seconds included — don't gate perf on cached runs).
+  if (const char* ck = std::getenv("BDG_SWEEP_CHECKPOINT"))
+    spec.checkpoint_path = ck;
   return spec;
 }
 

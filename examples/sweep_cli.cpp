@@ -7,8 +7,18 @@
 //   sweep_cli --algorithms=quotient,three-group --families=er,ring
 //             --sizes=8,12,16 --seeds=1,2,3 --points-csv=points.csv
 //
+// Production-sweep features ride the same grid: --k sweeps the Theorem 8
+// robot-count axis, --mix pits heterogeneous adversary mixes, and
+// --shard/--resume/--abort-after drive resumable sharded sweeps through a
+// JSON-lines checkpoint:
+//
+//   sweep_cli --shard=0/2 --resume=ck.jsonl --no-timing ... &
+//   sweep_cli --shard=1/2 --resume=ck.jsonl --no-timing ... &
+//   wait; sweep_cli --resume=ck.jsonl --no-timing --points-csv=merged.csv ...
+//
 // Run with --help for the full flag list. Exit code: 0 when every
-// non-skipped point disperses, 1 otherwise, 2 on usage errors.
+// non-skipped point disperses, 1 otherwise, 2 on usage errors, 3 when the
+// sweep was aborted (--abort-after) before finishing.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -71,12 +81,20 @@ void usage(std::FILE* to) {
       "                         general-graph algorithms, no ring-baseline)\n"
       "  --families=f,g,...     graph families, or 'all' (default: er)\n"
       "  --sizes=n1,n2,...      node counts (default: 8,12,16)\n"
+      "  --k=k1,k2,...          robot counts (Theorem 8 axis; default: k=n;\n"
+      "                         0 means k=n; infeasible (k,n,f) points are\n"
+      "                         recorded as structured skips)\n"
       "  --byz=f1,f2,...        Byzantine counts (default: per-algorithm\n"
       "                         maximum claimed tolerance)\n"
       "  --seeds=s1,s2,...      grid seeds, one repetition each (default: 1)\n"
       "scenario:\n"
       "  --strategy=name        fixed adversary for all algorithms (default:\n"
       "                         per-algorithm as the e2e suite chooses)\n"
+      "  --mix=a+b,c+d,...      heterogeneous adversary mixes ('+'-joined\n"
+      "                         strategy names; each mix adds a grid axis).\n"
+      "                         A mix is a multiset: it is canonicalized\n"
+      "                         (sorted), then Byzantine robot i runs\n"
+      "                         mix[i %% len] of the canonical order\n"
       "  --no-clamp             keep f values beyond an algorithm's tolerance\n"
       "  --require-trivial-quotient  restrict graphs to all-distinct views\n"
       "  --common-graphs        share the graph across algorithms and f per\n"
@@ -86,6 +104,16 @@ void usage(std::FILE* to) {
       "  --base-seed=S          reseed the whole sweep\n"
       "execution:\n"
       "  --threads=N            worker threads (default: hardware)\n"
+      "  --shard=i/m            run only stripe i of m of the grid (union\n"
+      "                         of all stripes = the full grid)\n"
+      "  --resume=PATH          JSON-lines checkpoint: completed points are\n"
+      "                         loaded instead of re-run, new ones appended\n"
+      "  --abort-after=N        abort after N newly-run points (testing and\n"
+      "                         CI resume smoke; exit code 3)\n"
+      "  --progress             print one line per completed point to stderr\n"
+      "  --no-timing            zero all seconds fields: reports become a\n"
+      "                         pure function of the grid (resume/shard\n"
+      "                         conformance diffs run in this mode)\n"
       "output:\n"
       "  --points-csv=PATH      per-point CSV ('-' = stdout)\n"
       "  --cells-csv=PATH       per-cell aggregate CSV ('-' = stdout)\n"
@@ -105,9 +133,7 @@ std::optional<core::Algorithm> parse_algorithm(const std::string& name) {
 }
 
 std::optional<core::ByzStrategy> parse_strategy(const std::string& name) {
-  for (const auto& s : kStrategies)
-    if (name == s.name) return s.strategy;
-  return std::nullopt;
+  return core::strategy_from_string(name);  // CLI names == to_string names
 }
 
 bool write_report(const std::string& path, const run::SweepResult& result,
@@ -131,6 +157,8 @@ int main(int argc, char** argv) {
   spec.sizes = {8, 12, 16};
   std::string points_csv, cells_csv, json;
   bool quiet = false;
+  bool progress = false;
+  unsigned long abort_after = 0;  // 0 = never abort
 
   const auto value_of = [](const char* arg, const char* flag)
       -> std::optional<std::string> {
@@ -176,6 +204,43 @@ int main(int argc, char** argv) {
       spec.sizes.clear();
       for (const std::string& n : split(*v, ','))
         spec.sizes.push_back(static_cast<std::uint32_t>(std::stoul(n)));
+    } else if (auto v = value_of(argv[i], "--k")) {
+      for (const std::string& k : split(*v, ','))
+        spec.robot_counts.push_back(static_cast<std::uint32_t>(std::stoul(k)));
+    } else if (auto v = value_of(argv[i], "--mix")) {
+      for (const std::string& text : split(*v, ',')) {
+        const auto mix = run::mix_from_string(text);
+        if (!mix) {
+          std::fprintf(stderr, "sweep_cli: unknown strategy in mix '%s'\n",
+                       text.c_str());
+          return 2;
+        }
+        spec.strategy_mixes.push_back(*mix);
+      }
+    } else if (auto v = value_of(argv[i], "--shard")) {
+      const std::size_t slash = v->find('/');
+      if (slash == std::string::npos) {
+        std::fprintf(stderr, "sweep_cli: --shard wants i/m, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+      spec.shard_index =
+          static_cast<unsigned>(std::stoul(v->substr(0, slash)));
+      spec.shard_count =
+          static_cast<unsigned>(std::stoul(v->substr(slash + 1)));
+      if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
+        std::fprintf(stderr, "sweep_cli: --shard needs i < m, got '%s'\n",
+                     v->c_str());
+        return 2;
+      }
+    } else if (auto v = value_of(argv[i], "--resume")) {
+      spec.checkpoint_path = *v;
+    } else if (auto v = value_of(argv[i], "--abort-after")) {
+      abort_after = std::stoul(*v);
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--no-timing") {
+      spec.measure_seconds = false;
     } else if (auto v = value_of(argv[i], "--byz")) {
       for (const std::string& f : split(*v, ','))
         spec.byzantine_counts.push_back(
@@ -230,6 +295,25 @@ int main(int argc, char** argv) {
         spec.algorithms.push_back(a.algorithm);
   }
 
+  // Progress/abort callback: live per-point lines and the forced
+  // mid-sweep abort the CI resume smoke exercises. `completed` counts
+  // checkpoint hits too, so --abort-after bounds *newly run* points.
+  unsigned long fresh_points = 0;
+  if (progress || abort_after != 0) {
+    spec.progress = [&](const run::PointResult& p, std::size_t completed,
+                        std::size_t total) {
+      ++fresh_points;
+      if (progress)
+        std::fprintf(stderr, "[%zu/%zu] %s %s n=%u k=%u f=%u seed=%llu %s\n",
+                     completed, total,
+                     core::to_string(p.point.algorithm).c_str(),
+                     p.point.family.c_str(), p.point.n, p.point.k, p.point.f,
+                     static_cast<unsigned long long>(p.point.seed),
+                     p.skipped ? "skipped" : (p.ok ? "ok" : "FAILED"));
+      return abort_after == 0 || fresh_points < abort_after;
+    };
+  }
+
   run::SweepResult result;
   try {
     result = run::run_sweep(spec);
@@ -252,8 +336,11 @@ int main(int argc, char** argv) {
     if (!p.skipped && !p.ok) ++failed;
   if (!quiet)
     std::fprintf(stderr,
-                 "[sweep_cli: %zu points, %zu skipped, %zu failed, %.2fs]\n",
+                 "[sweep_cli: %zu points, %zu skipped, %zu failed, "
+                 "%zu from checkpoint%s, %.2fs]\n",
                  result.points.size(), result.skipped(), failed,
+                 result.from_checkpoint, result.aborted ? ", ABORTED" : "",
                  result.wall_seconds);
-  return failed == 0 && write_ok ? 0 : 1;
+  if (failed != 0 || !write_ok) return 1;
+  return result.aborted ? 3 : 0;
 }

@@ -138,6 +138,15 @@ std::string to_string(ByzStrategy s) {
   return "unknown";
 }
 
+std::optional<ByzStrategy> strategy_from_string(const std::string& name) {
+  // Iterate the shared registry (all weak strategies + the strong spoofer)
+  // so a newly added strategy cannot fall out of sync with to_string.
+  for (const ByzStrategy s : weak_strategies())
+    if (to_string(s) == name) return s;
+  if (to_string(ByzStrategy::kSpoofer) == name) return ByzStrategy::kSpoofer;
+  return std::nullopt;
+}
+
 const std::vector<ByzStrategy>& weak_strategies() {
   static const std::vector<ByzStrategy> kAll{
       ByzStrategy::kCrash,         ByzStrategy::kRandomWalker,

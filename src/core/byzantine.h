@@ -5,6 +5,7 @@
 // its messages always carry its true ID (engine-enforced); a strong one
 // additionally forges sender IDs via Ctx::spoof_broadcast.
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ enum class ByzStrategy {
 };
 
 [[nodiscard]] std::string to_string(ByzStrategy s);
+
+/// Inverse of to_string(ByzStrategy); nullopt for unknown names. Used by
+/// the sweep checkpoint reader and the CLI mix parser.
+[[nodiscard]] std::optional<ByzStrategy> strategy_from_string(
+    const std::string& name);
 
 /// All weak-compatible strategies (everything but kSpoofer).
 [[nodiscard]] const std::vector<ByzStrategy>& weak_strategies();

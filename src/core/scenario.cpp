@@ -30,6 +30,22 @@ std::string to_string(Algorithm a) {
   return "unknown";
 }
 
+std::optional<Algorithm> algorithm_from_string(const std::string& name) {
+  // Keep this list in sync with the Algorithm enum (the to_string switch
+  // warns on a missing case; this list is the matching inverse). A missed
+  // entry degrades safely: checkpoint lines for that algorithm parse to
+  // nullopt and the points re-run instead of resuming.
+  for (const Algorithm a :
+       {Algorithm::kQuotient, Algorithm::kTournamentArbitrary,
+        Algorithm::kSqrtArbitrary, Algorithm::kTournamentGathered,
+        Algorithm::kThreeGroupGathered, Algorithm::kStrongArbitrary,
+        Algorithm::kStrongGathered, Algorithm::kCrashRealGathering,
+        Algorithm::kRingBaseline}) {
+    if (to_string(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
 std::uint32_t max_tolerated_f(Algorithm a, std::uint32_t n) {
   switch (a) {
     case Algorithm::kQuotient:
@@ -58,6 +74,28 @@ std::uint32_t max_tolerated_f(Algorithm a, std::uint32_t n) {
   return 0;
 }
 
+std::uint32_t max_tolerated_f_k(Algorithm a, std::uint32_t n,
+                                std::uint32_t k) {
+  if (k == 0) k = n;
+  if (k == 0 || n == 0) return 0;  // no graph / no robots: nothing tolerated
+  const std::uint32_t waves = (k + n - 1) / n;
+  // Per-wave tolerance of the smallest wave; striping puts at most
+  // ceil(f / waves) Byzantine robots in any wave.
+  const std::uint32_t per_wave = max_tolerated_f(a, k / waves);
+  std::uint32_t f = waves * per_wave;
+  // Theorem 8 feasibility: ceil((k - f)/n) must stay equal to ceil(k/n),
+  // i.e. f < k - (waves - 1) * n.
+  const std::uint32_t residue = k - (waves - 1) * n;
+  f = std::min(f, residue >= 1 ? residue - 1 : 0);
+  // Wave capacity: a node-denying adversary (squatter) costs every wave a
+  // settlement slot, so W waves place at most W * (n - f) honest robots;
+  // W * (n - f) >= k - f gives f <= (W*n - k) / (W - 1). Full waves
+  // (k = W * n) therefore tolerate no faults — the price of meeting the
+  // exact ceil((k - f)/n) cap with per-wave 1-per-node instances.
+  if (waves > 1) f = std::min(f, (waves * n - k) / (waves - 1));
+  return std::min(f, k - 1);
+}
+
 bool starts_gathered(Algorithm a) {
   switch (a) {
     case Algorithm::kQuotient:
@@ -81,12 +119,15 @@ bool handles_strong(Algorithm a) {
 
 namespace {
 
-/// Distinct robot IDs from [1, n^2] (paper: IDs from [1, n^c], c > 1).
-std::vector<sim::RobotId> draw_ids(std::uint32_t n, Rng& rng) {
-  const std::uint64_t space = std::max<std::uint64_t>(
-      static_cast<std::uint64_t>(n) * n, static_cast<std::uint64_t>(n) + 1);
+/// Distinct robot IDs from [1, max(k, n)^2] (paper: IDs from [1, n^c],
+/// c > 1). For k == n this is the seed-stable [1, n^2] draw.
+std::vector<sim::RobotId> draw_ids(std::uint32_t k, std::uint32_t n,
+                                   Rng& rng) {
+  const std::uint64_t m = std::max(k, n);
+  const std::uint64_t space =
+      std::max<std::uint64_t>(m * m, static_cast<std::uint64_t>(k) + 1);
   std::set<sim::RobotId> ids;
-  while (ids.size() < n) ids.insert(1 + rng.below(space));
+  while (ids.size() < k) ids.insert(1 + rng.below(space));
   return {ids.begin(), ids.end()};
 }
 
@@ -120,38 +161,65 @@ AlgorithmPlan make_plan(Algorithm a, const Graph& g,
 
 ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
   const auto n = static_cast<std::uint32_t>(g.n());
-  if (cfg.num_byzantine >= n)
+  const std::uint32_t k = cfg.num_robots == 0 ? n : cfg.num_robots;
+  if (cfg.num_byzantine >= k)
     throw std::invalid_argument("run_scenario: need at least one honest robot");
   Rng rng(cfg.seed);
-  const std::vector<sim::RobotId> ids = draw_ids(n, rng);  // sorted (std::set)
+  const std::vector<sim::RobotId> ids =
+      draw_ids(k, n, rng);  // sorted (std::set)
 
   // Byzantine subset: smallest IDs (worst case for rank preference) or a
   // random subset.
-  std::vector<bool> is_byz(n, false);
+  std::vector<bool> is_byz(k, false);
   if (cfg.byz_smallest_ids) {
     for (std::uint32_t i = 0; i < cfg.num_byzantine; ++i) is_byz[i] = true;
   } else {
-    std::vector<std::uint32_t> idx(n);
-    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    std::vector<std::uint32_t> idx(k);
+    for (std::uint32_t i = 0; i < k; ++i) idx[i] = i;
     rng.shuffle(idx);
     for (std::uint32_t i = 0; i < cfg.num_byzantine; ++i) is_byz[idx[i]] = true;
   }
 
   // Placements: gathered algorithms put everyone at the rally node 0;
   // otherwise robots are scattered uniformly (Byzantine anywhere).
-  std::vector<NodeId> starts(n, 0);
+  std::vector<NodeId> starts(k, 0);
   if (!starts_gathered(cfg.algorithm)) {
     for (auto& s : starts) s = static_cast<NodeId>(rng.below(g.n()));
   }
 
+  // Wave scheduling (Theorem 8's k-robot setting): robots are striped
+  // across ceil(k/n) waves by ID rank (wave of rank i = i mod waves), each
+  // wave runs its own instance of the algorithm, and wave w's programs
+  // start only after waves 0..w-1 exhausted their round budgets. Each wave
+  // settles at most one honest robot per node, so the final load is at most
+  // ceil(k/n) = ceil((k-f)/n) per node whenever Theorem 8 says dispersion
+  // is feasible. k <= n is the degenerate single-wave case and runs
+  // exactly the paper's Table 1 pipeline.
+  const std::uint32_t waves = (k + n - 1) / n;
+  std::vector<std::vector<sim::RobotId>> wave_ids(waves);
+  std::vector<std::uint32_t> wave_byz(waves, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    wave_ids[i % waves].push_back(ids[i]);
+    if (is_byz[i]) ++wave_byz[i % waves];
+  }
+
   const bool strong = cfg.strong_byzantine || handles_strong(cfg.algorithm);
-  const AlgorithmPlan plan =
-      make_plan(cfg.algorithm, g, ids, cfg.num_byzantine, cfg.cost);
+  std::vector<AlgorithmPlan> plans;
+  std::vector<std::uint64_t> offsets(waves, 0);
+  std::uint64_t total_rounds = 0;
+  plans.reserve(waves);
+  for (std::uint32_t w = 0; w < waves; ++w) {
+    plans.push_back(
+        make_plan(cfg.algorithm, g, wave_ids[w], wave_byz[w], cfg.cost));
+    offsets[w] = total_rounds;
+    total_rounds += plans[w].total_rounds;
+  }
 
   sim::Engine eng(g);
   eng.set_observer(cfg.observer);
   std::uint32_t byz_index = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t w = i % waves;
     if (is_byz[i]) {
       const ByzStrategy strategy =
           cfg.strategies.empty()
@@ -163,17 +231,18 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
                            : sim::Faultiness::kWeakByzantine,
                     starts[i],
                     make_byzantine_program(strategy, ids, rng.next(),
-                                           plan.byz_wake_round));
+                                           offsets[w] + plans[w].byz_wake_round));
     } else {
       eng.add_robot(ids[i], sim::Faultiness::kHonest, starts[i],
-                    plan.honest(ids[i], starts[i]));
+                    plans[w].honest(ids[i], starts[i]), offsets[w]);
     }
   }
 
   ScenarioResult res;
-  res.planned_rounds = plan.total_rounds;
-  res.stats = eng.run(plan.total_rounds + 16);
-  res.verify = verify_dispersion(eng);
+  res.planned_rounds = total_rounds;
+  res.stats = eng.run(total_rounds + 16);
+  res.verify = k == n ? verify_dispersion(eng)
+                      : verify_k_dispersion(eng, k, cfg.num_byzantine);
   return res;
 }
 

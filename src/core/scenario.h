@@ -4,7 +4,9 @@
 // and verifies Definition 1. Used by integration tests, benchmarks and
 // examples alike.
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/algorithm_common.h"
 #include "core/byzantine.h"
@@ -32,8 +34,25 @@ enum class Algorithm {
 
 [[nodiscard]] std::string to_string(Algorithm a);
 
+/// Inverse of to_string(Algorithm); nullopt for unknown names. Used by the
+/// sweep checkpoint reader to reconstruct points from JSON-lines.
+[[nodiscard]] std::optional<Algorithm> algorithm_from_string(
+    const std::string& name);
+
 /// Claimed weak-Byzantine tolerance of each algorithm (Table 1), given n.
 [[nodiscard]] std::uint32_t max_tolerated_f(Algorithm a, std::uint32_t n);
+
+/// Generalized tolerance for the k-robot setting (Theorem 8): k robots on
+/// an n-node graph run in ceil(k/n) waves of at most n robots each (robots
+/// striped across waves by ID rank), so the binding instance is the
+/// smallest wave and — with byz_smallest_ids striping — each wave absorbs
+/// at most ceil(f / waves) Byzantine robots. k == n reduces to
+/// max_tolerated_f(a, n). Also capped by Theorem 8 feasibility
+/// (ceil(k/n) == ceil((k-f)/n)), by the multi-wave settlement capacity
+/// f <= (ceil(k/n)*n - k) / (ceil(k/n) - 1) (a node-denying adversary
+/// costs every wave a slot), and by f <= k - 1.
+[[nodiscard]] std::uint32_t max_tolerated_f_k(Algorithm a, std::uint32_t n,
+                                              std::uint32_t k);
 
 /// Whether the algorithm assumes an initially gathered configuration.
 [[nodiscard]] bool starts_gathered(Algorithm a);
@@ -43,6 +62,14 @@ enum class Algorithm {
 
 struct ScenarioConfig {
   Algorithm algorithm = Algorithm::kStrongGathered;
+  /// Number of robots k (Theorem 8's generalized setting); 0 = one robot
+  /// per node (k = n), the paper's Table 1 setting. k < n runs a single
+  /// undersubscribed instance; k > n runs ceil(k/n) waves of at most n
+  /// robots each, scheduled back to back (robots striped across waves by
+  /// ID rank), which meets the generalized Definition 1 cap of
+  /// ceil((k - f)/n) per node exactly when Theorem 8 says dispersion is
+  /// feasible.
+  std::uint32_t num_robots = 0;
   std::uint32_t num_byzantine = 0;
   ByzStrategy strategy = ByzStrategy::kRandomWalker;
   /// Optional heterogeneous adversary: when non-empty, the i-th Byzantine

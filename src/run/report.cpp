@@ -1,7 +1,12 @@
 #include "run/report.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <limits>
 #include <ostream>
+#include <sstream>
 
 namespace bdg::run {
 namespace {
@@ -30,6 +35,36 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Inverse of json_escape for the escapes it emits (checkpoint lines only
+/// ever contain writer-produced strings).
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 < s.size()) {
+          const std::string hex = s.substr(i + 1, 4);
+          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      }
+      default: out += e;
+    }
+  }
+  return out;
+}
+
 /// Quote a field when it contains CSV metacharacters (the ring-baseline
 /// algorithm name carries a literal comma in its citation brackets).
 std::string csv_field(const std::string& s) {
@@ -43,33 +78,146 @@ std::string csv_field(const std::string& s) {
   return out;
 }
 
+/// Doubles that must survive a write -> parse -> write cycle bit-exactly
+/// (checkpoint seconds) print with max_digits10 significant digits.
+std::string exact_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+// --- checkpoint line scanning ---------------------------------------------
+// The parser only has to read what write_checkpoint_line produces: a flat
+// JSON object, string values escaped by json_escape, no nested objects.
+
+/// Find `"key":` at top level and return the raw value token after it.
+bool find_raw(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    // String: scan to the closing unescaped quote.
+    std::size_t j = i + 1;
+    while (j < line.size()) {
+      if (line[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (line[j] == '"') break;
+      ++j;
+    }
+    if (j >= line.size()) return false;
+    out = line.substr(i + 1, j - i - 1);
+    return true;
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  out = line.substr(i, j - i);
+  return true;
+}
+
+bool find_string(const std::string& line, const char* key, std::string& out) {
+  std::string raw;
+  if (!find_raw(line, key, raw)) return false;
+  out = json_unescape(raw);
+  return true;
+}
+
+bool find_u64(const std::string& line, const char* key, std::uint64_t& out) {
+  std::string raw;
+  if (!find_raw(line, key, raw)) return false;
+  char* end = nullptr;
+  out = std::strtoull(raw.c_str(), &end, 10);
+  return end != raw.c_str();
+}
+
+bool find_u32(const std::string& line, const char* key, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!find_u64(line, key, v)) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool find_bool(const std::string& line, const char* key, bool& out) {
+  std::string raw;
+  if (!find_raw(line, key, raw)) return false;
+  if (raw == "true") {
+    out = true;
+    return true;
+  }
+  if (raw == "false") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool find_double(const std::string& line, const char* key, double& out) {
+  std::string raw;
+  if (!find_raw(line, key, raw)) return false;
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str();
+}
+
 }  // namespace
 
+std::string mix_to_string(const std::vector<core::ByzStrategy>& mix) {
+  if (mix.empty()) return "-";
+  std::string out;
+  for (const core::ByzStrategy s : mix) {
+    if (!out.empty()) out += '+';
+    out += core::to_string(s);
+  }
+  return out;
+}
+
+std::optional<std::vector<core::ByzStrategy>> mix_from_string(
+    const std::string& text) {
+  std::vector<core::ByzStrategy> mix;
+  if (text == "-" || text.empty()) return mix;
+  std::stringstream ss(text);
+  std::string name;
+  while (std::getline(ss, name, '+')) {
+    const auto s = core::strategy_from_string(name);
+    if (!s) return std::nullopt;
+    mix.push_back(*s);
+  }
+  return mix;
+}
+
 void write_points_csv(std::ostream& os, const SweepResult& result) {
-  os << "algorithm,family,n,f,seed,strategy,derived_seed,ok,rounds,"
+  os << "algorithm,family,n,k,f,seed,strategy,mix,derived_seed,ok,rounds,"
         "simulated_rounds,moves,messages,planned_rounds,seconds\n";
   for (const PointResult& p : result.points) {
     if (p.skipped) continue;
     os << csv_field(core::to_string(p.point.algorithm)) << ','
-       << csv_field(p.point.family) << ',' << p.point.n << ',' << p.point.f
+       << csv_field(p.point.family) << ',' << p.point.n << ','
+       << (p.point.k == 0 ? p.point.n : p.point.k) << ',' << p.point.f
        << ',' << p.point.seed << ','
        << csv_field(core::to_string(p.point.strategy)) << ','
-       << p.derived_seed << ',' << (p.ok ? 1 : 0) << ',' << p.stats.rounds
-       << ',' << p.stats.simulated_rounds << ',' << p.stats.moves << ','
+       << csv_field(mix_to_string(p.point.mix)) << ',' << p.derived_seed
+       << ',' << (p.ok ? 1 : 0) << ',' << p.stats.rounds << ','
+       << p.stats.simulated_rounds << ',' << p.stats.moves << ','
        << p.stats.messages << ',' << p.planned_rounds << ',' << p.seconds
        << '\n';
   }
 }
 
 void write_cells_csv(std::ostream& os, const SweepResult& result) {
-  os << "algorithm,family,n,f,runs,dispersed,min_rounds,max_rounds,"
+  os << "algorithm,family,n,k,f,mix,runs,dispersed,min_rounds,max_rounds,"
         "mean_rounds,mean_simulated,mean_moves,mean_messages,mean_seconds\n";
   for (const CellAggregate& c : result.cells) {
     os << csv_field(core::to_string(c.algorithm)) << ',' << csv_field(c.family)
-       << ',' << c.n << ',' << c.f << ',' << c.runs << ',' << c.dispersed
-       << ',' << c.min_rounds << ',' << c.max_rounds << ',' << c.mean_rounds
-       << ',' << c.mean_simulated << ',' << c.mean_moves << ','
-       << c.mean_messages << ',' << c.mean_seconds << '\n';
+       << ',' << c.n << ',' << (c.k == 0 ? c.n : c.k) << ',' << c.f << ','
+       << csv_field(mix_to_string(c.mix)) << ',' << c.runs << ','
+       << c.dispersed << ',' << c.min_rounds << ',' << c.max_rounds << ','
+       << c.mean_rounds << ',' << c.mean_simulated << ',' << c.mean_moves
+       << ',' << c.mean_messages << ',' << c.mean_seconds << '\n';
   }
 }
 
@@ -81,9 +229,11 @@ void write_json(std::ostream& os, const SweepResult& result) {
     os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
        << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
        << json_escape(p.point.family) << "\", \"n\": " << p.point.n
+       << ", \"k\": " << (p.point.k == 0 ? p.point.n : p.point.k)
        << ", \"f\": " << p.point.f << ", \"seed\": " << p.point.seed
        << ", \"strategy\": \""
-       << json_escape(core::to_string(p.point.strategy)) << "\", \"derived_seed\": "
+       << json_escape(core::to_string(p.point.strategy)) << "\", \"mix\": \""
+       << json_escape(mix_to_string(p.point.mix)) << "\", \"derived_seed\": "
        << p.derived_seed;
     if (p.skipped) {
       os << ", \"skipped\": true, \"skip_reason\": \""
@@ -106,7 +256,9 @@ void write_json(std::ostream& os, const SweepResult& result) {
   for (const CellAggregate& c : result.cells) {
     os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
        << json_escape(core::to_string(c.algorithm)) << "\", \"family\": \""
-       << json_escape(c.family) << "\", \"n\": " << c.n << ", \"f\": " << c.f
+       << json_escape(c.family) << "\", \"n\": " << c.n << ", \"k\": "
+       << (c.k == 0 ? c.n : c.k) << ", \"f\": " << c.f << ", \"mix\": \""
+       << json_escape(mix_to_string(c.mix)) << "\""
        << ", \"runs\": " << c.runs << ", \"dispersed\": " << c.dispersed
        << ", \"min_rounds\": " << c.min_rounds
        << ", \"max_rounds\": " << c.max_rounds
@@ -118,6 +270,85 @@ void write_json(std::ostream& os, const SweepResult& result) {
     first = false;
   }
   os << "\n  ]\n}\n";
+}
+
+void write_checkpoint_line(std::ostream& os, const PointResult& p,
+                           std::uint64_t spec_fingerprint) {
+  os << "{\"v\": 1, \"spec\": " << spec_fingerprint << ", \"algorithm\": \""
+     << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
+     << json_escape(p.point.family) << "\", \"n\": " << p.point.n
+     << ", \"k\": " << p.point.k << ", \"f\": " << p.point.f
+     << ", \"seed\": " << p.point.seed << ", \"strategy\": \""
+     << json_escape(core::to_string(p.point.strategy)) << "\", \"mix\": \""
+     << json_escape(mix_to_string(p.point.mix))
+     << "\", \"derived_seed\": " << p.derived_seed
+     << ", \"skipped\": " << (p.skipped ? "true" : "false")
+     << ", \"skip_reason\": \"" << json_escape(p.skip_reason)
+     << "\", \"ok\": " << (p.ok ? "true" : "false") << ", \"detail\": \""
+     << json_escape(p.detail) << "\", \"rounds\": " << p.stats.rounds
+     << ", \"simulated_rounds\": " << p.stats.simulated_rounds
+     << ", \"resumes\": " << p.stats.resumes
+     << ", \"moves\": " << p.stats.moves
+     << ", \"messages\": " << p.stats.messages << ", \"all_honest_done\": "
+     << (p.stats.all_honest_done ? "true" : "false")
+     << ", \"planned_rounds\": " << p.planned_rounds << ", \"seconds\": "
+     << exact_double(p.seconds) << "}\n";
+}
+
+std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
+  if (line.empty() || line.front() != '{' ||
+      line.find_last_of('}') == std::string::npos)
+    return std::nullopt;
+  std::uint64_t version = 0;
+  if (!find_u64(line, "v", version) || version != 1) return std::nullopt;
+
+  CheckpointEntry entry;
+  PointResult& p = entry.result;
+  std::string algorithm, strategy, mix_text;
+  if (!find_u64(line, "spec", entry.spec) ||
+      !find_string(line, "algorithm", algorithm) ||
+      !find_string(line, "family", p.point.family) ||
+      !find_u32(line, "n", p.point.n) || !find_u32(line, "k", p.point.k) ||
+      !find_u32(line, "f", p.point.f) ||
+      !find_u64(line, "seed", p.point.seed) ||
+      !find_string(line, "strategy", strategy) ||
+      !find_string(line, "mix", mix_text) ||
+      !find_u64(line, "derived_seed", p.derived_seed) ||
+      !find_bool(line, "skipped", p.skipped) ||
+      !find_string(line, "skip_reason", p.skip_reason) ||
+      !find_bool(line, "ok", p.ok) || !find_string(line, "detail", p.detail) ||
+      !find_u64(line, "rounds", p.stats.rounds) ||
+      !find_u64(line, "simulated_rounds", p.stats.simulated_rounds) ||
+      !find_u64(line, "resumes", p.stats.resumes) ||
+      !find_u64(line, "moves", p.stats.moves) ||
+      !find_u64(line, "messages", p.stats.messages) ||
+      !find_bool(line, "all_honest_done", p.stats.all_honest_done) ||
+      !find_u64(line, "planned_rounds", p.planned_rounds) ||
+      !find_double(line, "seconds", p.seconds))
+    return std::nullopt;
+
+  const auto a = core::algorithm_from_string(algorithm);
+  const auto s = core::strategy_from_string(strategy);
+  const auto mix = mix_from_string(mix_text);
+  if (!a || !s || !mix) return std::nullopt;
+  p.point.algorithm = *a;
+  p.point.strategy = *s;
+  p.point.mix = *mix;
+  return entry;
+}
+
+std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
+    std::istream& is, std::uint64_t spec_fingerprint) {
+  std::unordered_map<std::uint64_t, PointResult> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    auto entry = parse_checkpoint_line(line);
+    if (!entry) continue;  // truncated tail / foreign line: skip, don't fail
+    if (entry->spec != spec_fingerprint) continue;  // other sweep knobs
+    out[entry->result.derived_seed] = std::move(entry->result);
+  }
+  return out;
 }
 
 }  // namespace bdg::run

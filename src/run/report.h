@@ -1,21 +1,68 @@
 #pragma once
 // Render SweepResult as machine-readable CSV / JSON (per-point and
-// per-cell), for EXPERIMENTS.md tables, plotting scripts and CI artifacts.
+// per-cell), for EXPERIMENTS.md tables, plotting scripts and CI artifacts —
+// plus the JSON-lines checkpoint format resumable sweeps persist per-point
+// results through.
 #include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "run/sweep.h"
 
 namespace bdg::run {
 
+/// Adversary mix as a stable string: strategy names joined by '+'
+/// ("map_liar+crash"); empty mix = "-". Round-trips via mix_from_string.
+[[nodiscard]] std::string mix_to_string(
+    const std::vector<core::ByzStrategy>& mix);
+
+/// Inverse of mix_to_string; nullopt if any component name is unknown.
+[[nodiscard]] std::optional<std::vector<core::ByzStrategy>> mix_from_string(
+    const std::string& text);
+
 /// One CSV row per non-skipped point:
-/// algorithm,family,n,f,seed,strategy,derived_seed,ok,rounds,
+/// algorithm,family,n,k,f,seed,strategy,mix,derived_seed,ok,rounds,
 /// simulated_rounds,moves,messages,planned_rounds,seconds
 void write_points_csv(std::ostream& os, const SweepResult& result);
 
-/// One CSV row per (algorithm, family, n, f) cell aggregate.
+/// One CSV row per (algorithm, family, n, k, f, mix) cell aggregate.
 void write_cells_csv(std::ostream& os, const SweepResult& result);
 
 /// Full result (points incl. skips, cells, wall time) as a JSON document.
 void write_json(std::ostream& os, const SweepResult& result);
+
+// ---------------------------------------------------------------------------
+// Resumable-sweep checkpoints (JSON lines, one self-contained object per
+// completed point). The writer and parser are a matched pair: the parser
+// accepts exactly what the writer emits (plus whitespace tolerance), so no
+// external JSON dependency is needed, and every field of PointResult —
+// including RunStats and wall seconds — round-trips bit-exactly.
+// ---------------------------------------------------------------------------
+
+/// One parsed checkpoint line: the point's result plus the
+/// run::spec_fingerprint of the sweep that produced it.
+struct CheckpointEntry {
+  PointResult result;
+  std::uint64_t spec = 0;
+};
+
+/// Append one checkpoint line for a completed (or structurally skipped)
+/// point, stamped with the producing spec's fingerprint.
+/// Newline-terminated; the caller flushes.
+void write_checkpoint_line(std::ostream& os, const PointResult& p,
+                           std::uint64_t spec_fingerprint);
+
+/// Parse one checkpoint line; nullopt on malformed/foreign lines (a
+/// truncated tail line from a crashed run is ignored, not fatal).
+[[nodiscard]] std::optional<CheckpointEntry> parse_checkpoint_line(
+    const std::string& line);
+
+/// Read a whole checkpoint stream into derived_seed -> PointResult,
+/// keeping only entries whose spec fingerprint matches — results recorded
+/// under different sweep knobs must re-run, not resurface. Later
+/// duplicates win (append-only files may re-record a point).
+[[nodiscard]] std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
+    std::istream& is, std::uint64_t spec_fingerprint);
 
 }  // namespace bdg::run

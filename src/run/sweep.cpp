@@ -1,12 +1,19 @@
 #include "run/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <fstream>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/impossibility.h"
 #include "graph/generators.h"
 #include "graph/quotient.h"
+#include "run/report.h"
 #include "util/parallel.h"
 
 namespace bdg::run {
@@ -29,6 +36,11 @@ std::uint64_t fnv1a(const std::string& s) {
   }
   return h;
 }
+
+// Domain tags so the optional axes can never alias a coordinate of the
+// legacy (algorithm, family, n, f, seed) hash chain.
+constexpr std::uint64_t kTagRobots = 0x6B2DAD0B075A11EDULL;
+constexpr std::uint64_t kTagMix = 0xAD5E125A12B0C0DEULL;
 
 /// Largest divisor of n that is <= sqrt(n) (>= 1).
 std::uint32_t balanced_rows(std::uint32_t n) {
@@ -131,38 +143,147 @@ std::optional<Graph> build_family_graph(const std::string& family,
   return std::nullopt;
 }
 
+bool same_point(const SweepPoint& a, const SweepPoint& b) {
+  return a.algorithm == b.algorithm && a.family == b.family && a.n == b.n &&
+         a.k == b.k && a.f == b.f && a.seed == b.seed &&
+         a.strategy == b.strategy && a.mix == b.mix;
+}
+
+bool algorithm_supports_k(core::Algorithm a, std::uint32_t k,
+                          std::uint32_t n) {
+  if (k == 0 || k == n) return true;  // the Table 1 setting
+  switch (a) {
+    // Map-based pipelines: Find-Map is per-robot (quotient) or a
+    // tournament/vote among the actual participants, and
+    // Dispersion-Using-Map settles any number of robots <= n per wave.
+    case core::Algorithm::kQuotient:
+    case core::Algorithm::kTournamentArbitrary:
+    case core::Algorithm::kTournamentGathered:
+      return true;
+    // The three-group rotation needs at least one robot per role; with
+    // k < 3 the A/B thirds are empty and the map vote degenerates.
+    case core::Algorithm::kThreeGroupGathered:
+    case core::Algorithm::kCrashRealGathering:
+      return k >= 3;
+    // The two-group split needs both halves to hold honest majorities of
+    // the *robot* population; undersubscribed halves below 2 robots
+    // degenerate. Supported for k >= 4.
+    case core::Algorithm::kSqrtArbitrary:
+      return k >= 4;
+    // The strong algorithms' floor(n/4)-quorum argument assumes all k
+    // robots share one instance: with k < n the agent half can be smaller
+    // than one quorum, and across k > n waves the spoofers of one wave can
+    // impersonate another wave's participants and forge its quorums. Only
+    // the paper's k = n setting is sound.
+    case core::Algorithm::kStrongArbitrary:
+    case core::Algorithm::kStrongGathered:
+      return false;
+    // The ring baseline's O(n) schedule assumes one robot per ring node.
+    case core::Algorithm::kRingBaseline:
+      return false;
+  }
+  return false;
+}
+
 std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
   const std::vector<std::string>& known = known_families();
   for (const std::string& family : spec.families) {
     if (std::find(known.begin(), known.end(), family) == known.end())
       throw std::invalid_argument("unknown graph family: " + family);
   }
+  if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count)
+    throw std::invalid_argument("expand_grid: shard_index must be < shard_count");
+
+  // Canonicalize mixes once: a mix is a multiset, so sorting makes both
+  // execution and hashing reorder-invariant. No mixes = one scalar point.
+  std::vector<std::vector<core::ByzStrategy>> mixes = spec.strategy_mixes;
+  if (mixes.empty()) mixes.push_back({});
+  for (auto& m : mixes) std::sort(m.begin(), m.end());
+
   std::vector<SweepPoint> points;
   for (const core::Algorithm a : spec.algorithms) {
     for (const std::string& family : spec.families) {
       for (const std::uint32_t n : spec.sizes) {
-        const std::uint32_t max_f = core::max_tolerated_f(a, n);
-        std::vector<std::uint32_t> fs;
-        if (spec.byzantine_counts.empty()) {
-          fs.push_back(max_f);
-        } else if (spec.clamp_f_to_tolerance) {
-          for (const std::uint32_t f : spec.byzantine_counts)
-            fs.push_back(std::min(f, max_f));
-          std::sort(fs.begin(), fs.end());
-          fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
-        } else {
-          fs = spec.byzantine_counts;
-        }
-        for (const std::uint32_t f : fs) {
-          for (const std::uint64_t seed : spec.seeds) {
-            points.push_back(
-                {a, family, n, f, seed, strategy_for(spec, a)});
+        std::vector<std::uint32_t> ks = spec.robot_counts;
+        if (ks.empty()) ks.push_back(n);
+        for (std::uint32_t k : ks) {
+          if (k == 0) k = n;  // 0 = the Table 1 setting
+          const std::uint32_t max_f = core::max_tolerated_f_k(a, n, k);
+          std::vector<std::uint32_t> fs;
+          if (spec.byzantine_counts.empty()) {
+            fs.push_back(max_f);
+          } else if (spec.clamp_f_to_tolerance) {
+            for (const std::uint32_t f : spec.byzantine_counts)
+              fs.push_back(std::min(f, max_f));
+            std::sort(fs.begin(), fs.end());
+            fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+          } else {
+            fs = spec.byzantine_counts;
+          }
+          for (const std::uint32_t f : fs) {
+            for (const auto& mix_set : mixes) {
+              for (const std::uint64_t seed : spec.seeds) {
+                points.push_back(
+                    {a, family, n, k, f, seed, strategy_for(spec, a),
+                     mix_set});
+              }
+            }
           }
         }
       }
     }
   }
-  return points;
+
+  // Exact-duplicate points (clamping collisions the per-(a,n,k) unique
+  // above cannot see, unclamped duplicate f inputs, robot_counts listing
+  // both 0 and n, repeated seeds/mixes) would double-count their derived
+  // seed in every aggregate and collide in the checkpoint; drop all but
+  // the first occurrence, preserving grid order.
+  std::vector<SweepPoint> unique_points;
+  unique_points.reserve(points.size());
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen;
+  for (SweepPoint& p : points) {
+    // Bucket by the coordinate hash (strategy folded in, since same_point
+    // compares it), verify exactly within the bucket.
+    const std::uint64_t key =
+        mix(point_seed(0, p), static_cast<std::uint64_t>(p.strategy));
+    auto& bucket = seen[key];
+    bool dup = false;
+    for (const std::size_t idx : bucket) {
+      if (same_point(p, unique_points[idx])) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    bucket.push_back(unique_points.size());
+    unique_points.push_back(std::move(p));
+  }
+
+  if (spec.shard_count <= 1) return unique_points;
+  std::vector<SweepPoint> shard;
+  for (std::size_t i = spec.shard_index; i < unique_points.size();
+       i += spec.shard_count)
+    shard.push_back(std::move(unique_points[i]));
+  return shard;
+}
+
+std::uint64_t spec_fingerprint(const SweepSpec& spec) {
+  const bool quotient_in_sweep =
+      std::find(spec.algorithms.begin(), spec.algorithms.end(),
+                core::Algorithm::kQuotient) != spec.algorithms.end();
+  std::uint64_t h = mix(0x5FEC0FF5EEDC0DE5ULL, spec.base_seed);
+  h = mix(h, spec.common_graphs ? 1 : 0);
+  h = mix(h, spec.require_trivial_quotient ? 1 : 0);
+  h = mix(h, quotient_in_sweep && spec.common_graphs ? 1 : 0);
+  std::uint64_t er_bits = 0;
+  static_assert(sizeof er_bits == sizeof spec.er_edge_probability);
+  std::memcpy(&er_bits, &spec.er_edge_probability, sizeof er_bits);
+  h = mix(h, er_bits);
+  h = mix(h, spec.cost.scaled ? 1 : 0);
+  h = mix(h, spec.byz_smallest_ids ? 1 : 0);
+  h = mix(h, spec.measure_seconds ? 1 : 0);
+  return h;
 }
 
 std::uint64_t point_seed(std::uint64_t base_seed, const SweepPoint& p) {
@@ -171,6 +292,17 @@ std::uint64_t point_seed(std::uint64_t base_seed, const SweepPoint& p) {
   s = mix(s, p.n);
   s = mix(s, p.f);
   s = mix(s, p.seed);
+  // Optional axes fold in only when they deviate from the legacy grid, so
+  // pre-k-axis derived seeds (committed baselines, golden rows) survive.
+  if (p.k != 0 && p.k != p.n) s = mix(mix(s, kTagRobots), p.k);
+  if (!p.mix.empty()) {
+    // Commutative accumulation: the mix is a multiset, permutations hash
+    // identically (duplicates still count).
+    std::uint64_t h = 0;
+    for (const core::ByzStrategy strat : p.mix)
+      h += mix(kTagMix, static_cast<std::uint64_t>(strat));
+    s = mix(mix(s, kTagMix), h);
+  }
   return s;
 }
 
@@ -186,6 +318,7 @@ PointResult run_point(const SweepSpec& spec, const SweepPoint& p) {
   PointResult r;
   r.point = p;
   r.derived_seed = point_seed(spec.base_seed, p);
+  const std::uint32_t k = p.k == 0 ? p.n : p.k;
 
   if (p.algorithm == core::Algorithm::kRingBaseline && p.family != "ring" &&
       p.family != "oriented_ring") {
@@ -193,9 +326,31 @@ PointResult run_point(const SweepSpec& spec, const SweepPoint& p) {
     r.skip_reason = "ring baseline requires a ring family";
     return r;
   }
-  if (p.f >= p.n) {
+  if (p.n == 0 || k == 0) {
+    // Guard the Theorem 8 arithmetic (ceil divisions by n) below.
     r.skipped = true;
-    r.skip_reason = "f must be < n";
+    r.skip_reason = "family does not support this n";
+    return r;
+  }
+  if (p.f >= k) {
+    r.skipped = true;
+    r.skip_reason = k == p.n ? "f must be < n" : "f must be < k";
+    return r;
+  }
+  // Theorem 8: with ceil(k/n) > ceil((k-f)/n) no deterministic algorithm
+  // can solve generalized dispersion — a structured skip, never a failure.
+  if (!core::k_dispersion_feasible(k, p.n, p.f)) {
+    r.skipped = true;
+    r.skip_reason =
+        "infeasible per Theorem 8: ceil(k/n) > ceil((k-f)/n) for k=" +
+        std::to_string(k) + " n=" + std::to_string(p.n) +
+        " f=" + std::to_string(p.f);
+    return r;
+  }
+  if (!algorithm_supports_k(p.algorithm, k, p.n)) {
+    r.skipped = true;
+    r.skip_reason = "algorithm does not support the k=" + std::to_string(k) +
+                    " robots setting on n=" + std::to_string(p.n);
     return r;
   }
   // With common_graphs, a sweep containing kQuotient must hold the
@@ -220,22 +375,34 @@ PointResult run_point(const SweepSpec& spec, const SweepPoint& p) {
 
   core::ScenarioConfig cfg;
   cfg.algorithm = p.algorithm;
+  cfg.num_robots = k == p.n ? 0 : k;
   cfg.num_byzantine = p.f;
   cfg.strategy = p.strategy;
+  cfg.strategies = p.mix;
   cfg.byz_smallest_ids = spec.byz_smallest_ids;
   cfg.strong_byzantine = core::handles_strong(p.algorithm);
   cfg.seed = mix(r.derived_seed, 0x5CE42AE05C0F5AB1ULL);
   cfg.cost = spec.cost;
 
   const auto t0 = std::chrono::steady_clock::now();
-  const core::ScenarioResult res = core::run_scenario(*g, cfg);
+  try {
+    const core::ScenarioResult res = core::run_scenario(*g, cfg);
+    r.ok = res.verify.ok();
+    r.detail = res.verify.detail;
+    r.stats = res.stats;
+    r.planned_rounds = res.planned_rounds;
+  } catch (const std::bad_alloc&) {
+    throw;  // OOM is an infrastructure failure, never a per-point result
+  } catch (const std::exception& e) {
+    // A protocol blow-up is a *failed* point, not a crashed sweep: record
+    // it (detail names the exception) so million-point production sweeps
+    // keep going and the row stays diagnosable in the reports.
+    r.ok = false;
+    r.detail = std::string("exception: ") + e.what();
+  }
   const auto t1 = std::chrono::steady_clock::now();
-
-  r.ok = res.verify.ok();
-  r.detail = res.verify.detail;
-  r.stats = res.stats;
-  r.planned_rounds = res.planned_rounds;
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (spec.measure_seconds)
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
   return r;
 }
 
@@ -258,53 +425,135 @@ SweepResult run_sweep(const SweepSpec& spec) {
   result.points.resize(grid.size());
 
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Checkpoint reuse: completed points (matched by spec fingerprint,
+  // derived seed AND full coordinates) are restored instead of re-run, so
+  // interrupted sweeps resume where they stopped and shard stripes merge
+  // through one file — while a checkpoint written under different spec
+  // knobs (common_graphs, cost model, ...) is ignored, not imported.
+  const std::uint64_t fingerprint = spec_fingerprint(spec);
+  std::vector<char> have(grid.size(), 0);
+  std::vector<std::size_t> todo;
+  todo.reserve(grid.size());
+  if (!spec.checkpoint_path.empty()) {
+    std::ifstream in(spec.checkpoint_path);
+    std::unordered_map<std::uint64_t, PointResult> cache;
+    if (in) cache = load_checkpoint(in, fingerprint);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const std::uint64_t ds = point_seed(spec.base_seed, grid[i]);
+      const auto it = cache.find(ds);
+      if (it != cache.end() && same_point(it->second.point, grid[i])) {
+        result.points[i] = it->second;
+        have[i] = 1;
+        ++result.from_checkpoint;
+      } else {
+        todo.push_back(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < grid.size(); ++i) todo.push_back(i);
+  }
+
+  std::ofstream ck;
+  if (!spec.checkpoint_path.empty() && !todo.empty()) {
+    ck.open(spec.checkpoint_path, std::ios::app);
+    if (!ck)
+      throw std::runtime_error("run_sweep: cannot open checkpoint " +
+                               spec.checkpoint_path);
+  }
+
   // Each point owns its Engine and Rng; results land at their grid index,
   // so the output is byte-identical for every thread count.
+  std::mutex mu;
+  std::atomic<bool> aborted{false};
+  std::size_t completed = result.from_checkpoint;
   parallel_for_index(
-      grid.size(),
-      [&](std::size_t i) { result.points[i] = run_point(spec, grid[i]); },
-      spec.threads);
-  const auto t1 = std::chrono::steady_clock::now();
-  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      todo.size(),
+      [&](std::size_t j) {
+        const std::size_t i = todo[j];
+        PointResult r = run_point(spec, grid[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        result.points[i] = std::move(r);
+        have[i] = 1;
+        ++completed;
+        if (ck.is_open()) {
+          write_checkpoint_line(ck, result.points[i], fingerprint);
+          ck.flush();
+        }
+        if (spec.progress &&
+            !spec.progress(result.points[i], completed, grid.size()))
+          aborted.store(true);
+      },
+      spec.threads, [&] { return aborted.load(); });
+  result.aborted = aborted.load();
 
-  // Grid order keeps each (algorithm, family, n, f) cell contiguous in the
-  // common case, but don't rely on it (unclamped duplicate f values can
-  // repeat coordinates): match against every existing cell.
+  // Unrun remainder of an aborted sweep: structured skips, never silently
+  // absent rows — and never checkpointed, so a resume re-runs them.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (have[i]) continue;
+    PointResult& r = result.points[i];
+    r.point = grid[i];
+    r.derived_seed = point_seed(spec.base_seed, grid[i]);
+    r.skipped = true;
+    r.skip_reason = "aborted before running (resume from checkpoint)";
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  if (spec.measure_seconds)
+    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Cells in first-appearance (grid) order, located through a hash of the
+  // cell coordinates so million-point sweeps aggregate in O(points), with
+  // an exact-match walk inside each bucket (hash collisions must not merge
+  // cells).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cell_index;
+  const auto cell_key = [](const SweepPoint& p) {
+    SweepPoint coords = p;
+    coords.seed = 0;  // cells aggregate over seeds
+    return mix(point_seed(0, coords), static_cast<std::uint64_t>(p.strategy));
+  };
+  const auto cell_matches = [](const CellAggregate& c, const SweepPoint& p) {
+    return c.algorithm == p.algorithm && c.family == p.family && c.n == p.n &&
+           c.k == p.k && c.f == p.f && c.mix == p.mix;
+  };
   for (const PointResult& p : result.points) {
     if (p.skipped) continue;
     CellAggregate* cell = nullptr;
-    for (CellAggregate& c : result.cells) {
-      if (c.algorithm == p.point.algorithm && c.family == p.point.family &&
-          c.n == p.point.n && c.f == p.point.f) {
-        cell = &c;
+    auto& bucket = cell_index[cell_key(p.point)];
+    for (const std::size_t idx : bucket) {
+      if (cell_matches(result.cells[idx], p.point)) {
+        cell = &result.cells[idx];
         break;
       }
     }
     if (cell == nullptr) {
+      bucket.push_back(result.cells.size());
       result.cells.push_back({});
       cell = &result.cells.back();
       cell->algorithm = p.point.algorithm;
       cell->family = p.point.family;
       cell->n = p.point.n;
+      cell->k = p.point.k;
       cell->f = p.point.f;
+      cell->mix = p.point.mix;
       cell->min_rounds = p.stats.rounds;
       cell->max_rounds = p.stats.rounds;
     }
-    const double k = static_cast<double>(cell->runs);
+    const double kprev = static_cast<double>(cell->runs);
     ++cell->runs;
     if (p.ok) ++cell->dispersed;
     cell->min_rounds = std::min(cell->min_rounds, p.stats.rounds);
     cell->max_rounds = std::max(cell->max_rounds, p.stats.rounds);
     const double w = 1.0 / static_cast<double>(cell->runs);
     cell->mean_rounds =
-        (cell->mean_rounds * k + static_cast<double>(p.stats.rounds)) * w;
+        (cell->mean_rounds * kprev + static_cast<double>(p.stats.rounds)) * w;
     cell->mean_simulated =
-        (cell->mean_simulated * k + static_cast<double>(p.stats.simulated_rounds)) * w;
+        (cell->mean_simulated * kprev + static_cast<double>(p.stats.simulated_rounds)) * w;
     cell->mean_moves =
-        (cell->mean_moves * k + static_cast<double>(p.stats.moves)) * w;
+        (cell->mean_moves * kprev + static_cast<double>(p.stats.moves)) * w;
     cell->mean_messages =
-        (cell->mean_messages * k + static_cast<double>(p.stats.messages)) * w;
-    cell->mean_seconds = (cell->mean_seconds * k + p.seconds) * w;
+        (cell->mean_messages * kprev + static_cast<double>(p.stats.messages)) * w;
+    cell->mean_seconds = (cell->mean_seconds * kprev + p.seconds) * w;
   }
   return result;
 }

@@ -1,19 +1,35 @@
 #pragma once
 // Deterministic parallel scenario-sweep runner.
 //
-// A sweep expands an (algorithm x graph-family x n x f x seed) grid into
-// points, runs every point in its own Engine + Rng (bit-reproducible: the
-// per-point seed is derived by hashing the point's coordinates into the
-// spec's base seed, never by position in a shared generator — the
-// deterministic per-point seeding idiom of the exposed-memory model
-// literature), and aggregates RunStats per (algorithm, family, n, f) cell.
-// Points run across hardware threads via util/parallel.h; results land in
-// grid order, so output is identical for every thread count, including 1.
+// A sweep expands an (algorithm x graph-family x n x k x f x adversary-mix
+// x seed) grid into points, runs every point in its own Engine + Rng
+// (bit-reproducible: the per-point seed is derived by hashing the point's
+// coordinates into the spec's base seed, never by position in a shared
+// generator — the deterministic per-point seeding idiom of the
+// exposed-memory model literature), and aggregates RunStats per
+// (algorithm, family, n, k, f, mix) cell. Points run across hardware
+// threads via util/parallel.h; results land in grid order, so output is
+// identical for every thread count, including 1.
+//
+// Production-sweep machinery on top of the grid:
+//  * k-robots axis (Theorem 8): robot_counts sweeps k != n; infeasible
+//    (k, n, f) points become structured skips, feasible ones run through
+//    the wave scheduler in core/scenario and verify the generalized
+//    Definition 1 cap;
+//  * heterogeneous adversaries: strategy_mixes assigns each Byzantine
+//    robot a strategy from a mix, hashed reorder-invariantly into the
+//    per-point seed;
+//  * resumable + sharded execution: a JSON-lines checkpoint (run/report)
+//    persists per-point results keyed by derived seed, completed points
+//    are skipped on re-run, `shard i of m` expands only a stripe of the
+//    grid, and a progress callback can abort mid-sweep without losing
+//    finished work.
 //
 // This is the one harness behind the Table 1 row benches, the figure
 // sweeps and the e2e conformance tests; report.h renders results as
 // JSON/CSV for downstream tooling.
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -51,15 +67,23 @@ namespace bdg::run {
 // Sweep specification and results
 // ---------------------------------------------------------------------------
 
+struct PointResult;
+
 struct SweepSpec {
   std::vector<core::Algorithm> algorithms;
   std::vector<std::string> families;
   std::vector<std::uint32_t> sizes;  ///< n values
-  /// Byzantine counts to sweep. Empty = one point per (algorithm, n) at the
-  /// algorithm's maximum claimed tolerance (Table 1). Values exceeding the
-  /// tolerance for some algorithm are clamped to it unless
-  /// `clamp_f_to_tolerance` is off (tolerance-frontier sweeps probe past
-  /// the claim on purpose).
+  /// Robot counts k to sweep (Theorem 8's generalized setting). Empty =
+  /// one point per n at k = n (the Table 1 setting). Values are taken
+  /// verbatim: k < n runs an undersubscribed instance, k > n runs the
+  /// wave scheduler; (k, n, f) combinations that Theorem 8 rules out are
+  /// recorded as structured skips, never failures.
+  std::vector<std::uint32_t> robot_counts;
+  /// Byzantine counts to sweep. Empty = one point per (algorithm, n, k) at
+  /// the algorithm's maximum claimed tolerance (Table 1, generalized by
+  /// max_tolerated_f_k for k != n). Values exceeding the tolerance for
+  /// some algorithm are clamped to it unless `clamp_f_to_tolerance` is off
+  /// (tolerance-frontier sweeps probe past the claim on purpose).
   std::vector<std::uint32_t> byzantine_counts;
   bool clamp_f_to_tolerance = true;
   /// Require every graph to have all views distinct (G ~ Q_G), not just the
@@ -80,6 +104,13 @@ struct SweepSpec {
   core::ByzStrategy strategy = core::ByzStrategy::kFakeSettler;
   bool strategy_follows_algorithm = true;
   std::map<core::Algorithm, core::ByzStrategy> strategy_overrides;
+  /// Heterogeneous adversary mixes: when non-empty the grid gains a mix
+  /// axis and the i-th Byzantine robot of a point runs mix[i % mix.size()]
+  /// (core::ScenarioConfig::strategies). Each mix is canonicalized (sorted)
+  /// at expansion and hashed commutatively into the derived seed, so a mix
+  /// is a multiset: reordering it changes neither seeds nor results. An
+  /// empty mix inside the list means "the scalar strategy" for that point.
+  std::vector<std::vector<core::ByzStrategy>> strategy_mixes;
   /// Mixed into every per-point seed; change it to resample the whole sweep.
   std::uint64_t base_seed = 0x9E3779B97F4A7C15ULL;
   /// Derive the *graph* seed from (family, n, seed) only, so every
@@ -94,6 +125,29 @@ struct SweepSpec {
   gather::CostModel cost{/*scaled=*/true};
   /// Give the f smallest IDs to Byzantine robots (worst case).
   bool byz_smallest_ids = true;
+  /// Shard selection: expand_grid keeps only points whose index in the
+  /// full (deduplicated) grid satisfies index % shard_count == shard_index.
+  /// The union of the m stripes is exactly the unsharded grid, so m
+  /// machines can split one sweep and merge via a shared checkpoint.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  /// JSON-lines checkpoint file (empty = no checkpointing). Existing
+  /// entries whose coordinates match a grid point are reused instead of
+  /// re-run; every newly finished point is appended and flushed, so an
+  /// aborted or crashed sweep resumes where it stopped.
+  std::string checkpoint_path;
+  /// Record wall-clock per point / per sweep. Off = all `seconds` fields
+  /// are 0, making reports a pure function of the spec (byte-identical
+  /// across runs, resumes, shards and thread counts) — the conformance
+  /// tests and the CI resume-smoke diff run in this mode.
+  bool measure_seconds = true;
+  /// Called after every completed point (under a lock, with the number of
+  /// completed points including checkpoint hits and the grid total).
+  /// Return false to abort: no further points start, finished ones are
+  /// checkpointed, and the unrun remainder is marked as aborted skips.
+  std::function<bool(const PointResult&, std::size_t completed,
+                     std::size_t total)>
+      progress;
 };
 
 /// One expanded grid point.
@@ -101,31 +155,44 @@ struct SweepPoint {
   core::Algorithm algorithm{};
   std::string family;
   std::uint32_t n = 0;
+  std::uint32_t k = 0;  ///< robot count; 0 is accepted and means k = n
+                        ///< (expand_grid always stores the resolved count)
   std::uint32_t f = 0;
   std::uint64_t seed = 0;  ///< grid seed (repetition index), not the derived one
   core::ByzStrategy strategy{};
+  /// Heterogeneous adversary mix (empty = the scalar strategy). Kept in
+  /// canonical (sorted) order by expand_grid.
+  std::vector<core::ByzStrategy> mix;
 };
+
+/// Full coordinate equality (including strategy and mix) — the checkpoint
+/// reader uses it to reject stale entries whose derived seed collides.
+[[nodiscard]] bool same_point(const SweepPoint& a, const SweepPoint& b);
 
 struct PointResult {
   SweepPoint point;
   std::uint64_t derived_seed = 0;  ///< actual graph/scenario seed used
-  /// Point could not run: family unsupported at this n, or the algorithm's
-  /// preconditions don't hold there (quotient/ring requirements).
+  /// Point could not run: family unsupported at this n, the algorithm's
+  /// preconditions don't hold there (quotient/ring requirements), the
+  /// (k, n, f) combination is infeasible per Theorem 8, or the sweep was
+  /// aborted before the point started.
   bool skipped = false;
   std::string skip_reason;
-  bool ok = false;  ///< Definition 1 verified
+  bool ok = false;  ///< Definition 1 verified (generalized cap when k != n)
   std::string detail;
   sim::RunStats stats;
   std::uint64_t planned_rounds = 0;
   double seconds = 0.0;
 };
 
-/// Per-cell aggregate over seeds: (algorithm, family, n, f).
+/// Per-cell aggregate over seeds: (algorithm, family, n, k, f, mix).
 struct CellAggregate {
   core::Algorithm algorithm{};
   std::string family;
   std::uint32_t n = 0;
+  std::uint32_t k = 0;
   std::uint32_t f = 0;
+  std::vector<core::ByzStrategy> mix;
   std::size_t runs = 0;       ///< non-skipped points
   std::size_t dispersed = 0;  ///< points with ok == true
   std::uint64_t min_rounds = 0;
@@ -141,6 +208,8 @@ struct SweepResult {
   std::vector<PointResult> points;  ///< grid order, independent of threads
   std::vector<CellAggregate> cells;
   double wall_seconds = 0.0;
+  bool aborted = false;      ///< progress callback stopped the sweep early
+  std::size_t from_checkpoint = 0;  ///< points restored, not re-run
 
   [[nodiscard]] bool all_dispersed() const;
   [[nodiscard]] std::size_t skipped() const;
@@ -150,30 +219,57 @@ struct SweepResult {
 // Operations
 // ---------------------------------------------------------------------------
 
+/// Whether the scenario harness can actually execute algorithm `a` with k
+/// robots on an n-node graph (independent of Theorem 8 feasibility, which
+/// run_point checks separately). k == n is always supported; the k-axis
+/// algorithms are validated by the k-robots conformance tier.
+[[nodiscard]] bool algorithm_supports_k(core::Algorithm a, std::uint32_t k,
+                                        std::uint32_t n);
+
 /// Expand the grid in deterministic order: algorithm-major, then family,
-/// n, f, seed. Throws std::invalid_argument on a family name that is not
-/// in known_families() (a typo'd family must not silently skip its
-/// coverage).
+/// n, k, f, mix, seed — exact duplicate points (e.g. after f clamping, or
+/// robot_counts listing both 0 and n) are dropped so aggregates never
+/// double-count a derived seed, and only the spec's shard stripe is kept.
+/// Throws std::invalid_argument on a family name that is not in
+/// known_families() (a typo'd family must not silently skip its coverage)
+/// or on shard_index >= shard_count.
 [[nodiscard]] std::vector<SweepPoint> expand_grid(const SweepSpec& spec);
+
+/// Fingerprint of every spec knob that changes what a point *computes*
+/// beyond its own coordinates: base_seed, common_graphs,
+/// require_trivial_quotient (and whether kQuotient is in the sweep, which
+/// tightens graph sampling under common_graphs), er_edge_probability, the
+/// cost model, byz_smallest_ids and measure_seconds (cached wall seconds
+/// must not leak into a deterministic-report run). Checkpoint entries
+/// record it, and resume only reuses entries whose fingerprint matches —
+/// a checkpoint written under different knobs re-runs instead of silently
+/// importing foreign results. Execution-shape knobs (threads, shards,
+/// progress) are deliberately excluded: they never change point results.
+[[nodiscard]] std::uint64_t spec_fingerprint(const SweepSpec& spec);
 
 /// Seed for one point: splitmix-style hash of the coordinates into
 /// base_seed. Stable across platforms and sweep composition (adding more
-/// sizes/algorithms never changes another point's seed).
+/// sizes/algorithms never changes another point's seed; points with k = n
+/// and no mix hash exactly as the pre-k-axis grid did, so committed
+/// baselines stay valid). The mix is hashed commutatively: permuting it
+/// never changes the seed.
 [[nodiscard]] std::uint64_t point_seed(std::uint64_t base_seed,
                                        const SweepPoint& p);
 
 /// Seed the point's graph is built from: point_seed, or (with
 /// spec.common_graphs) the hash of (family, n, seed) only, shared across
-/// the algorithm and f axes.
+/// the algorithm, k, f and mix axes.
 [[nodiscard]] std::uint64_t point_graph_seed(const SweepSpec& spec,
                                              const SweepPoint& p);
 
 /// Run one point in its own Engine + Rng; fills everything but `seconds`'
-/// surroundings deterministically.
+/// surroundings deterministically (and `seconds` itself is 0 when the spec
+/// disables wall-clock measurement).
 [[nodiscard]] PointResult run_point(const SweepSpec& spec,
                                     const SweepPoint& p);
 
-/// Expand, run (in parallel), aggregate.
+/// Expand, run (in parallel), aggregate. Honors the spec's checkpoint
+/// (reuse + append), shard stripe and progress/abort callback.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec);
 
 }  // namespace bdg::run

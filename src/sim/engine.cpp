@@ -18,6 +18,7 @@ struct Engine::Robot {
   Port arrival = kNoPort;
   ProgramFactory factory;
   Proc proc;
+  std::uint64_t start_round = 0;  ///< first round the program runs
   bool done = false;
 
   // Pending wake condition, written by WakeAwaiter via set_command().
@@ -39,7 +40,7 @@ Engine::Engine(const Graph& g, EngineConfig cfg) : graph_(g), cfg_(cfg) {
 Engine::~Engine() = default;
 
 void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
-                       ProgramFactory factory) {
+                       ProgramFactory factory, std::uint64_t start_round) {
   if (started_) throw std::logic_error("Engine: add_robot after run()");
   if (id == 0) throw std::invalid_argument("Engine: robot id must be nonzero");
   if (start >= graph_.n()) throw std::invalid_argument("Engine: bad start");
@@ -51,6 +52,7 @@ void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
   r.faultiness = f;
   r.pos = start;
   r.factory = std::move(factory);
+  r.start_round = start_round;
   robots_.push_back(std::move(r));
 }
 
@@ -70,9 +72,12 @@ void Engine::start_programs() {
     index_of_[r.id] = i;
     r.proc = r.factory(Ctx(this, i));
     r.leaf = r.proc.handle();
-    r.wake = WakeKind::kSubround;  // run at round 0, sub-round 0
-    r.wake_round = 0;
-    next_round_.push_back(i);
+    r.wake = WakeKind::kSubround;  // run at start_round, sub-round 0
+    r.wake_round = r.start_round;
+    if (r.start_round == 0)
+      next_round_.push_back(i);
+    else
+      wake_queue_.push({r.start_round, i});
     if (r.faultiness == Faultiness::kHonest) ++honest_live_;
   }
   started_ = true;

@@ -164,9 +164,13 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Register a robot. IDs must be unique and nonzero. Robots are scheduled
-  /// each sub-round in increasing ID order.
+  /// each sub-round in increasing ID order. A robot with `start_round` > 0
+  /// idles silently at its start node until that round: its program's first
+  /// resume happens there (the k-robots wave scheduler stages cohorts this
+  /// way). Presence is observable only through messages, so a not-yet-started
+  /// robot is invisible to co-located protocols.
   void add_robot(RobotId id, Faultiness f, NodeId start,
-                 ProgramFactory factory);
+                 ProgramFactory factory, std::uint64_t start_round = 0);
 
   /// Run until every honest robot's program finished or `max_rounds`
   /// elapsed. Byzantine programs that never finish do not block completion.

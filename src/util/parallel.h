@@ -18,17 +18,24 @@ namespace bdg {
 
 /// Run body(i) for i in [0, count) across up to `threads` std::threads
 /// (0 = hardware concurrency). Exceptions are captured and the first one
-/// rethrown after all workers join.
+/// rethrown after all workers join. When `cancelled` is set, it is polled
+/// before each index is claimed; once it returns true no further indices
+/// start (indices already in flight complete normally — the sweep runner's
+/// abort callback builds on this).
 inline void parallel_for_index(std::size_t count,
                                const std::function<void(std::size_t)>& body,
-                               unsigned threads = 0) {
+                               unsigned threads = 0,
+                               const std::function<bool()>& cancelled = {}) {
   if (count == 0) return;
   unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(hw, count));
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancelled && cancelled()) return;
+      body(i);
+    }
     return;
   }
 
@@ -43,6 +50,7 @@ inline void parallel_for_index(std::size_t count,
         if (next >= count || first_error) return;
         i = next++;
       }
+      if (cancelled && cancelled()) return;
       try {
         body(i);
       } catch (...) {

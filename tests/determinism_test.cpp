@@ -168,6 +168,70 @@ TEST(Determinism, RunPointIsPure) {
   }
 }
 
+// Mixed-adversary grids are bit-reproducible across thread counts, and a
+// mix hashes into the derived seed reorder-invariantly (a mix is a
+// multiset: permuting it changes neither seeds nor executions, while
+// changing its contents — including duplicating an element — does).
+TEST(Determinism, MixedAdversarySweepIsThreadCountInvariant) {
+  const auto mixed_sweep = [](unsigned threads) {
+    run::SweepSpec spec = small_sweep(threads);
+    spec.strategy_mixes = {
+        {ByzStrategy::kMapLiar, ByzStrategy::kCrash},
+        {ByzStrategy::kFakeSettler, ByzStrategy::kSilentSettler,
+         ByzStrategy::kSquatter}};
+    spec.robot_counts = {5, 8, 12};  // the k axis joins the grid too
+    return spec;
+  };
+  const run::SweepResult serial = run::run_sweep(mixed_sweep(1));
+  ASSERT_FALSE(serial.points.empty());
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const run::SweepResult parallel = run::run_sweep(mixed_sweep(threads));
+    expect_same_points(serial, parallel);
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      EXPECT_EQ(serial.cells[i].mix, parallel.cells[i].mix);
+      EXPECT_EQ(serial.cells[i].runs, parallel.cells[i].runs);
+      EXPECT_EQ(serial.cells[i].dispersed, parallel.cells[i].dispersed);
+    }
+  }
+}
+
+TEST(Determinism, MixHashesReorderInvariantlyIntoDerivedSeeds) {
+  run::SweepPoint p{Algorithm::kThreeGroupGathered, "er", 8, 8, 2, 1,
+                    ByzStrategy::kFakeSettler,
+                    {ByzStrategy::kMapLiar, ByzStrategy::kCrash,
+                     ByzStrategy::kSquatter}};
+  const std::uint64_t base = 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t s = run::point_seed(base, p);
+  // Any permutation hashes identically — point_seed itself is commutative
+  // over the mix, independent of expand_grid's canonicalization.
+  run::SweepPoint q = p;
+  q.mix = {ByzStrategy::kSquatter, ByzStrategy::kCrash, ByzStrategy::kMapLiar};
+  EXPECT_EQ(s, run::point_seed(base, q));
+  q.mix = {ByzStrategy::kCrash, ByzStrategy::kSquatter, ByzStrategy::kMapLiar};
+  EXPECT_EQ(s, run::point_seed(base, q));
+  // Different multiset => different seed: drop, swap, or duplicate.
+  q.mix = {ByzStrategy::kMapLiar, ByzStrategy::kCrash};
+  EXPECT_NE(s, run::point_seed(base, q));
+  q.mix = {ByzStrategy::kMapLiar, ByzStrategy::kCrash, ByzStrategy::kCrash};
+  EXPECT_NE(s, run::point_seed(base, q));
+  q.mix = {ByzStrategy::kMapLiar, ByzStrategy::kCrash,
+           ByzStrategy::kIntentSpammer};
+  EXPECT_NE(s, run::point_seed(base, q));
+  // No mix at all is the legacy grid: its seed is mix-tag free.
+  q.mix.clear();
+  EXPECT_NE(s, run::point_seed(base, q));
+  // And the k axis folds in only off the Table 1 setting (k = n).
+  run::SweepPoint r = p;
+  r.mix.clear();
+  const std::uint64_t legacy = run::point_seed(base, r);
+  r.k = 0;
+  EXPECT_EQ(legacy, run::point_seed(base, r));
+  r.k = 12;
+  EXPECT_NE(legacy, run::point_seed(base, r));
+}
+
 // Graph construction is deterministic per (family, n, seed) across every
 // registered family.
 TEST(Determinism, FamilyGraphsAreSeedDeterministic) {

@@ -146,7 +146,7 @@ TEST(E2ESweep, ReportEmitters) {
 
   std::ostringstream csv;
   write_points_csv(csv, result);
-  EXPECT_NE(csv.str().find("algorithm,family,n,f,seed"), std::string::npos);
+  EXPECT_NE(csv.str().find("algorithm,family,n,k,f,seed"), std::string::npos);
   EXPECT_NE(csv.str().find(core::to_string(Algorithm::kThreeGroupGathered)),
             std::string::npos)
       << csv.str();
@@ -210,8 +210,8 @@ TEST(E2ESweep, StrategyOverridesApply) {
 // Seed stability: a point's derived seed depends only on its own
 // coordinates, never on what else the sweep contains.
 TEST(E2ESweep, PointSeedsAreCompositionStable) {
-  const SweepPoint p{Algorithm::kStrongGathered, "er", 8, 1, 3,
-                     ByzStrategy::kSpoofer};
+  const SweepPoint p{Algorithm::kStrongGathered, "er", 8, 8, 1, 3,
+                     ByzStrategy::kSpoofer, {}};
   const std::uint64_t base = 0x9E3779B97F4A7C15ULL;
   const std::uint64_t s = point_seed(base, p);
   EXPECT_EQ(s, point_seed(base, p));
@@ -230,8 +230,8 @@ TEST(E2ESweep, PointSeedsAreCompositionStable) {
 TEST(E2ESweep, CommonGraphSeedIgnoresComparisonAxes) {
   SweepSpec spec;
   spec.common_graphs = true;
-  const SweepPoint p{Algorithm::kStrongGathered, "er", 8, 1, 3,
-                     ByzStrategy::kSpoofer};
+  const SweepPoint p{Algorithm::kStrongGathered, "er", 8, 8, 1, 3,
+                     ByzStrategy::kSpoofer, {}};
   const std::uint64_t s = point_graph_seed(spec, p);
   SweepPoint q = p;
   q.algorithm = Algorithm::kThreeGroupGathered;

@@ -1,9 +1,11 @@
 // Heterogeneous adversaries: different Byzantine robots running different
-// strategies in one execution, across the algorithms' tolerance budgets.
+// strategies in one execution, across the algorithms' tolerance budgets —
+// and the sweep-level strategy_mixes axis that drives them grid-wide.
 #include <gtest/gtest.h>
 
 #include "core/scenario.h"
 #include "graph/generators.h"
+#include "run/sweep.h"
 
 namespace bdg::core {
 namespace {
@@ -72,6 +74,62 @@ TEST(MixedAdversary, QuotientAgainstTheFullZoo) {
   cfg.seed = 15;
   const ScenarioResult res = run_scenario(g, cfg);
   EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+// SweepSpec::strategy_mixes: one grid pits every algorithm against several
+// heterogeneous adversary mixes at once; every point must still disperse.
+TEST(MixedAdversary, SweepMixAxisDisperses) {
+  run::SweepSpec spec;
+  spec.algorithms = {Algorithm::kQuotient, Algorithm::kTournamentGathered,
+                     Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {9};
+  spec.strategy_mixes = {
+      {ByzStrategy::kMapLiar, ByzStrategy::kFakeSettler},
+      {ByzStrategy::kSquatter, ByzStrategy::kSilentSettler,
+       ByzStrategy::kIntentSpammer},
+      {}};  // an empty mix = the scalar strategy, as a control
+  spec.seeds = {1, 2};
+  spec.measure_seconds = false;
+  const run::SweepResult result = run::run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 3u * 3u * 2u);
+  std::size_t ran = 0;
+  for (const run::PointResult& p : result.points) {
+    SCOPED_TRACE(to_string(p.point.algorithm) + " mix size " +
+                 std::to_string(p.point.mix.size()) + " on " + p.point.family);
+    ASSERT_FALSE(p.skipped) << p.skip_reason;
+    EXPECT_TRUE(p.ok) << p.detail;
+    ++ran;
+  }
+  EXPECT_EQ(ran, result.points.size());
+  // The mix axis splits aggregates: one cell per (algorithm, mix).
+  ASSERT_EQ(result.cells.size(), 3u * 3u);
+}
+
+// The mix rides the per-point derived seed and the scenario config: the
+// same mix in a different order is the same multiset — identical seeds,
+// identical executions (expand_grid canonicalizes, point_seed hashes
+// commutatively).
+TEST(MixedAdversary, MixIsReorderInvariant) {
+  run::SweepSpec forward;
+  forward.algorithms = {Algorithm::kThreeGroupGathered};
+  forward.families = {"er"};
+  forward.sizes = {9};
+  forward.strategy_mixes = {{ByzStrategy::kMapLiar, ByzStrategy::kCrash,
+                             ByzStrategy::kFakeSettler}};
+  forward.measure_seconds = false;
+  run::SweepSpec reversed = forward;
+  reversed.strategy_mixes = {{ByzStrategy::kFakeSettler, ByzStrategy::kCrash,
+                              ByzStrategy::kMapLiar}};
+  const run::SweepResult a = run::run_sweep(forward);
+  const run::SweepResult b = run::run_sweep(reversed);
+  ASSERT_EQ(a.points.size(), 1u);
+  ASSERT_EQ(b.points.size(), 1u);
+  EXPECT_EQ(a.points[0].derived_seed, b.points[0].derived_seed);
+  EXPECT_EQ(a.points[0].point.mix, b.points[0].point.mix);
+  EXPECT_EQ(a.points[0].stats.moves, b.points[0].stats.moves);
+  EXPECT_EQ(a.points[0].stats.messages, b.points[0].stats.messages);
+  EXPECT_EQ(a.points[0].ok, b.points[0].ok);
 }
 
 }  // namespace

@@ -1,0 +1,355 @@
+// Conformance tier for resumable / sharded sweeps: an interrupted sweep
+// resumed from its checkpoint, and a sharded sweep merged through a shared
+// checkpoint, must reproduce the single-shot SweepResult byte-identically —
+// JSON and CSV reports included — at 1 and 8 worker threads. Also the
+// regression tier for grid dedupe (clamped duplicate f values must not
+// double-count seeds).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/impossibility.h"
+#include "core/scenario.h"
+#include "run/report.h"
+#include "run/sweep.h"
+
+namespace bdg::run {
+namespace {
+
+using core::Algorithm;
+using core::ByzStrategy;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+/// Render every report of a result into one string for byte comparison.
+std::string all_reports(const SweepResult& r) {
+  std::ostringstream os;
+  write_points_csv(os, r);
+  os << "\n--\n";
+  write_cells_csv(os, r);
+  os << "\n--\n";
+  write_json(os, r);
+  return os.str();
+}
+
+/// The mixed-adversary, k-axis grid the conformance statement runs on.
+/// >= 500 points: 2 algorithms x 2 families x 1 size x 4 k x 2 f x 2 mixes
+/// x 8 seeds = 512. f is unclamped on purpose so the grid reaches the
+/// Theorem 8-infeasible region (k=7, f=1): those points must surface as
+/// structured skips in the very same reports the byte-compare covers.
+SweepSpec conformance_spec(unsigned threads) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered,
+                     Algorithm::kTournamentGathered};
+  spec.families = {"er", "complete"};
+  spec.sizes = {6};
+  spec.robot_counts = {4, 6, 7, 12};
+  spec.byzantine_counts = {0, 1};
+  spec.clamp_f_to_tolerance = false;
+  spec.strategy_mixes = {{ByzStrategy::kMapLiar, ByzStrategy::kCrash},
+                         {ByzStrategy::kFakeSettler,
+                          ByzStrategy::kSilentSettler,
+                          ByzStrategy::kSquatter}};
+  spec.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.threads = threads;
+  spec.measure_seconds = false;  // reports = pure function of the grid
+  return spec;
+}
+
+void expect_identical_results(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    const PointResult& pa = a.points[i];
+    const PointResult& pb = b.points[i];
+    EXPECT_TRUE(same_point(pa.point, pb.point));
+    EXPECT_EQ(pa.derived_seed, pb.derived_seed);
+    EXPECT_EQ(pa.skipped, pb.skipped);
+    EXPECT_EQ(pa.skip_reason, pb.skip_reason);
+    EXPECT_EQ(pa.ok, pb.ok);
+    EXPECT_EQ(pa.detail, pb.detail);
+    EXPECT_EQ(pa.stats.rounds, pb.stats.rounds);
+    EXPECT_EQ(pa.stats.simulated_rounds, pb.stats.simulated_rounds);
+    EXPECT_EQ(pa.stats.resumes, pb.stats.resumes);
+    EXPECT_EQ(pa.stats.moves, pb.stats.moves);
+    EXPECT_EQ(pa.stats.messages, pb.stats.messages);
+    EXPECT_EQ(pa.planned_rounds, pb.planned_rounds);
+    EXPECT_EQ(pa.seconds, pb.seconds);
+  }
+  EXPECT_EQ(all_reports(a), all_reports(b));
+}
+
+// The acceptance statement: a checkpointed sweep aborted after p points,
+// resumed from the checkpoint, reproduces the uninterrupted result
+// byte-identically (reports included), at 1 and 8 threads.
+TEST(SweepResume, AbortedThenResumedIsByteIdentical) {
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SweepResult single = run_sweep(conformance_spec(threads));
+    ASSERT_GE(single.points.size(), 500u);
+    ASSERT_FALSE(single.aborted);
+    // The grid deliberately crosses the Theorem 8 frontier: every
+    // infeasible (k, n, f) point must be a structured skip, never a
+    // failure.
+    std::size_t infeasible = 0;
+    for (const PointResult& p : single.points) {
+      if (p.point.f < p.point.k &&
+          !core::k_dispersion_feasible(p.point.k, p.point.n, p.point.f)) {
+        EXPECT_TRUE(p.skipped) << p.detail;
+        EXPECT_NE(p.skip_reason.find("Theorem 8"), std::string::npos);
+        ++infeasible;
+      }
+    }
+    EXPECT_GT(infeasible, 0u);
+
+    const std::string ck =
+        temp_path("resume_t" + std::to_string(threads) + ".jsonl");
+    std::remove(ck.c_str());
+
+    SweepSpec interrupted = conformance_spec(threads);
+    interrupted.checkpoint_path = ck;
+    std::size_t fresh = 0;
+    interrupted.progress = [&fresh](const PointResult&, std::size_t,
+                                    std::size_t) {
+      return ++fresh < 40;  // abort mid-sweep
+    };
+    const SweepResult partial = run_sweep(interrupted);
+    EXPECT_TRUE(partial.aborted);
+    EXPECT_GT(partial.skipped(), single.skipped())
+        << "abort should leave unrun points behind";
+
+    SweepSpec resumed = conformance_spec(threads);
+    resumed.checkpoint_path = ck;
+    const SweepResult full = run_sweep(resumed);
+    EXPECT_FALSE(full.aborted);
+    EXPECT_GE(full.from_checkpoint, 40u - 1u);
+    expect_identical_results(single, full);
+    std::remove(ck.c_str());
+  }
+}
+
+// Sharding: the union of the m stripes is exactly the unsharded grid, and
+// a merged (checkpoint-fed) unsharded run is byte-identical to single-shot.
+TEST(SweepResume, ShardedUnionEqualsUnshardedGrid) {
+  const SweepSpec base = conformance_spec(4);
+  const std::vector<SweepPoint> grid = expand_grid(base);
+
+  std::vector<SweepPoint> reunion;
+  for (unsigned shard = 0; shard < 2; ++shard) {
+    SweepSpec s = base;
+    s.shard_index = shard;
+    s.shard_count = 2;
+    for (const SweepPoint& p : expand_grid(s)) reunion.push_back(p);
+  }
+  ASSERT_EQ(reunion.size(), grid.size());
+  // Striped expansion: shard 0 holds indices 0,2,4..., shard 1 the rest.
+  std::size_t matched = 0;
+  for (const SweepPoint& p : grid) {
+    for (const SweepPoint& q : reunion)
+      if (same_point(p, q)) {
+        ++matched;
+        break;
+      }
+  }
+  EXPECT_EQ(matched, grid.size());
+
+  const std::string ck = temp_path("shards.jsonl");
+  std::remove(ck.c_str());
+  const SweepResult single = run_sweep(base);
+  for (unsigned shard = 0; shard < 2; ++shard) {
+    SweepSpec s = base;
+    s.shard_index = shard;
+    s.shard_count = 2;
+    s.checkpoint_path = ck;
+    const SweepResult slice = run_sweep(s);
+    EXPECT_FALSE(slice.aborted);
+    EXPECT_EQ(slice.points.size(), (grid.size() + 1 - shard) / 2);
+  }
+  SweepSpec merged = base;
+  merged.checkpoint_path = ck;
+  const SweepResult full = run_sweep(merged);
+  EXPECT_EQ(full.from_checkpoint, grid.size())
+      << "merge run should re-run nothing";
+  expect_identical_results(single, full);
+  std::remove(ck.c_str());
+}
+
+// Checkpoint lines round-trip every PointResult field bit-exactly,
+// including doubles, escaped strings and the mix.
+TEST(SweepResume, CheckpointLinesRoundTrip) {
+  PointResult p;
+  p.point = {Algorithm::kRingBaseline, "ring", 8, 12, 3, 7,
+             ByzStrategy::kMapLiar,
+             {ByzStrategy::kCrash, ByzStrategy::kMapLiar}};
+  p.derived_seed = 0xDEADBEEFCAFEF00DULL;
+  p.skipped = false;
+  p.ok = false;
+  p.detail = "node 3 holds 2 honest robots; \"quoted\"\n\ttabbed";
+  p.stats.rounds = 123456789012345ULL;
+  p.stats.simulated_rounds = 42;
+  p.stats.resumes = 99;
+  p.stats.moves = 7;
+  p.stats.messages = 8;
+  p.stats.all_honest_done = true;
+  p.planned_rounds = 77;
+  p.seconds = 0.12345678901234567;
+
+  const std::uint64_t fp = 0x5EEDFACE5EEDFACEULL;
+  std::ostringstream os;
+  write_checkpoint_line(os, p, fp);
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  const auto entry = parse_checkpoint_line(line);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->spec, fp);
+  const PointResult& q = entry->result;
+  EXPECT_TRUE(same_point(p.point, q.point));
+  EXPECT_EQ(p.derived_seed, q.derived_seed);
+  EXPECT_EQ(p.skipped, q.skipped);
+  EXPECT_EQ(p.ok, q.ok);
+  EXPECT_EQ(p.detail, q.detail);
+  EXPECT_EQ(p.stats.rounds, q.stats.rounds);
+  EXPECT_EQ(p.stats.resumes, q.stats.resumes);
+  EXPECT_EQ(p.stats.all_honest_done, q.stats.all_honest_done);
+  EXPECT_EQ(p.planned_rounds, q.planned_rounds);
+  EXPECT_EQ(p.seconds, q.seconds);  // bit-exact double round-trip
+
+  // A truncated tail (crashed writer) parses as nothing, not garbage.
+  EXPECT_FALSE(parse_checkpoint_line(line.substr(0, line.size() / 2))
+                   .has_value());
+  EXPECT_FALSE(parse_checkpoint_line("").has_value());
+  std::istringstream stream(os.str() + "half a line {\"v\": 1");
+  const auto loaded = load_checkpoint(stream, fp);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.count(p.derived_seed));
+  // Entries from a sweep with different spec knobs are filtered out.
+  std::istringstream other(os.str());
+  EXPECT_TRUE(load_checkpoint(other, fp + 1).empty());
+}
+
+// A checkpoint entry whose coordinates do not match the grid point (stale
+// file from another grid, or a derived-seed collision) is ignored — the
+// point re-runs instead of importing foreign results.
+TEST(SweepResume, MismatchedCheckpointEntriesAreIgnored) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {8};
+  spec.seeds = {1};
+  spec.measure_seconds = false;
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 1u);
+
+  // Forge an entry with the right derived seed but wrong coordinates.
+  PointResult forged;
+  forged.point = grid[0];
+  forged.point.family = "ring";
+  forged.derived_seed = point_seed(spec.base_seed, grid[0]);
+  forged.ok = true;
+  forged.stats.rounds = 1;
+
+  const std::string ck = temp_path("stale.jsonl");
+  {
+    std::ofstream os(ck);
+    write_checkpoint_line(os, forged, spec_fingerprint(spec));
+  }
+  SweepSpec with_ck = spec;
+  with_ck.checkpoint_path = ck;
+  const SweepResult result = run_sweep(with_ck);
+  EXPECT_EQ(result.from_checkpoint, 0u) << "forged entry must not be reused";
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_FALSE(result.points[0].skipped);
+  EXPECT_GT(result.points[0].stats.rounds, 1u);
+  std::remove(ck.c_str());
+}
+
+// Regression: a checkpoint written under different spec-level knobs
+// (common_graphs here — same coordinates, same derived seed, different
+// execution) must not be imported; the fingerprint forces a re-run.
+TEST(SweepResume, DifferentSpecKnobsInvalidateCheckpoint) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {8};
+  spec.seeds = {1};
+  spec.measure_seconds = false;
+  spec.checkpoint_path = temp_path("knobs.jsonl");
+  std::remove(spec.checkpoint_path.c_str());
+
+  const SweepResult first = run_sweep(spec);
+  ASSERT_EQ(first.points.size(), 1u);
+  ASSERT_FALSE(first.points[0].skipped);
+
+  SweepSpec other = spec;
+  other.common_graphs = true;  // same grid, different graph sampling
+  EXPECT_NE(spec_fingerprint(spec), spec_fingerprint(other));
+  const SweepResult second = run_sweep(other);
+  EXPECT_EQ(second.from_checkpoint, 0u)
+      << "checkpoint from different knobs must not be reused";
+  ASSERT_EQ(second.points.size(), 1u);
+  EXPECT_NE(first.points[0].stats.moves, second.points[0].stats.moves);
+
+  // The matching spec still resumes from its own entries.
+  const SweepResult again = run_sweep(spec);
+  EXPECT_EQ(again.from_checkpoint, 1u);
+  std::remove(spec.checkpoint_path.c_str());
+}
+
+// Regression (grid dedupe): byzantine_counts that clamp onto the same
+// tolerance, robot_counts listing both 0 and n, and repeated unclamped f
+// values must all collapse to unique points — aggregates never
+// double-count a derived seed.
+TEST(SweepResume, ExpandedGridNeverDuplicatesPoints) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {9};
+  spec.robot_counts = {0, 9};       // both mean k = n = 9
+  spec.byzantine_counts = {5, 9};   // both clamp to the tolerance (2)
+  spec.seeds = {1, 2};
+  spec.measure_seconds = false;
+  const std::vector<SweepPoint> clamped = expand_grid(spec);
+  EXPECT_EQ(clamped.size(), 2u);  // one (a, family, n, k, f) x two seeds
+  for (const SweepPoint& p : clamped) {
+    EXPECT_EQ(p.k, 9u);
+    EXPECT_EQ(p.f, 2u);
+  }
+
+  SweepSpec unclamped = spec;
+  unclamped.clamp_f_to_tolerance = false;
+  unclamped.byzantine_counts = {2, 2, 2};
+  const std::vector<SweepPoint> uniq = expand_grid(unclamped);
+  EXPECT_EQ(uniq.size(), 2u);
+
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].runs, 2u) << "duplicate seeds double-counted";
+}
+
+// Abort without a checkpoint still yields a complete, well-formed result:
+// unrun points are structured skips, not absent rows.
+TEST(SweepResume, AbortMarksUnrunPointsAsSkips) {
+  SweepSpec spec = conformance_spec(1);
+  std::size_t seen = 0;
+  spec.progress = [&seen](const PointResult&, std::size_t, std::size_t) {
+    return ++seen < 10;
+  };
+  const SweepResult result = run_sweep(spec);
+  EXPECT_TRUE(result.aborted);
+  ASSERT_EQ(result.points.size(), expand_grid(conformance_spec(1)).size());
+  std::size_t aborted_points = 0;
+  for (const PointResult& p : result.points)
+    if (p.skipped && p.skip_reason.find("aborted") != std::string::npos)
+      ++aborted_points;
+  EXPECT_GT(aborted_points, 0u);
+}
+
+}  // namespace
+}  // namespace bdg::run
