@@ -112,12 +112,12 @@ std::vector<RowPoint> run_row_bench(const RowBenchSpec& spec) {
     const double bound = spec.bound(p.n);
     table.add_row({Table::num(static_cast<std::uint64_t>(p.n)),
                    Table::num(static_cast<std::uint64_t>(p.f)),
-                   Table::num(p.rounds), Table::num(p.simulated),
+                   p.rounds.to_string(), Table::num(p.simulated),
                    Table::num(bound, 0),
-                   Table::num(static_cast<double>(p.rounds) / bound, 3),
+                   Table::num(p.rounds.to_double() / bound, 3),
                    p.dispersed ? "yes" : "NO", Table::num(p.seconds, 2)});
     xs.push_back(p.n);
-    ys.push_back(static_cast<double>(p.rounds));
+    ys.push_back(p.rounds.to_double());
   }
   table.print(std::cout);
 

@@ -31,7 +31,7 @@ namespace bdg::bench {
 struct RowPoint {
   std::uint32_t n = 0;
   std::uint32_t f = 0;
-  std::uint64_t rounds = 0;
+  core::Round rounds = 0;
   std::uint64_t simulated = 0;
   bool dispersed = false;
   double seconds = 0.0;

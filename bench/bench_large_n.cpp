@@ -1,0 +1,59 @@
+// Large-n big-round smoke: the exponential rows (row 2 / Theorem 2 and
+// row 6 / Theorem 7) at n = 64 and n = 128 under the THEORY cost model —
+// the points the 128-bit core::Round accounting unlocks (the pre-Round
+// code capped their bounds at 2^62 from n ~ 64 on, and their n = 128
+// charges exceed 64 bits outright).
+//
+// f = 0 on a star: the charged bounds do not depend on f for these rows,
+// and a Byzantine-free run keeps the active (really simulated) phases to
+// seconds while the charged prefixes — up to 2^127 rounds — are
+// fast-forwarded. This is the perf-smoke point gating the widened hot
+// path: the wake-queue keys, the fast-forward arithmetic and the report
+// serialization all carry 128-bit rounds here.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace bdg;
+  using core::Algorithm;
+  std::printf("== Large-n big rounds: exponential rows, theory cost ==\n\n");
+
+  run::SweepSpec sweep = bench::sweep_base();
+  // Override the row-bench family defaults: the star keeps map-finding
+  // walks shallow at n = 128, and the exponential rows need neither
+  // distinct views nor a common graph with other algorithms.
+  sweep.families = {"star"};
+  sweep.require_trivial_quotient = false;
+  sweep.common_graphs = false;
+  sweep.sizes = {64, 128};
+  sweep.byzantine_counts = {0};
+  sweep.cost = gather::CostModel{/*scaled=*/false};
+  sweep.algorithms = {Algorithm::kTournamentArbitrary,
+                      Algorithm::kStrongArbitrary};
+  const run::SweepResult result = run::run_sweep(sweep);
+  bench::maybe_dump_sweep(result);
+
+  Table table({"algorithm", "n", "rounds", "planned", "simulated", "sec"});
+  bool ok = true;
+  for (const run::PointResult& p : result.points) {
+    if (p.skipped) {
+      std::printf("n=%u SKIPPED (%s)\n", p.point.n, p.skip_reason.c_str());
+      ok = false;
+      continue;
+    }
+    // Every point must be exact; the n = 128 charges must genuinely leave
+    // 64-bit territory (row2: ~2^69, row6: 2^127).
+    ok = ok && p.ok && !p.stats.rounds.is_saturated() &&
+         (p.point.n < 128 || p.stats.rounds > core::Round::exp2(64));
+    table.add_row({core::to_string(p.point.algorithm),
+                   Table::num(static_cast<std::uint64_t>(p.point.n)),
+                   Table::num(p.stats.rounds), Table::num(p.planned_rounds),
+                   Table::num(p.stats.simulated_rounds),
+                   Table::num(p.seconds, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nall points exact (> 2^64, non-saturated) and dispersed: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -138,8 +138,8 @@ int main(int argc, char** argv) {
               opt.theory_cost ? "theory" : "scaled");
 
   const core::ScenarioResult res = core::run_scenario(g, cfg);
-  std::printf("rounds=%llu simulated=%llu moves=%llu messages=%llu\n",
-              static_cast<unsigned long long>(res.stats.rounds),
+  std::printf("rounds=%s simulated=%llu moves=%llu messages=%llu\n",
+              res.stats.rounds.to_string().c_str(),
               static_cast<unsigned long long>(res.stats.simulated_rounds),
               static_cast<unsigned long long>(res.stats.moves),
               static_cast<unsigned long long>(res.stats.messages));
@@ -151,11 +151,11 @@ int main(int argc, char** argv) {
     std::printf("\nper-robot activity (true IDs; message counts are per "
                 "claimed ID):\n");
     for (const auto& [id, a] : trace.per_robot()) {
-      std::printf("  robot %-6llu moves=%-7llu msgs=%-8llu done@%llu\n",
+      std::printf("  robot %-6llu moves=%-7llu msgs=%-8llu done@%s\n",
                   static_cast<unsigned long long>(id),
                   static_cast<unsigned long long>(a.moves),
                   static_cast<unsigned long long>(a.messages),
-                  static_cast<unsigned long long>(a.done_round));
+                  a.done_round.to_string().c_str());
     }
   }
   return res.verify.ok() ? 0 : 1;

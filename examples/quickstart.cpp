@@ -29,8 +29,8 @@ int main() {
   // 3. Run and verify Definition 1.
   const core::ScenarioResult res = core::run_scenario(g, cfg);
   std::printf("algorithm: %s\n", core::to_string(cfg.algorithm).c_str());
-  std::printf("rounds: %llu (simulated %llu, fast-forwarded the rest)\n",
-              static_cast<unsigned long long>(res.stats.rounds),
+  std::printf("rounds: %s (simulated %llu, fast-forwarded the rest)\n",
+              res.stats.rounds.to_string().c_str(),
               static_cast<unsigned long long>(res.stats.simulated_rounds));
   std::printf("moves: %llu  messages: %llu\n",
               static_cast<unsigned long long>(res.stats.moves),

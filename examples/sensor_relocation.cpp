@@ -28,8 +28,8 @@ int main() {
   cfg.seed = 5;
 
   const core::ScenarioResult res = core::run_scenario(backbone, cfg);
-  std::printf("charged rounds: %llu (exponential gathering dominates)\n",
-              static_cast<unsigned long long>(res.stats.rounds));
+  std::printf("charged rounds: %s (exponential gathering dominates)\n",
+              res.stats.rounds.to_string().c_str());
   std::printf("rounds actually simulated: %llu\n",
               static_cast<unsigned long long>(res.stats.simulated_rounds));
   std::printf("healthy sensors dispersed: %s\n",
@@ -40,8 +40,8 @@ int main() {
   // rounds (Theorem 6) — demonstrate the contrast.
   cfg.algorithm = core::Algorithm::kStrongGathered;
   const core::ScenarioResult res2 = core::run_scenario(backbone, cfg);
-  std::printf("pre-gathered variant rounds: %llu, dispersed: %s\n",
-              static_cast<unsigned long long>(res2.stats.rounds),
+  std::printf("pre-gathered variant rounds: %s, dispersed: %s\n",
+              res2.stats.rounds.to_string().c_str(),
               res2.verify.ok() ? "YES" : "NO");
   return (res.verify.ok() && res2.verify.ok()) ? 0 : 1;
 }

@@ -18,7 +18,9 @@
 //
 // Run with --help for the full flag list. Exit code: 0 when every
 // non-skipped point disperses, 1 otherwise, 2 on usage errors, 3 when the
-// sweep was aborted (--abort-after) before finishing.
+// sweep was aborted (--abort-after) before finishing, 4 when a grid point's
+// round bound saturates 128-bit accounting (the offending (algorithm, n, f)
+// is named on stderr — such grids are rejected, not silently skipped).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -332,8 +334,15 @@ int main(int argc, char** argv) {
     run::write_points_csv(std::cout, result);
 
   std::size_t failed = 0;
-  for (const run::PointResult& p : result.points)
+  std::size_t saturated = 0;
+  const run::PointResult* first_saturated = nullptr;
+  for (const run::PointResult& p : result.points) {
     if (!p.skipped && !p.ok) ++failed;
+    if (p.saturated) {
+      ++saturated;
+      if (first_saturated == nullptr) first_saturated = &p;
+    }
+  }
   if (!quiet)
     std::fprintf(stderr,
                  "[sweep_cli: %zu points, %zu skipped, %zu failed, "
@@ -341,6 +350,19 @@ int main(int argc, char** argv) {
                  result.points.size(), result.skipped(), failed,
                  result.from_checkpoint, result.aborted ? ", ABORTED" : "",
                  result.wall_seconds);
+  if (saturated != 0) {
+    // Reject the grid loudly, before any other verdict: a bound past
+    // 2^128-1 cannot be swept, and a skip row alone is invisible when
+    // --progress is off.
+    std::fprintf(stderr,
+                 "sweep_cli: %zu grid point(s) exceed 128-bit round "
+                 "accounting; first offender: (%s, n=%u, f=%u). Shrink the "
+                 "grid (or the cost model) below the saturation frontier.\n",
+                 saturated,
+                 core::to_string(first_saturated->point.algorithm).c_str(),
+                 first_saturated->point.n, first_saturated->point.f);
+    return 4;
+  }
   if (failed != 0 || !write_ok) return 1;
   return result.aborted ? 3 : 0;
 }

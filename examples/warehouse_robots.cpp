@@ -32,8 +32,8 @@ int main() {
   cfg.seed = 99;
 
   const core::ScenarioResult res = core::run_scenario(warehouse, cfg);
-  std::printf("rounds to full assignment: %llu\n",
-              static_cast<unsigned long long>(res.stats.rounds));
+  std::printf("rounds to full assignment: %s\n",
+              res.stats.rounds.to_string().c_str());
   std::printf("healthy robots with a private dock: %s (worst dock load %u)\n",
               res.verify.ok() ? "all" : "FAILED", res.verify.worst_node_load);
   if (!res.verify.ok()) std::printf("detail: %s\n", res.verify.detail.c_str());

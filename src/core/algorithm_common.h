@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/round.h"
 #include "graph/canonical.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
@@ -38,10 +39,13 @@ using PairingWindow = std::vector<std::pair<sim::RobotId, sim::RobotId>>;
 /// A planned algorithm instance: the scenario harness builds one per run.
 struct AlgorithmPlan {
   /// Upper bound on the honest termination round (engine run budget).
-  std::uint64_t total_rounds = 0;
+  /// Saturating 128-bit: a plan whose bound overflows reports
+  /// is_saturated() and the scenario harness refuses to run it (loud
+  /// verification failure / structured sweep skip), never a silent cap.
+  Round total_rounds = 0;
   /// End of the charged oracle prefix (gathering / Find-Map); Byzantine
   /// programs sleep until here so fast-forwarding stays effective.
-  std::uint64_t byz_wake_round = 0;
+  Round byz_wake_round = 0;
   /// Program builder for an honest robot with the given ID and start node.
   std::function<sim::ProgramFactory(sim::RobotId, NodeId)> honest;
 };

@@ -16,59 +16,95 @@ std::optional<Port> random_port(Ctx& ctx, Rng& rng) {
   return static_cast<Port>(rng.below(ctx.degree()));
 }
 
-/// Sleep through charged oracle phases (where there is nothing to attack
-/// and staying awake would defeat the engine's fast-forwarding).
+/// Cursor over a schedule's charged windows. pending() returns how long to
+/// sleep from `now` to clear the window containing it (0 = outside every
+/// window). Windows are sorted, so the cursor only ever advances —
+/// checking costs O(1) per awake round.
+struct ChargeGate {
+  ByzSchedule sched;
+  std::size_t next = 0;
+
+  [[nodiscard]] Round pending(Round now) {
+    while (next < sched.charged.size() && now >= sched.charged[next].second)
+      ++next;
+    if (next < sched.charged.size() && now >= sched.charged[next].first)
+      return sched.charged[next].second - now;
+    return 0;
+  }
+};
+
+// Every strategy loop starts a round with this: sleep out the initial
+// charged prefix and, later, every charged window of subsequent waves.
+// Single-wave schedules have no windows, so behavior (and RNG draws) are
+// bit-identical to the pre-schedule code there.
+#define BDG_BYZ_SKIP_CHARGED(gate, ctx)                                 \
+  for (Round d_ = (gate).pending((ctx).round()); d_ != Round(0);        \
+       d_ = (gate).pending((ctx).round()))                              \
+  co_await (ctx).sleep_rounds(d_)
+
 Proc crash_program(Ctx ctx) {
   (void)ctx;
   co_return;
 }
 
-Proc random_walker(Ctx ctx, std::uint64_t wake, Rng rng) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc random_walker(Ctx ctx, ByzSchedule sched, Rng rng) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   for (;;) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     ctx.broadcast(kMsgStatus, {kStateToBeSettled});
     co_await ctx.end_round(random_port(ctx, rng));
   }
 }
 
-Proc squatter(Ctx ctx, std::uint64_t wake) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc squatter(Ctx ctx, ByzSchedule sched) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   for (;;) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     ctx.broadcast(kMsgStatus, {kStateSettled});
     co_await ctx.end_round(std::nullopt);
   }
 }
 
-Proc fake_settler(Ctx ctx, std::uint64_t wake, Rng rng) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc fake_settler(Ctx ctx, ByzSchedule sched, Rng rng) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   const std::uint64_t squat_len = 2 + rng.below(2 * ctx.n());
   for (;;) {
     // Claim to be settled here for a while...
     for (std::uint64_t i = 0; i < squat_len; ++i) {
+      BDG_BYZ_SKIP_CHARGED(gate, ctx);
       ctx.broadcast(kMsgStatus, {kStateSettled});
       co_await ctx.end_round(std::nullopt);
     }
     // ...then sneak a few hops away and claim again (classic A_r bait).
     const std::uint64_t hops = 1 + rng.below(3);
-    for (std::uint64_t i = 0; i < hops; ++i)
+    for (std::uint64_t i = 0; i < hops; ++i) {
+      BDG_BYZ_SKIP_CHARGED(gate, ctx);
       co_await ctx.end_round(random_port(ctx, rng));
+    }
   }
 }
 
-Proc silent_settler(Ctx ctx, std::uint64_t wake) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc silent_settler(Ctx ctx, ByzSchedule sched) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   // Claim Settled briefly, then vanish from the airwaves: visitors that
   // recorded us must blacklist us for the missing beacon (paper step 4).
   for (int i = 0; i < 3; ++i) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     ctx.broadcast(kMsgStatus, {kStateSettled});
     co_await ctx.end_round(std::nullopt);
   }
   co_return;
 }
 
-Proc intent_spammer(Ctx ctx, std::uint64_t wake, Rng rng) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc intent_spammer(Ctx ctx, ByzSchedule sched, Rng rng) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   for (;;) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     // Announce settling without ever staying put; forces honest robots to
     // record us and exercise the relocation blacklist rule.
     ctx.broadcast(kMsgStatus, {kStateToBeSettled});
@@ -78,9 +114,11 @@ Proc intent_spammer(Ctx ctx, std::uint64_t wake, Rng rng) {
   }
 }
 
-Proc map_liar(Ctx ctx, std::uint64_t wake, Rng rng) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+Proc map_liar(Ctx ctx, ByzSchedule sched, Rng rng) {
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   for (;;) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     // Lie on every map-finding channel at once: fake token presence, fake
     // instructions, garbage map codes.
     ctx.broadcast(explore::kMsgTokenHere);
@@ -95,12 +133,14 @@ Proc map_liar(Ctx ctx, std::uint64_t wake, Rng rng) {
   }
 }
 
-Proc spoofer(Ctx ctx, std::uint64_t wake, std::vector<sim::RobotId> peers,
+Proc spoofer(Ctx ctx, ByzSchedule sched, std::vector<sim::RobotId> peers,
              Rng rng) {
-  if (wake > 0) co_await ctx.sleep_rounds(wake);
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
   if (ctx.faultiness() != sim::Faultiness::kStrongByzantine)
     throw std::logic_error("spoofer strategy requires a strong robot");
   for (;;) {
+    BDG_BYZ_SKIP_CHARGED(gate, ctx);
     // Forge votes under several peers' identities on all channels.
     for (int i = 0; i < 3 && !peers.empty(); ++i) {
       const sim::RobotId victim = peers[rng.below(peers.size())];
@@ -121,6 +161,8 @@ Proc spoofer(Ctx ctx, std::uint64_t wake, std::vector<sim::RobotId> peers,
                                             : std::nullopt);
   }
 }
+
+#undef BDG_BYZ_SKIP_CHARGED
 
 }  // namespace
 
@@ -160,31 +202,32 @@ const std::vector<ByzStrategy>& weak_strategies() {
 sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
                                            std::vector<sim::RobotId> peer_ids,
                                            std::uint64_t seed) {
-  return make_byzantine_program(strategy, std::move(peer_ids), seed, 0);
+  return make_byzantine_program(strategy, std::move(peer_ids), seed,
+                                ByzSchedule{});
 }
 
 sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
                                            std::vector<sim::RobotId> peer_ids,
                                            std::uint64_t seed,
-                                           std::uint64_t wake_round) {
+                                           ByzSchedule schedule) {
   switch (strategy) {
     case ByzStrategy::kCrash:
       return [](Ctx c) { return crash_program(c); };
     case ByzStrategy::kRandomWalker:
-      return [=](Ctx c) { return random_walker(c, wake_round, Rng(seed)); };
+      return [=](Ctx c) { return random_walker(c, schedule, Rng(seed)); };
     case ByzStrategy::kSquatter:
-      return [=](Ctx c) { return squatter(c, wake_round); };
+      return [=](Ctx c) { return squatter(c, schedule); };
     case ByzStrategy::kFakeSettler:
-      return [=](Ctx c) { return fake_settler(c, wake_round, Rng(seed)); };
+      return [=](Ctx c) { return fake_settler(c, schedule, Rng(seed)); };
     case ByzStrategy::kSilentSettler:
-      return [=](Ctx c) { return silent_settler(c, wake_round); };
+      return [=](Ctx c) { return silent_settler(c, schedule); };
     case ByzStrategy::kIntentSpammer:
-      return [=](Ctx c) { return intent_spammer(c, wake_round, Rng(seed)); };
+      return [=](Ctx c) { return intent_spammer(c, schedule, Rng(seed)); };
     case ByzStrategy::kMapLiar:
-      return [=](Ctx c) { return map_liar(c, wake_round, Rng(seed)); };
+      return [=](Ctx c) { return map_liar(c, schedule, Rng(seed)); };
     case ByzStrategy::kSpoofer:
       return [=, peers = std::move(peer_ids)](Ctx c) {
-        return spoofer(c, wake_round, peers, Rng(seed));
+        return spoofer(c, schedule, peers, Rng(seed));
       };
   }
   throw std::invalid_argument("make_byzantine_program: bad strategy");

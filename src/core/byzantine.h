@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/round.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 
@@ -35,6 +37,30 @@ enum class ByzStrategy {
 /// All weak-compatible strategies (everything but kSpoofer).
 [[nodiscard]] const std::vector<ByzStrategy>& weak_strategies();
 
+/// When a Byzantine robot is allowed to act. During a charged oracle phase
+/// (gathering / Find-Map) every honest robot is walking or sleeping out an
+/// imported round bound: there is nothing to attack, and a Byzantine robot
+/// that stays awake only defeats the engine's round fast-forwarding. The
+/// scenario harness therefore hands each Byzantine robot its wave's wake
+/// round plus the charged windows of every LATER wave (Theorem 8 wave
+/// scheduling), and the strategies sleep through all of them — so
+/// multi-wave k > n sweeps fast-forward their oracle prefixes exactly like
+/// single-wave runs.
+struct ByzSchedule {
+  /// First active round (end of the robot's own wave's charged prefix).
+  Round wake = 0;
+  /// Charged windows [begin, end) at or after `wake`, sorted and disjoint;
+  /// the robot sleeps through each.
+  std::vector<std::pair<Round, Round>> charged;
+
+  ByzSchedule() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare wake round is a
+  // schedule (the single-wave case every test and bench uses).
+  ByzSchedule(Round wake_round) : wake(wake_round) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  ByzSchedule(std::uint64_t wake_round) : wake(wake_round) {}
+};
+
 /// Build the engine program for a Byzantine robot.
 /// `peer_ids` lists all robot IDs (used for spoofing and targeted lies);
 /// `seed` derives the robot's private randomness.
@@ -42,11 +68,10 @@ enum class ByzStrategy {
     ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
     std::uint64_t seed);
 
-/// Same, but the robot sleeps until `wake_round` first (scenarios use this
-/// to skip the charged oracle phases, where nothing can be attacked and
-/// staying awake would defeat round fast-forwarding).
+/// Same, but the robot honors `schedule`: it sleeps until schedule.wake
+/// first and stays asleep through every later charged window.
 [[nodiscard]] sim::ProgramFactory make_byzantine_program(
     ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
-    std::uint64_t seed, std::uint64_t wake_round);
+    std::uint64_t seed, ByzSchedule schedule);
 
 }  // namespace bdg::core

@@ -14,8 +14,8 @@ namespace {
 struct CrashPlanConfig {
   std::vector<sim::RobotId> ids;
   std::uint32_t n = 0;
-  std::uint64_t t2 = 0;
-  std::uint64_t phase_rounds = 0;
+  Round t2 = 0;
+  Round phase_rounds = 0;
   gather::BitEpochSpec gather_spec;  // per-robot tour filled in honest()
 };
 
@@ -37,8 +37,8 @@ AlgorithmPlan plan_crash_real_dispersion(const Graph& g,
   (void)cost;
   std::sort(ids.begin(), ids.end());
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t t2 = explore::default_map_window(n);
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round t2 = explore::default_map_window(n);
+  const Round phase = dispersion_phase_rounds(n);
   std::uint32_t bits = 1;
   if (!ids.empty()) bits = gather::CostModel::id_bits(ids.back());
   const auto epoch = static_cast<std::uint32_t>(2 * g.n());
@@ -46,7 +46,7 @@ AlgorithmPlan plan_crash_real_dispersion(const Graph& g,
   gather::BitEpochSpec proto;
   proto.epoch_len = epoch;
   proto.id_bits = bits;
-  const std::uint64_t gather_rounds = gather::bit_epoch_total_rounds(proto);
+  const Round gather_rounds = gather::bit_epoch_total_rounds(proto);
 
   AlgorithmPlan plan;
   plan.total_rounds = gather_rounds + 3 * t2 + phase + 8;

@@ -15,8 +15,8 @@ using sim::RobotId;
 using sim::Task;
 
 /// Settled loop: beacon STATUS(Settled) every round until the phase ends.
-Task<void> settled_beacon(Ctx ctx, std::uint64_t remaining) {
-  for (std::uint64_t i = 0; i < remaining; ++i) {
+Task<void> settled_beacon(Ctx ctx, Round remaining) {
+  for (Round i = 0; i < remaining; i += 1) {
     ctx.broadcast(kMsgStatus, {kStateSettled});
     co_await ctx.end_round(std::nullopt);
   }
@@ -24,8 +24,8 @@ Task<void> settled_beacon(Ctx ctx, std::uint64_t remaining) {
 
 }  // namespace
 
-std::uint64_t dispersion_phase_rounds(std::uint32_t n) {
-  return 6ULL * n + 16;
+Round dispersion_phase_rounds(std::uint32_t n) {
+  return 6 * Round(n) + 16;
 }
 
 Task<DispersionOutcome> run_dispersion_using_map(Ctx ctx,

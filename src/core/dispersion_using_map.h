@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <set>
 
+#include "core/round.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -37,12 +38,12 @@ struct DispersionParams {
   NodeId map_root;    ///< the robot's current node, in map coordinates
   /// Fixed phase length in rounds; every participant must use the same
   /// value (the protocol is synchronous). See dispersion_phase_rounds().
-  std::uint64_t phase_rounds = 0;
+  Round phase_rounds = 0;
 };
 
 /// Default phase budget: three Euler tours plus slack (one tour suffices by
 /// Lemma 4; the margin absorbs adversarial edge cases defensively).
-[[nodiscard]] std::uint64_t dispersion_phase_rounds(std::uint32_t n);
+[[nodiscard]] Round dispersion_phase_rounds(std::uint32_t n);
 
 struct DispersionOutcome {
   bool settled = false;

@@ -18,7 +18,7 @@ using explore::MapFindOutcome;
 sim::Task<std::optional<CanonicalCode>> group_run(
     sim::Ctx ctx, std::vector<sim::RobotId> agents,
     std::vector<sim::RobotId> tokens, std::uint32_t agent_quorum,
-    std::uint32_t token_quorum, std::uint64_t t2, std::uint32_t n) {
+    std::uint32_t token_quorum, Round t2, std::uint32_t n) {
   std::sort(agents.begin(), agents.end());
   std::sort(tokens.begin(), tokens.end());
   MapFindConfig cfg;
@@ -45,10 +45,10 @@ sim::Task<std::optional<CanonicalCode>> group_run(
 struct GroupPlanConfig {
   std::vector<sim::RobotId> ids;  // sorted
   std::uint32_t n = 0;
-  std::uint64_t t2 = 0;
-  std::uint64_t gather_rounds = 0;
+  Round t2 = 0;
+  Round gather_rounds = 0;
   std::vector<Port> rally_path;
-  std::uint64_t phase_rounds = 0;
+  Round phase_rounds = 0;
 };
 
 /// Split sorted ids into three groups: the smallest floor(k/3) IDs form A,
@@ -105,8 +105,8 @@ sim::Proc sqrt_robot(sim::Ctx ctx, GroupPlanConfig cfg) {
 
 sim::Task<bool> run_three_group_phase(sim::Ctx ctx,
                                       std::vector<sim::RobotId> ids,
-                                      std::uint32_t n, std::uint64_t t2,
-                                      std::uint64_t phase_rounds) {
+                                      std::uint32_t n, Round t2,
+                                      Round phase_rounds) {
   std::sort(ids.begin(), ids.end());
   const auto groups = three_groups(ids);
   const auto k = static_cast<std::uint32_t>(ids.size());
@@ -145,8 +145,8 @@ AlgorithmPlan plan_three_group_dispersion(const Graph& g,
   (void)cost;
   std::sort(ids.begin(), ids.end());
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t t2 = explore::default_map_window(n);
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round t2 = explore::default_map_window(n);
+  const Round phase = dispersion_phase_rounds(n);
 
   AlgorithmPlan plan;
   plan.total_rounds = 3 * t2 + phase + 8;
@@ -170,11 +170,11 @@ AlgorithmPlan plan_sqrt_dispersion(const Graph& g,
                                    const gather::CostModel& cost) {
   std::sort(ids.begin(), ids.end());
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t t2 = explore::default_map_window(n);
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round t2 = explore::default_map_window(n);
+  const Round phase = dispersion_phase_rounds(n);
   const std::uint32_t lambda =
       gather::CostModel::id_bits(ids.empty() ? 1 : ids.back());
-  const std::uint64_t gather_rounds = std::max<std::uint64_t>(
+  const Round gather_rounds = std::max<Round>(
       cost.rounds(gather::GatherKind::kSqrtHirose, n, f, lambda), 2 * g.n());
 
   AlgorithmPlan plan;

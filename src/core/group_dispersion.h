@@ -29,8 +29,8 @@ namespace bdg::core {
 /// Consumes exactly 3*t2 + phase_rounds rounds. Also used by the
 /// crash-fault extension after its real (non-oracle) gathering.
 [[nodiscard]] sim::Task<bool> run_three_group_phase(
-    sim::Ctx ctx, std::vector<sim::RobotId> ids, std::uint32_t n,
-    std::uint64_t t2, std::uint64_t phase_rounds);
+    sim::Ctx ctx, std::vector<sim::RobotId> ids, std::uint32_t n, Round t2,
+    Round phase_rounds);
 
 /// Theorem 5 plan; arbitrary start, gathering charged per [27].
 [[nodiscard]] AlgorithmPlan plan_sqrt_dispersion(const Graph& g,

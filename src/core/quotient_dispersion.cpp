@@ -8,8 +8,8 @@
 namespace bdg::core {
 namespace {
 
-sim::Proc quotient_robot(sim::Ctx ctx, std::uint64_t map_charge, Graph map,
-                         NodeId map_root, std::uint64_t phase_rounds) {
+sim::Proc quotient_robot(sim::Ctx ctx, Round map_charge, Graph map,
+                         NodeId map_root, Round phase_rounds) {
   // Phase 1: Find-Map. Non-interactive; only the round charge is visible.
   if (map_charge > 0) co_await ctx.sleep_rounds(map_charge);
   // Phase 2: disperse with the quotient map.
@@ -25,8 +25,8 @@ sim::Proc quotient_robot(sim::Ctx ctx, std::uint64_t map_charge, Graph map,
 AlgorithmPlan plan_quotient_dispersion(const Graph& g,
                                        const gather::CostModel& cost) {
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t map_charge = cost.find_map_rounds(n);
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round map_charge = cost.find_map_rounds(n);
+  const Round phase = dispersion_phase_rounds(n);
 
   // Shared, precomputed quotient (identical for every robot; the per-robot
   // difference is only the root class).

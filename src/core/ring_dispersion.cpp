@@ -8,7 +8,7 @@
 namespace bdg::core {
 namespace {
 
-sim::Proc ring_robot(sim::Ctx ctx, std::uint64_t phase_rounds) {
+sim::Proc ring_robot(sim::Ctx ctx, Round phase_rounds) {
   // Phase 1: constructive, communication-free Find-Map (exactly n rounds,
   // so all robots enter Phase 2 together).
   Graph map = co_await explore::run_ring_find_map(ctx);
@@ -28,7 +28,7 @@ AlgorithmPlan plan_ring_dispersion(const Graph& g,
   if (!explore::is_ring(g))
     throw std::invalid_argument("plan_ring_dispersion: graph is not a ring");
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round phase = dispersion_phase_rounds(n);
 
   AlgorithmPlan plan;
   plan.total_rounds = n + phase + 4;

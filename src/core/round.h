@@ -1,0 +1,145 @@
+#pragma once
+// core::Round — saturating unsigned 128-bit round count.
+//
+// The paper's charged round bounds for the exponential rows (row 2's
+// weak-gathering charge under the theory cost model, row 6's strong
+// exponential gathering) overflow 64-bit arithmetic long before the n
+// values the sweep grids want to reach. Every layer that carries a round
+// count — bound calculators, engine wake scheduling, sweep reports,
+// checkpoints — uses this type instead of std::uint64_t, so overflow is
+// an explicit *reported* state (is_saturated()), never silent wraparound
+// or an ad-hoc cap.
+//
+// Semantics:
+//  * magnitude is an unsigned 128-bit integer; the all-ones value 2^128-1
+//    is the saturation sentinel (representable exact range [0, 2^128-2]);
+//  * +, *, << and exp2 saturate to the sentinel on overflow; saturation
+//    is sticky through them (except multiplication by zero, which is 0);
+//  * operator- is a monus (clamps at 0); subtracting from a saturated
+//    value stays saturated ("at least that much is still left");
+//  * to_string/from_string are an exact decimal round-trip, used by the
+//    run/report writers so 128-bit rounds survive CSV/JSON/checkpoint
+//    serialization byte-identically.
+//
+// Header-only on purpose: the sim layer sits below core in the library
+// graph (util <- graph <- sim <- {explore, gather} <- core <- run) but
+// keys its wake queue on Round; a dependency-free header is usable from
+// every layer without linking bdg_core.
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#ifndef __SIZEOF_INT128__
+#error "core::Round requires compiler __int128 support (GCC/Clang, 64-bit)"
+#endif
+
+namespace bdg::core {
+
+class Round {
+ public:
+  using u128 = unsigned __int128;
+
+  constexpr Round() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): literals must stay ergonomic
+  constexpr Round(std::uint64_t v) : v_(v) {}
+
+  /// The saturation sentinel (2^128 - 1).
+  [[nodiscard]] static constexpr Round saturated() { return from_raw(~u128{0}); }
+
+  /// 2^p, saturating for p >= 128.
+  [[nodiscard]] static constexpr Round exp2(std::uint32_t p) {
+    if (p >= 128) return saturated();
+    return from_raw(u128{1} << p);
+  }
+
+  [[nodiscard]] constexpr bool is_saturated() const { return v_ == ~u128{0}; }
+  [[nodiscard]] constexpr bool fits_u64() const {
+    return v_ <= u128{UINT64_MAX};
+  }
+  /// Low 64 bits; meaningful only when fits_u64().
+  [[nodiscard]] constexpr std::uint64_t low_u64() const {
+    return static_cast<std::uint64_t>(v_);
+  }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(v_);  // __int128 -> double is exact up to 2^53
+  }
+  explicit operator double() const { return to_double(); }
+  [[nodiscard]] constexpr u128 raw() const { return v_; }
+
+  // --- saturating arithmetic ----------------------------------------------
+  friend constexpr Round operator+(Round a, Round b) {
+    const u128 sum = a.v_ + b.v_;
+    if (sum < a.v_) return saturated();
+    return from_raw(sum);
+  }
+  /// Monus: clamps at 0. A saturated minuend stays saturated (at least
+  /// that much remains).
+  friend constexpr Round operator-(Round a, Round b) {
+    if (a.is_saturated()) return a;
+    if (b.v_ >= a.v_) return from_raw(0);
+    return from_raw(a.v_ - b.v_);
+  }
+  friend constexpr Round operator*(Round a, Round b) {
+    if (a.v_ == 0 || b.v_ == 0) return from_raw(0);
+    if (a.is_saturated() || b.is_saturated()) return saturated();
+    if (a.v_ > ~u128{0} / b.v_) return saturated();
+    return from_raw(a.v_ * b.v_);
+  }
+  friend constexpr Round operator<<(Round a, std::uint32_t shift) {
+    if (a.v_ == 0) return a;
+    if (shift >= 128 || a.v_ > (~u128{0} >> shift)) return saturated();
+    return from_raw(a.v_ << shift);
+  }
+  constexpr Round& operator+=(Round b) { return *this = *this + b; }
+  constexpr Round& operator-=(Round b) { return *this = *this - b; }
+  constexpr Round& operator*=(Round b) { return *this = *this * b; }
+
+  // --- comparisons ----------------------------------------------------------
+  friend constexpr bool operator==(Round a, Round b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Round a, Round b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Round a, Round b) { return a.v_ < b.v_; }
+  friend constexpr bool operator<=(Round a, Round b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>(Round a, Round b) { return a.v_ > b.v_; }
+  friend constexpr bool operator>=(Round a, Round b) { return a.v_ >= b.v_; }
+
+  // --- exact decimal serialization ----------------------------------------
+  [[nodiscard]] std::string to_string() const {
+    if (v_ == 0) return "0";
+    char buf[40];  // 2^128-1 has 39 digits
+    char* p = buf + sizeof buf;
+    for (u128 v = v_; v != 0; v /= 10)
+      *--p = static_cast<char>('0' + static_cast<unsigned>(v % 10));
+    return std::string(p, buf + sizeof buf);
+  }
+
+  /// Parse an exact decimal magnitude; nullopt on empty input, non-digit
+  /// characters, or a value past 2^128-1 (an overflowing text is foreign
+  /// data, not a saturated round).
+  [[nodiscard]] static std::optional<Round> from_string(std::string_view s) {
+    if (s.empty() || s.size() > 39) return std::nullopt;
+    u128 v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return std::nullopt;
+      const auto digit = static_cast<unsigned>(c - '0');
+      if (v > (~u128{0} - digit) / 10) return std::nullopt;
+      v = v * 10 + digit;
+    }
+    return from_raw(v);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Round r) {
+    return os << r.to_string();
+  }
+
+ private:
+  [[nodiscard]] static constexpr Round from_raw(u128 v) {
+    Round r;
+    r.v_ = v;
+    return r;
+  }
+  u128 v_ = 0;
+};
+
+}  // namespace bdg::core

@@ -159,6 +159,12 @@ AlgorithmPlan make_plan(Algorithm a, const Graph& g,
 
 }  // namespace
 
+std::vector<sim::RobotId> draw_robot_ids(std::uint32_t k, std::uint32_t n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  return draw_ids(k, n, rng);
+}
+
 ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
   const auto n = static_cast<std::uint32_t>(g.n());
   const std::uint32_t k = cfg.num_robots == 0 ? n : cfg.num_robots;
@@ -205,14 +211,36 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
 
   const bool strong = cfg.strong_byzantine || handles_strong(cfg.algorithm);
   std::vector<AlgorithmPlan> plans;
-  std::vector<std::uint64_t> offsets(waves, 0);
-  std::uint64_t total_rounds = 0;
+  std::vector<Round> offsets(waves, Round(0));
+  Round total_rounds = 0;
   plans.reserve(waves);
   for (std::uint32_t w = 0; w < waves; ++w) {
     plans.push_back(
         make_plan(cfg.algorithm, g, wave_ids[w], wave_byz[w], cfg.cost));
     offsets[w] = total_rounds;
     total_rounds += plans[w].total_rounds;
+  }
+
+  ScenarioResult res;
+  res.planned_rounds = total_rounds;
+  // A bound past 2^128-1 cannot be run OR verified: fail loudly before
+  // touching the engine instead of capping silently (the pre-Round code
+  // clamped at 2^62 and reported fictitious round counts).
+  if (total_rounds.is_saturated()) {
+    res.saturated = true;
+    res.verify = verify_round_bound(total_rounds);
+    return res;
+  }
+
+  // Charged oracle windows [begin, end) per wave, in global rounds. Every
+  // Byzantine robot sleeps through each window at or after its own wake
+  // round (nothing can be attacked there — honest robots are walking or
+  // sleeping out an imported bound — and staying awake would defeat the
+  // engine's fast-forwarding for every later wave).
+  std::vector<std::pair<Round, Round>> charged;
+  for (std::uint32_t w = 0; w < waves; ++w) {
+    if (plans[w].byz_wake_round != 0)
+      charged.emplace_back(offsets[w], offsets[w] + plans[w].byz_wake_round);
   }
 
   sim::Engine eng(g);
@@ -226,20 +254,22 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
               ? cfg.strategy
               : cfg.strategies[byz_index % cfg.strategies.size()];
       ++byz_index;
+      ByzSchedule sched;
+      sched.wake = offsets[w] + plans[w].byz_wake_round;
+      for (const auto& win : charged)
+        if (win.first >= sched.wake) sched.charged.push_back(win);
       eng.add_robot(ids[i],
                     strong ? sim::Faultiness::kStrongByzantine
                            : sim::Faultiness::kWeakByzantine,
                     starts[i],
                     make_byzantine_program(strategy, ids, rng.next(),
-                                           offsets[w] + plans[w].byz_wake_round));
+                                           std::move(sched)));
     } else {
       eng.add_robot(ids[i], sim::Faultiness::kHonest, starts[i],
                     plans[w].honest(ids[i], starts[i]), offsets[w]);
     }
   }
 
-  ScenarioResult res;
-  res.planned_rounds = total_rounds;
   res.stats = eng.run(total_rounds + 16);
   res.verify = k == n ? verify_dispersion(eng)
                       : verify_k_dispersion(eng, k, cfg.num_byzantine);

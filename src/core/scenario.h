@@ -90,8 +90,21 @@ struct ScenarioConfig {
 struct ScenarioResult {
   VerifyResult verify;
   sim::RunStats stats;
-  std::uint64_t planned_rounds = 0;  ///< the plan's termination bound
+  Round planned_rounds = 0;  ///< the plan's termination bound
+  /// The planned bound overflowed 128-bit round accounting. The engine was
+  /// never run: verify reports a loud failure and sweeps turn this into a
+  /// structured skip (mirroring the Theorem 8 infeasibility machinery).
+  bool saturated = false;
 };
+
+/// Distinct robot IDs from [1, max(k, n)^2] (paper: IDs from [1, n^c],
+/// c > 1), in increasing order — the exact draw run_scenario performs
+/// first with Rng(seed). Exposed so oracle tests can reconstruct a
+/// scenario's plan bounds (which depend on the drawn IDs through
+/// |Lambda|) without re-running it.
+[[nodiscard]] std::vector<sim::RobotId> draw_robot_ids(std::uint32_t k,
+                                                       std::uint32_t n,
+                                                       std::uint64_t seed);
 
 /// Build, run and verify one scenario on `g` (with n = g.n() robots).
 [[nodiscard]] ScenarioResult run_scenario(const Graph& g,

@@ -14,10 +14,10 @@ using explore::MapFindOutcome;
 struct StrongPlanConfig {
   std::vector<sim::RobotId> ids;  // sorted; the gathered-set common knowledge
   std::uint32_t n = 0;
-  std::uint64_t t2 = 0;
-  std::uint64_t gather_rounds = 0;
+  Round t2 = 0;
+  Round gather_rounds = 0;
   std::vector<Port> rally_path;
-  std::uint64_t assign_rounds = 0;  ///< fixed length of the assignment phase
+  Round assign_rounds = 0;  ///< fixed length of the assignment phase
 };
 
 sim::Proc strong_robot(sim::Ctx ctx, StrongPlanConfig cfg) {
@@ -66,18 +66,18 @@ sim::Proc strong_robot(sim::Ctx ctx, StrongPlanConfig cfg) {
       }
     }
   }
-  if (used < cfg.assign_rounds)
+  if (Round(used) < cfg.assign_rounds)
     co_await ctx.sleep_rounds(cfg.assign_rounds - used);
 }
 
 AlgorithmPlan plan_strong(const Graph& g, std::vector<sim::RobotId> ids,
-                          std::uint64_t gather_rounds,
+                          Round gather_rounds,
                           const gather::CostModel& cost) {
   (void)cost;
   std::sort(ids.begin(), ids.end());
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t t2 = explore::default_map_window(n);
-  const std::uint64_t assign = static_cast<std::uint64_t>(n) + 8;
+  const Round t2 = explore::default_map_window(n);
+  const Round assign = Round(n) + 8;
 
   AlgorithmPlan plan;
   plan.total_rounds = gather_rounds + t2 + assign + 8;
@@ -114,7 +114,7 @@ AlgorithmPlan plan_strong_arbitrary_dispersion(const Graph& g,
   const std::uint32_t lambda =
       gather::CostModel::id_bits(ids.empty() ? 1 : *std::max_element(
                                                        ids.begin(), ids.end()));
-  const std::uint64_t gather_rounds = std::max<std::uint64_t>(
+  const Round gather_rounds = std::max<Round>(
       cost.rounds(gather::GatherKind::kStrongExp, n, f, lambda), 2 * g.n());
   return plan_strong(g, std::move(ids), gather_rounds, cost);
 }

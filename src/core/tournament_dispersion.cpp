@@ -14,10 +14,10 @@ using explore::MapFindOutcome;
 struct TournamentConfig {
   std::vector<sim::RobotId> ids;  ///< all participants, sorted
   std::uint32_t n = 0;
-  std::uint64_t t2 = 0;             ///< one map-finding window
-  std::uint64_t gather_rounds = 0;  ///< 0 when initially gathered
-  std::vector<Port> rally_path;     ///< robot's own path to the rally node
-  std::uint64_t phase_rounds = 0;   ///< dispersion phase length
+  Round t2 = 0;                  ///< one map-finding window
+  Round gather_rounds = 0;       ///< 0 when initially gathered
+  std::vector<Port> rally_path;  ///< robot's own path to the rally node
+  Round phase_rounds = 0;        ///< dispersion phase length
 };
 
 sim::Proc tournament_robot(sim::Ctx ctx, TournamentConfig cfg) {
@@ -84,18 +84,18 @@ AlgorithmPlan plan_tournament_dispersion(const Graph& g,
                                          const gather::CostModel& cost) {
   std::sort(ids.begin(), ids.end());
   const auto n = static_cast<std::uint32_t>(g.n());
-  const std::uint64_t t2 = explore::default_map_window(n);
-  const std::uint64_t phase = dispersion_phase_rounds(n);
+  const Round t2 = explore::default_map_window(n);
+  const Round phase = dispersion_phase_rounds(n);
   const std::uint32_t lambda =
       gather::CostModel::id_bits(ids.empty() ? 1 : ids.back());
-  const std::uint64_t gather_rounds =
-      gathered ? 0
-               : std::max<std::uint64_t>(
+  const Round gather_rounds =
+      gathered ? Round(0)
+               : std::max<Round>(
                      cost.rounds(gather::GatherKind::kWeakDPP, n, f, lambda),
                      2 * g.n());  // at least enough to physically walk
   const std::size_t k_padded = ids.size() + (ids.size() % 2);
-  const std::uint64_t pairing_rounds =
-      (k_padded == 0 ? 0 : (k_padded - 1)) * 2 * t2;
+  const Round pairing_rounds =
+      Round(k_padded == 0 ? 0 : (k_padded - 1)) * 2 * t2;
 
   AlgorithmPlan plan;
   plan.total_rounds = gather_rounds + pairing_rounds + phase + 8;

@@ -45,4 +45,21 @@ VerifyResult verify_k_dispersion(const sim::Engine& engine, std::uint32_t k,
   return check(engine, cap);
 }
 
+VerifyResult verify_round_bound(const Round& planned) {
+  VerifyResult res;
+  if (!planned.is_saturated()) {
+    // Nothing ran yet; the caller proceeds to the engine and the real
+    // post-run checks. Report a vacuously passing result.
+    res.dispersed = true;
+    res.all_honest_done = true;
+    return res;
+  }
+  res.dispersed = false;
+  res.all_honest_done = false;
+  res.detail =
+      "planned round bound saturated 128-bit accounting (exceeds 2^128-1); "
+      "refusing to run the scenario";
+  return res;
+}
+
 }  // namespace bdg::core

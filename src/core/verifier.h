@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/round.h"
 #include "sim/engine.h"
 
 namespace bdg::core {
@@ -28,5 +29,12 @@ struct VerifyResult {
 [[nodiscard]] VerifyResult verify_k_dispersion(const sim::Engine& engine,
                                                std::uint32_t k,
                                                std::uint32_t f);
+
+/// Pre-run check of a plan's termination bound: passes for any exactly
+/// representable 128-bit bound, and fails LOUDLY when the bound saturated
+/// (the scenario must refuse to run — a capped bound would report
+/// fictitious round counts). Sweeps turn the failure into a structured
+/// skip, mirroring the Theorem 8 infeasibility machinery.
+[[nodiscard]] VerifyResult verify_round_bound(const Round& planned);
 
 }  // namespace bdg::core

@@ -26,7 +26,7 @@ struct AgentRun {
 
   /// Rounds still guaranteed to suffice for one more op plus walking home.
   [[nodiscard]] bool can_spend() const {
-    return used + home.size() + 6 <= cfg.round_budget;
+    return core::Round(used + home.size() + 6) <= cfg.round_budget;
   }
 };
 
@@ -75,8 +75,8 @@ Task<void> walk_home(Ctx ctx, std::vector<Port>& home, std::uint64_t& used) {
   }
 }
 
-Task<void> idle_rest(Ctx ctx, std::uint64_t used, std::uint64_t budget) {
-  if (used < budget) co_await ctx.sleep_rounds(budget - used);
+Task<void> idle_rest(Ctx ctx, std::uint64_t used, core::Round budget) {
+  if (core::Round(used) < budget) co_await ctx.sleep_rounds(budget - used);
 }
 
 std::vector<std::int64_t> code_payload(const CanonicalCode& code) {
@@ -96,8 +96,8 @@ std::optional<CanonicalCode> code_from_payload(
 
 }  // namespace
 
-std::uint64_t default_map_window(std::uint32_t n) {
-  const std::uint64_t nn = n;
+core::Round default_map_window(std::uint32_t n) {
+  const core::Round nn = n;
   return 8 * nn * nn * nn + 64 * nn + 96;
 }
 
@@ -223,10 +223,12 @@ Task<MapFindOutcome> run_map_token(Ctx ctx, MapFindConfig cfg) {
   std::optional<CanonicalCode> code;
   bool finished = false;
 
-  while (used < cfg.round_budget) {
+  while (core::Round(used) < cfg.round_budget) {
     // Leave exactly enough rounds to walk the reversed move log back to the
     // rally node, whatever Byzantine agents did.
-    if (finished || cfg.round_budget - used <= home.size() + 3) break;
+    if (finished ||
+        cfg.round_budget - used <= core::Round(home.size() + 3))
+      break;
     co_await ctx.next_subround();  // sub 1: read instructions from sub 0
     const auto instr =
         believed_payload(ctx.inbox(), kMsgInstr, cfg.agents, cfg.agent_quorum);

@@ -57,14 +57,16 @@ struct MapFindConfig {
   std::vector<sim::RobotId> tokens;  ///< token-group member IDs (sorted)
   std::uint32_t agent_quorum = 1;    ///< instructions believed at this count
   std::uint32_t token_quorum = 1;    ///< presence believed at this count
-  std::uint64_t round_budget = 0;    ///< fixed window length (rounds)
+  core::Round round_budget = 0;      ///< fixed window length (rounds)
   std::uint32_t n = 0;               ///< known node count (map size cap)
 };
 
 /// Window length ample for an honest run on any simple n-node graph,
 /// including the unconditional walk-home reserve. This is the paper's T2
-/// (an O(n^3) bound for exploration with a movable token).
-[[nodiscard]] std::uint64_t default_map_window(std::uint32_t n);
+/// (an O(n^3) bound for exploration with a movable token). Returned as a
+/// saturating Round so the window formula itself can never wrap at large n
+/// — the outer plan bounds multiply it further.
+[[nodiscard]] core::Round default_map_window(std::uint32_t n);
 
 struct MapFindOutcome {
   /// Canonical code of the constructed map, rooted at the rally node;

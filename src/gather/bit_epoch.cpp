@@ -13,8 +13,8 @@ enum BitEpochMsg : std::uint32_t {
 
 }  // namespace
 
-std::uint64_t bit_epoch_total_rounds(const BitEpochSpec& spec) {
-  return static_cast<std::uint64_t>(spec.id_bits + 1) * spec.epoch_len;
+core::Round bit_epoch_total_rounds(const BitEpochSpec& spec) {
+  return core::Round(spec.id_bits + 1) * spec.epoch_len;
 }
 
 sim::Task<void> run_bit_epoch_gathering(sim::Ctx ctx, BitEpochSpec spec) {

@@ -36,7 +36,7 @@ struct BitEpochSpec {
 };
 
 /// Total rounds consumed by the protocol: (id_bits + 1) * epoch_len.
-[[nodiscard]] std::uint64_t bit_epoch_total_rounds(const BitEpochSpec& spec);
+[[nodiscard]] core::Round bit_epoch_total_rounds(const BitEpochSpec& spec);
 
 /// Runs the protocol; on return (after exactly bit_epoch_total_rounds) all
 /// live cooperating robots are co-located at the leader's start node.

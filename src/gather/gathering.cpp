@@ -3,22 +3,13 @@
 #include <stdexcept>
 
 namespace bdg::gather {
-namespace {
 
-/// Multiply with saturation at 2^62 (exponential gathering charges would
-/// otherwise overflow the round counter).
-std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
-  constexpr std::uint64_t kCap = 1ULL << 62;
-  if (a != 0 && b > kCap / a) return kCap;
-  return a * b;
-}
+using core::Round;
 
-}  // namespace
-
-std::uint64_t CostModel::explore_rounds(std::uint32_t n) const {
-  const std::uint64_t nn = n;
+Round CostModel::explore_rounds(std::uint32_t n) const {
+  const Round nn = n;
   if (scaled) return 2 * nn + 2;  // concrete covering-walk length
-  return sat_mul(sat_mul(nn * nn, nn * nn), nn);  // n^5
+  return nn * nn * nn * nn * nn;  // n^5
 }
 
 std::uint32_t CostModel::id_bits(std::uint64_t max_id) {
@@ -30,43 +21,44 @@ std::uint32_t CostModel::id_bits(std::uint64_t max_id) {
   return bits == 0 ? 1 : bits;
 }
 
-std::uint64_t CostModel::rounds(GatherKind kind, std::uint32_t n,
-                                std::uint32_t f,
-                                std::uint32_t lambda_bits) const {
-  const std::uint64_t nn = n;
-  const std::uint64_t x = explore_rounds(n);
+Round CostModel::rounds(GatherKind kind, std::uint32_t n, std::uint32_t f,
+                        std::uint32_t lambda_bits) const {
+  const Round nn = n;
+  const Round x = explore_rounds(n);
   switch (kind) {
     case GatherKind::kNone:
       return 0;
     case GatherKind::kWeakDPP:
       // 4 n^4 P(n, Lambda), P(n, Lambda) = O(Lambda X(n)) ([27]).
-      return sat_mul(sat_mul(4 * nn * nn, nn * nn), sat_mul(lambda_bits, x));
+      return 4 * nn * nn * nn * nn * Round(lambda_bits) * x;
     case GatherKind::kSqrtHirose:
-      return sat_mul(static_cast<std::uint64_t>(f) + lambda_bits, x);
+      return (Round(f) + lambda_bits) * x;
     case GatherKind::kStrongExp: {
-      // Exponential in n; the constant base is not pinned down by [24], we
-      // charge 2^n (saturating) plus the strong-gathered suffix cost.
-      if (n >= 62) return 1ULL << 62;
-      return 1ULL << n;
+      // Exponential in n; [24] pins neither base nor constant, so we
+      // charge 2^(n-1) (one bit per unknown peer). The halved exponent
+      // also keeps the n = 128 plan total exactly representable in the
+      // 128-bit Round — a 2^n charge would already saturate it there.
+      (void)f;
+      return Round::exp2(n == 0 ? 0 : n - 1);
     }
   }
   throw std::logic_error("CostModel::rounds: bad kind");
 }
 
-std::uint64_t CostModel::find_map_rounds(std::uint32_t n) const {
-  const std::uint64_t nn = n;
+Round CostModel::find_map_rounds(std::uint32_t n) const {
+  const Round nn = n;
   return nn * nn * nn;
 }
 
 sim::Task<void> run_oracle_gathering(sim::Ctx ctx, GatheringSpec spec) {
-  if (spec.total_rounds < spec.path_to_rally.size())
+  if (spec.total_rounds < Round(spec.path_to_rally.size()))
     throw std::invalid_argument("run_oracle_gathering: budget < path length");
   std::uint64_t used = 0;
   for (const Port p : spec.path_to_rally) {
     co_await ctx.end_round(p);
     ++used;
   }
-  if (used < spec.total_rounds)
+  if (Round(used) < spec.total_rounds)
     co_await ctx.sleep_rounds(spec.total_rounds - used);
 }
 

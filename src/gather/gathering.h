@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/round.h"
 #include "graph/graph.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -33,22 +34,25 @@ enum class GatherKind {
 /// Round-charge models. `scaled` replaces the theoretical X(n) = n^5 with
 /// the concrete covering-walk length (~2n), keeping totals interpretable in
 /// benchmark sweeps while preserving relative shape; `theory` charges the
-/// paper's cited bounds verbatim.
+/// paper's cited bounds verbatim. All charges are saturating 128-bit
+/// core::Round values: a bound past 2^128-1 reports is_saturated() instead
+/// of silently capping (the old 2^62 clamp), and the scenario harness
+/// refuses to run a saturated plan.
 struct CostModel {
   bool scaled = true;
 
   /// X(n): rounds to explore any n-node graph ([2,45]: ~n^5 up to logs).
-  [[nodiscard]] std::uint64_t explore_rounds(std::uint32_t n) const;
+  [[nodiscard]] core::Round explore_rounds(std::uint32_t n) const;
   /// Bit-length of the largest robot ID (|Lambda|), IDs from [1, n^c].
   [[nodiscard]] static std::uint32_t id_bits(std::uint64_t max_id);
 
-  [[nodiscard]] std::uint64_t rounds(GatherKind kind, std::uint32_t n,
-                                     std::uint32_t f,
-                                     std::uint32_t lambda_bits) const;
+  [[nodiscard]] core::Round rounds(GatherKind kind, std::uint32_t n,
+                                   std::uint32_t f,
+                                   std::uint32_t lambda_bits) const;
 
   /// Charge for Find-Map (Theorem 1's per-robot quotient construction,
   /// polynomial in n per Czyzowicz et al. [16]); we charge n^3.
-  [[nodiscard]] std::uint64_t find_map_rounds(std::uint32_t n) const;
+  [[nodiscard]] core::Round find_map_rounds(std::uint32_t n) const;
 };
 
 struct GatheringSpec {
@@ -56,7 +60,7 @@ struct GatheringSpec {
   /// see DESIGN.md substitution 2).
   std::vector<Port> path_to_rally;
   /// Total charged rounds of the phase; must be >= path length.
-  std::uint64_t total_rounds = 0;
+  core::Round total_rounds = 0;
 };
 
 /// Walk to the rally node, then idle until the charged phase ends.

@@ -142,6 +142,17 @@ bool find_u32(const std::string& line, const char* key, std::uint32_t& out) {
   return true;
 }
 
+/// Round counts are exact decimal magnitudes up to 2^128-1; a malformed or
+/// overflowing token fails the whole line (foreign data must re-run).
+bool find_round(const std::string& line, const char* key, core::Round& out) {
+  std::string raw;
+  if (!find_raw(line, key, raw)) return false;
+  const auto parsed = core::Round::from_string(raw);
+  if (!parsed) return false;
+  out = *parsed;
+  return true;
+}
+
 bool find_bool(const std::string& line, const char* key, bool& out) {
   std::string raw;
   if (!find_raw(line, key, raw)) return false;
@@ -237,7 +248,9 @@ void write_json(std::ostream& os, const SweepResult& result) {
        << p.derived_seed;
     if (p.skipped) {
       os << ", \"skipped\": true, \"skip_reason\": \""
-         << json_escape(p.skip_reason) << "\"}";
+         << json_escape(p.skip_reason) << "\"";
+      if (p.saturated) os << ", \"saturated\": true";
+      os << '}';
     } else {
       os << ", \"ok\": " << (p.ok ? "true" : "false")
          << ", \"rounds\": " << p.stats.rounds
@@ -274,7 +287,11 @@ void write_json(std::ostream& os, const SweepResult& result) {
 
 void write_checkpoint_line(std::ostream& os, const PointResult& p,
                            std::uint64_t spec_fingerprint) {
-  os << "{\"v\": 1, \"spec\": " << spec_fingerprint << ", \"algorithm\": \""
+  // v2: `rounds`/`planned_rounds` are exact 128-bit decimals and the
+  // `saturated` flag is recorded. v1 lines (64-bit rounds) parse to
+  // nullopt on load, so checkpoints written before the Round widening
+  // re-run instead of silently importing possibly-capped counts.
+  os << "{\"v\": 2, \"spec\": " << spec_fingerprint << ", \"algorithm\": \""
      << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
      << json_escape(p.point.family) << "\", \"n\": " << p.point.n
      << ", \"k\": " << p.point.k << ", \"f\": " << p.point.f
@@ -284,7 +301,8 @@ void write_checkpoint_line(std::ostream& os, const PointResult& p,
      << "\", \"derived_seed\": " << p.derived_seed
      << ", \"skipped\": " << (p.skipped ? "true" : "false")
      << ", \"skip_reason\": \"" << json_escape(p.skip_reason)
-     << "\", \"ok\": " << (p.ok ? "true" : "false") << ", \"detail\": \""
+     << "\", \"saturated\": " << (p.saturated ? "true" : "false")
+     << ", \"ok\": " << (p.ok ? "true" : "false") << ", \"detail\": \""
      << json_escape(p.detail) << "\", \"rounds\": " << p.stats.rounds
      << ", \"simulated_rounds\": " << p.stats.simulated_rounds
      << ", \"resumes\": " << p.stats.resumes
@@ -300,7 +318,7 @@ std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
       line.find_last_of('}') == std::string::npos)
     return std::nullopt;
   std::uint64_t version = 0;
-  if (!find_u64(line, "v", version) || version != 1) return std::nullopt;
+  if (!find_u64(line, "v", version) || version != 2) return std::nullopt;
 
   CheckpointEntry entry;
   PointResult& p = entry.result;
@@ -316,14 +334,15 @@ std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
       !find_u64(line, "derived_seed", p.derived_seed) ||
       !find_bool(line, "skipped", p.skipped) ||
       !find_string(line, "skip_reason", p.skip_reason) ||
+      !find_bool(line, "saturated", p.saturated) ||
       !find_bool(line, "ok", p.ok) || !find_string(line, "detail", p.detail) ||
-      !find_u64(line, "rounds", p.stats.rounds) ||
+      !find_round(line, "rounds", p.stats.rounds) ||
       !find_u64(line, "simulated_rounds", p.stats.simulated_rounds) ||
       !find_u64(line, "resumes", p.stats.resumes) ||
       !find_u64(line, "moves", p.stats.moves) ||
       !find_u64(line, "messages", p.stats.messages) ||
       !find_bool(line, "all_honest_done", p.stats.all_honest_done) ||
-      !find_u64(line, "planned_rounds", p.planned_rounds) ||
+      !find_round(line, "planned_rounds", p.planned_rounds) ||
       !find_double(line, "seconds", p.seconds))
     return std::nullopt;
 

@@ -387,6 +387,19 @@ PointResult run_point(const SweepSpec& spec, const SweepPoint& p) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
     const core::ScenarioResult res = core::run_scenario(*g, cfg);
+    if (res.saturated) {
+      // The plan's bound overflowed 128-bit round accounting: a structured
+      // skip naming the offending coordinates (mirroring the Theorem 8
+      // machinery), never a fictitious capped round count.
+      r.skipped = true;
+      r.saturated = true;
+      r.planned_rounds = res.planned_rounds;
+      r.skip_reason = "round bound saturated 128-bit accounting for (" +
+                      core::to_string(p.algorithm) +
+                      ", n=" + std::to_string(p.n) +
+                      ", f=" + std::to_string(p.f) + ")";
+      return r;
+    }
     r.ok = res.verify.ok();
     r.detail = res.verify.detail;
     r.stats = res.stats;
@@ -546,7 +559,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     cell->max_rounds = std::max(cell->max_rounds, p.stats.rounds);
     const double w = 1.0 / static_cast<double>(cell->runs);
     cell->mean_rounds =
-        (cell->mean_rounds * kprev + static_cast<double>(p.stats.rounds)) * w;
+        (cell->mean_rounds * kprev + p.stats.rounds.to_double()) * w;
     cell->mean_simulated =
         (cell->mean_simulated * kprev + static_cast<double>(p.stats.simulated_rounds)) * w;
     cell->mean_moves =

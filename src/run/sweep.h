@@ -174,14 +174,19 @@ struct PointResult {
   std::uint64_t derived_seed = 0;  ///< actual graph/scenario seed used
   /// Point could not run: family unsupported at this n, the algorithm's
   /// preconditions don't hold there (quotient/ring requirements), the
-  /// (k, n, f) combination is infeasible per Theorem 8, or the sweep was
-  /// aborted before the point started.
+  /// (k, n, f) combination is infeasible per Theorem 8, the planned round
+  /// bound saturated 128-bit accounting, or the sweep was aborted before
+  /// the point started.
   bool skipped = false;
   std::string skip_reason;
+  /// The plan's round bound overflowed 128-bit accounting (implies
+  /// skipped). sweep_cli turns any saturated point into a loud grid
+  /// rejection (exit code 4) instead of a silent skip row.
+  bool saturated = false;
   bool ok = false;  ///< Definition 1 verified (generalized cap when k != n)
   std::string detail;
   sim::RunStats stats;
-  std::uint64_t planned_rounds = 0;
+  core::Round planned_rounds = 0;
   double seconds = 0.0;
 };
 
@@ -195,8 +200,8 @@ struct CellAggregate {
   std::vector<core::ByzStrategy> mix;
   std::size_t runs = 0;       ///< non-skipped points
   std::size_t dispersed = 0;  ///< points with ok == true
-  std::uint64_t min_rounds = 0;
-  std::uint64_t max_rounds = 0;
+  core::Round min_rounds = 0;
+  core::Round max_rounds = 0;
   double mean_rounds = 0.0;
   double mean_simulated = 0.0;
   double mean_moves = 0.0;

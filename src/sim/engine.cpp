@@ -18,14 +18,14 @@ struct Engine::Robot {
   Port arrival = kNoPort;
   ProgramFactory factory;
   Proc proc;
-  std::uint64_t start_round = 0;  ///< first round the program runs
+  Round start_round = 0;  ///< first round the program runs
   bool done = false;
 
   // Pending wake condition, written by WakeAwaiter via set_command().
   WakeKind wake = WakeKind::kSleep;
-  std::optional<Port> move;      // for kEndRound
-  std::uint64_t wake_round = 0;  // for kSleep / kEndRound: first round in
-                                 // which the robot runs again
+  std::optional<Port> move;  // for kEndRound
+  Round wake_round = 0;      // for kSleep / kEndRound: first round in
+                             // which the robot runs again
   // Innermost suspended coroutine; the engine resumes this, not the root,
   // so protocols can nest phases as Task<T> children.
   std::coroutine_handle<> leaf;
@@ -40,7 +40,7 @@ Engine::Engine(const Graph& g, EngineConfig cfg) : graph_(g), cfg_(cfg) {
 Engine::~Engine() = default;
 
 void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
-                       ProgramFactory factory, std::uint64_t start_round) {
+                       ProgramFactory factory, Round start_round) {
   if (started_) throw std::logic_error("Engine: add_robot after run()");
   if (id == 0) throw std::invalid_argument("Engine: robot id must be nonzero");
   if (start >= graph_.n()) throw std::invalid_argument("Engine: bad start");
@@ -84,7 +84,7 @@ void Engine::start_programs() {
 }
 
 void Engine::set_command(std::uint32_t idx, WakeKind kind,
-                         std::optional<Port> port, std::uint64_t rounds,
+                         std::optional<Port> port, Round rounds,
                          std::coroutine_handle<> leaf) {
   Robot& r = robots_[idx];
   r.wake = kind;
@@ -101,7 +101,7 @@ void Engine::set_command(std::uint32_t idx, WakeKind kind,
       if (port.has_value()) movers_.push_back(idx);
       break;
     case WakeKind::kSleep:
-      r.wake_round = round_ + std::max<std::uint64_t>(rounds, 1);
+      r.wake_round = round_ + std::max<Round>(rounds, 1);
       if (r.wake_round == round_ + 1)
         next_round_.push_back(idx);
       else
@@ -186,7 +186,7 @@ void Engine::apply_moves() {
   movers_.clear();
 }
 
-RunStats Engine::run(std::uint64_t max_rounds) {
+RunStats Engine::run(Round max_rounds) {
   if (!started_) start_programs();
   stats_ = RunStats{};
   while (round_ < max_rounds) {
@@ -195,7 +195,7 @@ RunStats Engine::run(std::uint64_t max_rounds) {
     // Fast-forward stretches where nobody is scheduled (bucket empty =>
     // everybody sleeps until at least the heap's earliest wake).
     if (next_round_.empty()) {
-      const std::uint64_t wake = wake_queue_.top().first;
+      const Round wake = wake_queue_.top().first;
       if (wake > round_) {
         round_ = std::min(wake, max_rounds);
         if (round_ >= max_rounds) break;
@@ -214,7 +214,7 @@ RunStats Engine::run(std::uint64_t max_rounds) {
     if (observer_ != nullptr) observer_->on_round(round_);
     run_subrounds();
     apply_moves();
-    ++round_;
+    round_ += 1;
   }
   stats_.rounds = round_;
   stats_.all_honest_done = honest_all_done();
@@ -251,7 +251,7 @@ std::uint32_t Ctx::degree() const {
   return engine_->graph_.degree(engine_->robots_[idx_].pos);
 }
 Port Ctx::arrival_port() const { return engine_->robots_[idx_].arrival; }
-std::uint64_t Ctx::round() const { return engine_->round_; }
+Round Ctx::round() const { return engine_->round_; }
 std::uint32_t Ctx::subround() const { return engine_->subround_; }
 
 const std::vector<Msg>& Ctx::inbox() const {

@@ -33,12 +33,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/round.h"  // header-only, no bdg_core link dependency
 #include "graph/graph.h"
 #include "sim/proc.h"
 
 namespace bdg::sim {
 
 using RobotId = std::uint64_t;
+/// Round counts are saturating 128-bit everywhere: the charged bounds the
+/// engine fast-forwards (exponential gathering, theory-model charges)
+/// exceed 64 bits long before the sweep grids' largest n.
+using core::Round;
 
 enum class Faultiness : std::uint8_t {
   kHonest,
@@ -82,7 +87,7 @@ class Ctx {
   /// Port of the current node through which the robot entered on its last
   /// move; kNoPort if it has not moved yet or stayed.
   [[nodiscard]] Port arrival_port() const;
-  [[nodiscard]] std::uint64_t round() const;
+  [[nodiscard]] Round round() const;
   [[nodiscard]] std::uint32_t subround() const;
   /// Messages broadcast at this node in the previous sub-round.
   [[nodiscard]] const std::vector<Msg>& inbox() const;
@@ -106,8 +111,9 @@ class Ctx {
   [[nodiscard]] auto end_round(std::optional<Port> port);
   /// Stay put and skip `rounds` full rounds (counting the current one);
   /// resumes at sub-round 0. sleep_rounds(1) == end_round(nullopt) with no
-  /// further sub-round participation this round.
-  [[nodiscard]] auto sleep_rounds(std::uint64_t rounds);
+  /// further sub-round participation this round. A saturated duration
+  /// sleeps past any feasible run budget (the robot never runs again).
+  [[nodiscard]] auto sleep_rounds(Round rounds);
 
  private:
   friend class Engine;
@@ -127,12 +133,12 @@ class Observer {
  public:
   virtual ~Observer() = default;
   /// A round is about to be simulated (fast-forwarded rounds don't fire).
-  virtual void on_round(std::uint64_t /*round*/) {}
+  virtual void on_round(Round /*round*/) {}
   virtual void on_move(RobotId /*id*/, NodeId /*from*/, NodeId /*to*/,
                        Port /*via*/) {}
   virtual void on_message(const Msg& /*msg*/, NodeId /*at*/,
-                          std::uint64_t /*round*/) {}
-  virtual void on_done(RobotId /*id*/, std::uint64_t /*round*/) {}
+                          Round /*round*/) {}
+  virtual void on_done(RobotId /*id*/, Round /*round*/) {}
 };
 
 using ProgramFactory = std::function<Proc(Ctx)>;
@@ -147,7 +153,7 @@ struct EngineConfig {
 };
 
 struct RunStats {
-  std::uint64_t rounds = 0;            ///< rounds elapsed (incl. fast-forwarded)
+  Round rounds = 0;                    ///< rounds elapsed (incl. fast-forwarded)
   std::uint64_t simulated_rounds = 0;  ///< rounds actually iterated
   std::uint64_t resumes = 0;           ///< robot coroutine resumptions
   std::uint64_t moves = 0;             ///< edge traversals performed
@@ -170,11 +176,11 @@ class Engine {
   /// way). Presence is observable only through messages, so a not-yet-started
   /// robot is invisible to co-located protocols.
   void add_robot(RobotId id, Faultiness f, NodeId start,
-                 ProgramFactory factory, std::uint64_t start_round = 0);
+                 ProgramFactory factory, Round start_round = 0);
 
   /// Run until every honest robot's program finished or `max_rounds`
   /// elapsed. Byzantine programs that never finish do not block completion.
-  RunStats run(std::uint64_t max_rounds);
+  RunStats run(Round max_rounds);
 
   /// Attach an observer (nullptr detaches). Not owned; must outlive run().
   void set_observer(Observer* observer) { observer_ = observer; }
@@ -187,7 +193,7 @@ class Engine {
   [[nodiscard]] NodeId robot_position(std::size_t idx) const;
   [[nodiscard]] bool robot_done(std::size_t idx) const;
   [[nodiscard]] NodeId position_of(RobotId id) const;
-  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+  [[nodiscard]] Round current_round() const { return round_; }
 
  private:
   friend class Ctx;
@@ -196,7 +202,7 @@ class Engine {
 
   enum class WakeKind : std::uint8_t { kSubround, kEndRound, kSleep };
   void set_command(std::uint32_t idx, WakeKind kind, std::optional<Port> port,
-                   std::uint64_t rounds, std::coroutine_handle<> leaf);
+                   Round rounds, std::coroutine_handle<> leaf);
 
   [[nodiscard]] std::uint32_t subround_count() const;
   void start_programs();
@@ -214,7 +220,7 @@ class Engine {
   /// sorted index after). The single place duplicate IDs are caught.
   std::unordered_map<RobotId, std::uint32_t> index_of_;
   bool started_ = false;
-  std::uint64_t round_ = 0;
+  Round round_ = 0;
   std::uint32_t subround_ = 0;
   RunStats stats_;
   std::uint32_t honest_live_ = 0;  ///< honest robots not yet done
@@ -228,7 +234,7 @@ class Engine {
   /// exactly one of the two; the merged wake set is sorted so robots run
   /// in index (= ID) order, preserving the deterministic schedule.
   std::vector<std::uint32_t> next_round_;
-  using WakeEntry = std::pair<std::uint64_t, std::uint32_t>;
+  using WakeEntry = std::pair<Round, std::uint32_t>;
   std::priority_queue<WakeEntry, std::vector<WakeEntry>,
                       std::greater<WakeEntry>>
       wake_queue_;
@@ -256,7 +262,7 @@ struct WakeAwaiter {
   std::uint32_t idx;
   Engine::WakeKind kind;
   std::optional<Port> port;
-  std::uint64_t rounds;
+  Round rounds;
 
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
@@ -276,7 +282,7 @@ inline auto Ctx::end_round(std::optional<Port> port) {
                              0};
 }
 
-inline auto Ctx::sleep_rounds(std::uint64_t rounds) {
+inline auto Ctx::sleep_rounds(Round rounds) {
   return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kSleep,
                              std::nullopt, rounds};
 }

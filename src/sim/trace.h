@@ -18,15 +18,15 @@ class TraceRecorder : public Observer {
   struct RobotActivity {
     std::uint64_t moves = 0;
     std::uint64_t messages = 0;
-    std::uint64_t last_move_round = 0;
+    Round last_move_round = 0;
     NodeId last_seen = kNoNode;
-    std::uint64_t done_round = 0;
+    Round done_round = 0;
     bool done = false;
   };
 
   struct Event {
     enum class Kind { kMove, kMessage, kDone } kind;
-    std::uint64_t round = 0;
+    Round round = 0;
     RobotId robot = 0;   // true ID for moves/done; CLAIMED ID for messages
     NodeId node = kNoNode;
     std::uint32_t detail = 0;  // port for moves, msg kind for messages
@@ -36,7 +36,7 @@ class TraceRecorder : public Observer {
   explicit TraceRecorder(std::size_t max_events = 4096)
       : max_events_(max_events) {}
 
-  void on_round(std::uint64_t round) override { last_round_ = round; }
+  void on_round(Round round) override { last_round_ = round; }
 
   void on_move(RobotId id, NodeId from, NodeId to, Port via) override {
     auto& a = per_robot_[id];
@@ -47,12 +47,12 @@ class TraceRecorder : public Observer {
     push({Event::Kind::kMove, last_round_, id, from, via});
   }
 
-  void on_message(const Msg& msg, NodeId at, std::uint64_t round) override {
+  void on_message(const Msg& msg, NodeId at, Round round) override {
     ++per_robot_[msg.claimed].messages;
     push({Event::Kind::kMessage, round, msg.claimed, at, msg.kind});
   }
 
-  void on_done(RobotId id, std::uint64_t round) override {
+  void on_done(RobotId id, Round round) override {
     auto& a = per_robot_[id];
     a.done = true;
     a.done_round = round;
@@ -82,7 +82,7 @@ class TraceRecorder : public Observer {
   }
 
   std::size_t max_events_;
-  std::uint64_t last_round_ = 0;
+  Round last_round_ = 0;
   std::map<RobotId, RobotActivity> per_robot_;
   std::map<NodeId, std::uint64_t> node_visits_;
   std::deque<Event> events_;

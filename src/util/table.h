@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/round.h"  // header-only; 128-bit round columns in benches
+
 namespace bdg {
 
 /// Collects rows of string cells and prints them with aligned columns.
@@ -26,6 +28,7 @@ class Table {
   static std::string num(double v, int precision = 2);
   static std::string num(std::uint64_t v);
   static std::string num(std::int64_t v);
+  static std::string num(core::Round v) { return v.to_string(); }
 
  private:
   std::vector<std::string> header_;

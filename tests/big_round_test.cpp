@@ -1,0 +1,285 @@
+// core::Round conformance tier: pins the saturating 128-bit semantics
+// (add/mul/shift edge cases, exact decimal serialization) and checks the
+// exponential-row bound formulas (row 2 weak-DPP gathering, row 6 strong
+// exponential gathering) against an independent unsigned __int128 oracle at
+// n in {32, 64, 128} — the sizes the pre-Round code silently capped.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/dispersion_using_map.h"
+#include "core/round.h"
+#include "core/scenario.h"
+#include "core/strong_dispersion.h"
+#include "core/tournament_dispersion.h"
+#include "explore/engine_map.h"
+#include "gather/gathering.h"
+#include "graph/generators.h"
+#include "run/report.h"
+
+namespace bdg {
+namespace {
+
+using core::Round;
+using u128 = unsigned __int128;
+
+// ---------------------------------------------------------------------------
+// Saturating arithmetic semantics
+// ---------------------------------------------------------------------------
+
+TEST(BigRound, AddSaturates) {
+  // Largest exactly representable value: 2^128 - 2 (2^128 - 1 is the
+  // saturation sentinel).
+  const Round max_exact = (Round::exp2(127) - 1) + (Round::exp2(127) - 1);
+  EXPECT_FALSE(max_exact.is_saturated());
+  EXPECT_TRUE((max_exact + 1).is_saturated());
+  EXPECT_TRUE((max_exact + max_exact).is_saturated());
+  EXPECT_EQ(Round(0) + 0, Round(0));
+  EXPECT_EQ(Round(UINT64_MAX) + 1, Round::exp2(64));
+  // Sticky: once saturated, further adds stay saturated.
+  EXPECT_TRUE((Round::saturated() + 0).is_saturated());
+}
+
+TEST(BigRound, MulSaturates) {
+  EXPECT_EQ(Round::exp2(64) * Round::exp2(63), Round::exp2(127));
+  EXPECT_TRUE((Round::exp2(64) * Round::exp2(64)).is_saturated());
+  EXPECT_TRUE((Round::exp2(127) * 3).is_saturated());
+  EXPECT_FALSE((Round::exp2(126) * 3).is_saturated());
+  // Multiplication by zero is zero even for the sentinel (a zero-length
+  // phase charges nothing however large its per-unit cost).
+  EXPECT_EQ(Round::saturated() * 0, Round(0));
+  EXPECT_EQ(Round(0) * Round::saturated(), Round(0));
+  EXPECT_TRUE((Round::saturated() * 1).is_saturated());
+}
+
+TEST(BigRound, ShiftAndExp2) {
+  EXPECT_EQ(Round::exp2(0), Round(1));
+  EXPECT_EQ(Round(1) << 127, Round::exp2(127));
+  EXPECT_TRUE((Round(1) << 128).is_saturated());
+  EXPECT_TRUE(Round::exp2(128).is_saturated());
+  EXPECT_TRUE((Round(3) << 127).is_saturated());
+  EXPECT_EQ(Round(0) << 500, Round(0));
+}
+
+TEST(BigRound, MonusClampsAtZeroAndKeepsSaturation) {
+  EXPECT_EQ(Round(5) - 7, Round(0));
+  EXPECT_EQ(Round(7) - 5, Round(2));
+  // A saturated minuend stays saturated: "at least that much remains".
+  EXPECT_TRUE((Round::saturated() - 123).is_saturated());
+  EXPECT_EQ(Round(5) - Round::saturated(), Round(0));
+}
+
+TEST(BigRound, Comparisons) {
+  EXPECT_LT(Round(UINT64_MAX), Round::exp2(64));
+  EXPECT_GT(Round::saturated(), Round::exp2(127));
+  EXPECT_LE(Round(42), Round(42));
+  const Round big = Round::exp2(100) + 17;
+  EXPECT_EQ(big, Round::exp2(100) + 17);
+  EXPECT_NE(big, Round::exp2(100) + 18);
+}
+
+// ---------------------------------------------------------------------------
+// Exact decimal serialization
+// ---------------------------------------------------------------------------
+
+TEST(BigRound, DecimalRoundTrip) {
+  const Round cases[] = {
+      Round(0),
+      Round(1),
+      Round(UINT64_MAX),
+      Round::exp2(64),
+      Round::exp2(64) + 1,
+      Round::exp2(127),
+      (Round::exp2(127) - 1) + (Round::exp2(127) - 1),  // 2^128 - 2
+      Round::saturated(),
+  };
+  for (const Round r : cases) {
+    const auto back = Round::from_string(r.to_string());
+    ASSERT_TRUE(back.has_value()) << r.to_string();
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(Round::exp2(64).to_string(), "18446744073709551616");
+  EXPECT_EQ(Round::saturated().to_string(),
+            "340282366920938463463374607431768211455");
+}
+
+TEST(BigRound, FromStringRejectsForeignText) {
+  EXPECT_FALSE(Round::from_string("").has_value());
+  EXPECT_FALSE(Round::from_string("-1").has_value());
+  EXPECT_FALSE(Round::from_string("12x3").has_value());
+  EXPECT_FALSE(Round::from_string("1.5").has_value());
+  // 2^128 overflows by one: foreign data, not a saturated round.
+  EXPECT_FALSE(
+      Round::from_string("340282366920938463463374607431768211456").has_value());
+  EXPECT_FALSE(Round::from_string(std::string(40, '9')).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// __int128 oracle for the exponential-row bound formulas
+// ---------------------------------------------------------------------------
+
+u128 oracle_pow(u128 base, unsigned e) {
+  u128 r = 1;
+  while (e-- > 0) r *= base;
+  return r;
+}
+
+/// Independent reconstruction of the row 2 gathering charge
+/// 4 n^4 Lambda X(n), with X(n) = 2n+2 (scaled) or n^5 (theory).
+u128 oracle_weak_dpp(unsigned n, unsigned lambda, bool scaled) {
+  const u128 x = scaled ? 2 * u128{n} + 2 : oracle_pow(n, 5);
+  return 4 * oracle_pow(n, 4) * lambda * x;
+}
+
+TEST(BigRoundOracle, Row2WeakDppMatchesExactArithmetic) {
+  for (const bool scaled : {true, false}) {
+    const gather::CostModel cm{scaled};
+    for (const std::uint32_t n : {32u, 64u, 128u}) {
+      const std::uint32_t lambda = gather::CostModel::id_bits(
+          static_cast<std::uint64_t>(n) * n);  // IDs from [1, n^2]
+      const Round got =
+          cm.rounds(gather::GatherKind::kWeakDPP, n, n / 2 - 1, lambda);
+      ASSERT_FALSE(got.is_saturated()) << "n=" << n;
+      EXPECT_EQ(got.raw(), oracle_weak_dpp(n, lambda, scaled)) << "n=" << n;
+    }
+  }
+  // The theory-model charge at n = 128 genuinely needs more than 64 bits —
+  // the point of the widening.
+  const gather::CostModel theory{false};
+  EXPECT_GT(theory.rounds(gather::GatherKind::kWeakDPP, 128, 63, 14),
+            Round::exp2(64));
+}
+
+TEST(BigRoundOracle, Row6StrongExpMatchesExactArithmetic) {
+  const gather::CostModel cm{true};
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    const Round got = cm.rounds(gather::GatherKind::kStrongExp, n, n / 4 - 1,
+                                /*lambda_bits=*/14);
+    ASSERT_FALSE(got.is_saturated()) << "n=" << n;
+    EXPECT_EQ(got.raw(), u128{1} << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(BigRoundOracle, MapWindowAndPhaseMatchExactArithmetic) {
+  for (const std::uint32_t n : {32u, 64u, 128u, 2'000'000u}) {
+    const u128 t2 = 8 * oracle_pow(n, 3) + 64 * u128{n} + 96;
+    EXPECT_EQ(explore::default_map_window(n).raw(), t2) << "n=" << n;
+    EXPECT_EQ(core::dispersion_phase_rounds(n).raw(), 6 * u128{n} + 16);
+  }
+}
+
+/// Full plan-level oracle: the row 2 and row 6 plan totals on a ring with
+/// known IDs must equal the independently computed closed forms.
+TEST(BigRoundOracle, PlanTotalsMatchExactArithmetic) {
+  for (const std::uint32_t n : {32u, 64u, 128u}) {
+    const Graph g = make_ring(n);
+    std::vector<sim::RobotId> ids(n);
+    for (std::uint32_t i = 0; i < n; ++i) ids[i] = i + 1;  // Lambda from n
+    const std::uint32_t lambda = gather::CostModel::id_bits(n);
+    const u128 t2 = 8 * oracle_pow(n, 3) + 64 * u128{n} + 96;
+    const u128 phase = 6 * u128{n} + 16;
+
+    for (const bool scaled : {true, false}) {
+      const gather::CostModel cm{scaled};
+
+      const auto row2 = core::plan_tournament_dispersion(
+          g, ids, /*gathered=*/false, n / 2 - 1, cm);
+      const u128 gather2 = std::max<u128>(oracle_weak_dpp(n, lambda, scaled),
+                                          2 * u128{n});
+      const u128 pairing = (u128{n} + (n % 2) - 1) * 2 * t2;
+      ASSERT_FALSE(row2.total_rounds.is_saturated());
+      EXPECT_EQ(row2.total_rounds.raw(), gather2 + pairing + phase + 8)
+          << "row2 n=" << n << " scaled=" << scaled;
+      EXPECT_EQ(row2.byz_wake_round.raw(), gather2);
+
+      const auto row6 =
+          core::plan_strong_arbitrary_dispersion(g, ids, n / 4 - 1, cm);
+      const u128 gather6 = std::max<u128>(u128{1} << (n - 1), 2 * u128{n});
+      ASSERT_FALSE(row6.total_rounds.is_saturated());
+      EXPECT_EQ(row6.total_rounds.raw(), gather6 + t2 + (u128{n} + 8) + 8)
+          << "row6 n=" << n << " scaled=" << scaled;
+      EXPECT_EQ(row6.byz_wake_round.raw(), gather6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization of 128-bit rounds
+// ---------------------------------------------------------------------------
+
+run::PointResult huge_point() {
+  run::PointResult p;
+  p.point.algorithm = core::Algorithm::kStrongArbitrary;
+  p.point.family = "star";
+  p.point.n = 128;
+  p.point.k = 128;
+  p.point.f = 0;
+  p.point.seed = 1;
+  p.point.strategy = core::ByzStrategy::kSpoofer;
+  p.derived_seed = 0xDEADBEEFULL;
+  p.ok = true;
+  p.stats.rounds = Round::exp2(127) + 123456789;
+  p.stats.simulated_rounds = 77654;
+  p.stats.resumes = 42;
+  p.stats.moves = 9;
+  p.stats.messages = 11;
+  p.stats.all_honest_done = true;
+  p.planned_rounds = Round::exp2(127) + 123456796;
+  p.seconds = 0.0625;
+  return p;
+}
+
+TEST(BigRoundCheckpoint, HugeRoundsRoundTripByteIdentically) {
+  const run::PointResult p = huge_point();
+  std::ostringstream first;
+  run::write_checkpoint_line(first, p, /*spec_fingerprint=*/321);
+  const std::string line = first.str();
+  ASSERT_FALSE(line.empty());
+
+  const auto entry =
+      run::parse_checkpoint_line(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->spec, 321u);
+  EXPECT_EQ(entry->result.stats.rounds, p.stats.rounds);
+  EXPECT_EQ(entry->result.planned_rounds, p.planned_rounds);
+  EXPECT_FALSE(entry->result.saturated);
+
+  std::ostringstream second;
+  run::write_checkpoint_line(second, entry->result, 321);
+  EXPECT_EQ(second.str(), line);  // byte-identical rewrite
+}
+
+TEST(BigRoundCheckpoint, SaturatedFlagRoundTrips) {
+  run::PointResult p = huge_point();
+  p.skipped = true;
+  p.saturated = true;
+  p.ok = false;
+  p.skip_reason = "round bound saturated 128-bit accounting";
+  p.stats = sim::RunStats{};
+  p.planned_rounds = Round::saturated();
+  std::ostringstream os;
+  run::write_checkpoint_line(os, p, 7);
+  const std::string line = os.str();
+  const auto entry = run::parse_checkpoint_line(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->result.skipped);
+  EXPECT_TRUE(entry->result.saturated);
+  EXPECT_TRUE(entry->result.planned_rounds.is_saturated());
+}
+
+TEST(BigRoundCheckpoint, OldSixtyFourBitLinesAreRejected) {
+  // A v1 line from a pre-widening checkpoint: must parse to nullopt so the
+  // point re-runs instead of importing a possibly-capped round count.
+  const std::string v1 =
+      "{\"v\": 1, \"spec\": 321, \"algorithm\": \"strong-arbitrary(T7)\", "
+      "\"family\": \"star\", \"n\": 128, \"k\": 128, \"f\": 0, \"seed\": 1, "
+      "\"strategy\": \"spoofer\", \"mix\": \"-\", \"derived_seed\": 5, "
+      "\"skipped\": false, \"skip_reason\": \"\", \"ok\": true, \"detail\": "
+      "\"\", \"rounds\": 4611686018444173545, \"simulated_rounds\": 513, "
+      "\"resumes\": 1, \"moves\": 2, \"messages\": 3, \"all_honest_done\": "
+      "true, \"planned_rounds\": 4611686018444173552, \"seconds\": 0}";
+  EXPECT_FALSE(run::parse_checkpoint_line(v1).has_value());
+}
+
+}  // namespace
+}  // namespace bdg

@@ -31,14 +31,14 @@ struct CaseSetup {
 struct Outcome {
   VerifyResult verify;
   std::vector<std::shared_ptr<DispersionOutcome>> honest_outs;
-  std::uint64_t rounds;
+  core::Round rounds;
 };
 
 /// Run Dispersion-Using-Map with every honest robot holding the TRUE map
 /// (identity copy) rooted at its start node.
 Outcome run_case(const Graph& g, const CaseSetup& setup) {
   sim::Engine eng(g);
-  const std::uint64_t phase =
+  const core::Round phase =
       dispersion_phase_rounds(static_cast<std::uint32_t>(g.n()));
   Outcome out;
   for (std::size_t i = 0; i < setup.ids.size(); ++i) {
@@ -166,7 +166,7 @@ TEST(DispersionUsingMap, FakeSettlerGetsBlacklisted) {
   // different node => blacklist (paper step 4), and the honest robot then
   // settles because the only settled claim in sight is blacklisted.
   const Graph g = make_oriented_ring(5);
-  const std::uint64_t phase =
+  const core::Round phase =
       dispersion_phase_rounds(static_cast<std::uint32_t>(g.n()));
   sim::Engine eng(g);
   eng.add_robot(3, sim::Faultiness::kWeakByzantine, 0,
@@ -206,7 +206,7 @@ TEST(DispersionUsingMap, HonestNeverBlacklistsHonestAllHonestRun) {
 
 TEST(DispersionUsingMap, PhaseLengthExact) {
   const Graph g = make_ring(5);
-  const std::uint64_t phase =
+  const core::Round phase =
       dispersion_phase_rounds(static_cast<std::uint32_t>(g.n()));
   const Outcome out = run_case(g, all_honest(g, 4));
   // Every robot consumes exactly the phase budget; the engine detects

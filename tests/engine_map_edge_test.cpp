@@ -175,8 +175,8 @@ TEST(EngineMapEdge, ActiveRoundsReportedBelowBudget) {
   const Graph g = make_grid(2, 3);
   const auto res = build_map_with_token(g, 2);
   EXPECT_GT(res.active_rounds, 0u);
-  EXPECT_LT(res.active_rounds,
-            default_map_window(static_cast<std::uint32_t>(g.n())) / 2);
+  EXPECT_LT(core::Round(res.active_rounds) * 2,
+            default_map_window(static_cast<std::uint32_t>(g.n())));
 }
 
 }  // namespace

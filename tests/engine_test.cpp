@@ -113,7 +113,7 @@ TEST(Engine, StrongRobotSpoofsClaimedIdButNotSource) {
   EXPECT_EQ(heard[0].source, 0u);    // but still one physical source slot
 }
 
-Proc sleeper(Ctx ctx, std::uint64_t rounds, std::uint64_t* woke_at) {
+Proc sleeper(Ctx ctx, std::uint64_t rounds, core::Round* woke_at) {
   co_await ctx.sleep_rounds(rounds);
   *woke_at = ctx.round();
 }
@@ -121,7 +121,7 @@ Proc sleeper(Ctx ctx, std::uint64_t rounds, std::uint64_t* woke_at) {
 TEST(Engine, SleepFastForwardsIdleRounds) {
   const Graph g = make_path(2);
   Engine eng(g);
-  std::uint64_t woke_at = 0;
+  core::Round woke_at = 0;
   eng.add_robot(1, Faultiness::kHonest, 0, [&](Ctx c) {
     return sleeper(c, 1'000'000, &woke_at);
   });
@@ -131,7 +131,7 @@ TEST(Engine, SleepFastForwardsIdleRounds) {
   EXPECT_LE(st.simulated_rounds, 4u);
 }
 
-Proc two_phase(Ctx ctx, std::vector<std::uint64_t>* rounds_seen) {
+Proc two_phase(Ctx ctx, std::vector<core::Round>* rounds_seen) {
   rounds_seen->push_back(ctx.round());
   co_await ctx.sleep_rounds(10);
   rounds_seen->push_back(ctx.round());
@@ -142,7 +142,7 @@ Proc two_phase(Ctx ctx, std::vector<std::uint64_t>* rounds_seen) {
 TEST(Engine, RoundCounterAdvancesThroughSleepAndMoves) {
   const Graph g = make_path(2);
   Engine eng(g);
-  std::vector<std::uint64_t> seen;
+  std::vector<core::Round> seen;
   eng.add_robot(1, Faultiness::kHonest, 0,
                 [&](Ctx c) { return two_phase(c, &seen); });
   eng.run(100);

@@ -36,10 +36,18 @@ TEST(CostModel, WeakBoundDominatesSqrtBound) {
   }
 }
 
-TEST(CostModel, StrongExponentialSaturates) {
+TEST(CostModel, StrongExponentialExactUntil128) {
   const CostModel cm{true};
-  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 10, 1, 5), 1ULL << 10);
-  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 100, 1, 5), 1ULL << 62);
+  // 2^(n-1): one bit per unknown peer ([24] pins neither base nor
+  // constant). Exact 128-bit values all the way to n = 128 — the old code
+  // capped at 2^62 from n = 62 on.
+  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 10, 1, 5), 1ULL << 9);
+  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 100, 1, 5), core::Round::exp2(99));
+  EXPECT_EQ(cm.rounds(GatherKind::kStrongExp, 128, 1, 5), core::Round::exp2(127));
+  EXPECT_FALSE(cm.rounds(GatherKind::kStrongExp, 128, 1, 5).is_saturated());
+  // Past n = 129 the charge leaves 128 bits: an explicit saturated state,
+  // never a silent cap.
+  EXPECT_TRUE(cm.rounds(GatherKind::kStrongExp, 130, 1, 5).is_saturated());
 }
 
 TEST(CostModel, NoneIsZero) {

@@ -60,12 +60,12 @@ TEST_P(GoldenRows, RoundBoundHolds) {
   EXPECT_TRUE(p.ok) << p.detail;
   EXPECT_LE(p.stats.rounds, p.planned_rounds + 16);
   const double limit = row.margin * row.bound(row.n);
-  EXPECT_LE(static_cast<double>(p.stats.rounds), limit)
+  EXPECT_LE(p.stats.rounds.to_double(), limit)
       << "measured " << p.stats.rounds << " rounds vs bound "
       << row.bound(row.n) << " * margin " << row.margin;
   // The margin must stay meaningful: if measurements drift far below it,
   // tighten the golden rather than letting it rot.
-  EXPECT_GE(static_cast<double>(p.stats.rounds) * 16.0, limit)
+  EXPECT_GE(p.stats.rounds.to_double() * 16.0, limit)
       << "measured " << p.stats.rounds
       << " rounds; margin is > 16x too loose, tighten it";
 }

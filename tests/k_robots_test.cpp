@@ -27,7 +27,7 @@ KOutcome run_k(const Graph& g, std::size_t k, std::size_t f,
                ByzStrategy strategy, std::uint64_t seed) {
   Rng rng(seed);
   sim::Engine eng(g);
-  const std::uint64_t phase =
+  const core::Round phase =
       dispersion_phase_rounds(static_cast<std::uint32_t>(g.n()));
   KOutcome out;
   std::vector<sim::RobotId> ids;

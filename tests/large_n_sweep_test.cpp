@@ -1,0 +1,214 @@
+// Large-n conformance tier (the n >= 128 sweeps the Round widening
+// unlocks):
+//  * row 2 + row 6 at n = 128 complete with exact, non-saturated round
+//    counts matching an unsigned __int128 oracle reconstruction of the
+//    plan bounds (the pre-Round code capped these at 2^62);
+//  * the resulting report and checkpoint round-trip byte-identically
+//    through run/report (a full-resume re-run reproduces the same bytes);
+//  * multi-wave (k > n) points fast-forward their charged oracle prefixes
+//    again — the PR 3 known limit — because Byzantine robots sleep
+//    through every later wave's charged window;
+//  * a plan whose bound saturates 128-bit accounting becomes a loud
+//    verification failure in core and a structured skip in run/.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/round.h"
+#include "core/scenario.h"
+#include "gather/gathering.h"
+#include "run/report.h"
+#include "run/sweep.h"
+
+namespace bdg {
+namespace {
+
+using core::Algorithm;
+using core::Round;
+using u128 = unsigned __int128;
+
+u128 oracle_pow(u128 base, unsigned e) {
+  u128 r = 1;
+  while (e-- > 0) r *= base;
+  return r;
+}
+
+/// Closed-form plan totals for the two exponential rows (theory cost
+/// model), reconstructed independently of core's Round arithmetic.
+struct Oracle {
+  u128 gather = 0;
+  u128 total = 0;
+};
+
+Oracle oracle_row(Algorithm a, std::uint32_t n, std::uint32_t lambda) {
+  const u128 t2 = 8 * oracle_pow(n, 3) + 64 * u128{n} + 96;
+  const u128 phase = 6 * u128{n} + 16;
+  Oracle o;
+  if (a == Algorithm::kTournamentArbitrary) {
+    o.gather = std::max<u128>(
+        4 * oracle_pow(n, 4) * lambda * oracle_pow(n, 5), 2 * u128{n});
+    const u128 pairing = (u128{n} + (n % 2) - 1) * 2 * t2;
+    o.total = o.gather + pairing + phase + 8;
+  } else {
+    o.gather = std::max<u128>(u128{1} << (n - 1), 2 * u128{n});
+    o.total = o.gather + t2 + (u128{n} + 8) + 8;
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: exact big-round accounting end-to-end at n = 128
+// ---------------------------------------------------------------------------
+
+TEST(LargeN, Row2AndRow6At128MatchInt128Oracle) {
+  const std::uint32_t n = 128;
+  const auto g = run::build_family_graph("star", n, /*seed=*/99);
+  ASSERT_TRUE(g.has_value());
+
+  for (const Algorithm a :
+       {Algorithm::kTournamentArbitrary, Algorithm::kStrongArbitrary}) {
+    core::ScenarioConfig cfg;
+    cfg.algorithm = a;
+    cfg.num_byzantine = 0;  // the charged bounds don't depend on f; f = 0
+                            // keeps the active phases tractable at n = 128
+    cfg.seed = 4242;
+    cfg.cost = gather::CostModel{/*scaled=*/false};  // theory: > 2^64 rounds
+
+    // The plan's Lambda comes from the drawn IDs; reproduce the draw.
+    const auto ids = core::draw_robot_ids(n, n, cfg.seed);
+    const std::uint32_t lambda = gather::CostModel::id_bits(ids.back());
+    const Oracle oracle = oracle_row(a, n, lambda);
+
+    const core::ScenarioResult res = core::run_scenario(*g, cfg);
+    EXPECT_TRUE(res.verify.ok()) << core::to_string(a) << ": "
+                                 << res.verify.detail;
+    EXPECT_FALSE(res.saturated);
+    ASSERT_FALSE(res.planned_rounds.is_saturated());
+    ASSERT_FALSE(res.stats.rounds.is_saturated());
+    // Exact bound accounting: the plan equals the closed form, and the
+    // run terminates inside it without ever simulating the charge.
+    EXPECT_EQ(res.planned_rounds.raw(), oracle.total) << core::to_string(a);
+    EXPECT_GE(res.stats.rounds.raw(), oracle.gather);
+    EXPECT_LE(res.stats.rounds, res.planned_rounds + 16);
+    EXPECT_GT(res.stats.rounds, Round::exp2(64)) << core::to_string(a);
+    EXPECT_LT(res.stats.simulated_rounds, 1'000'000u);
+  }
+}
+
+TEST(LargeN, Row2AndRow6SweepCheckpointRoundTripsByteIdentically) {
+  const std::string ck =
+      ::testing::TempDir() + "large_n_round_trip.ck.jsonl";
+  std::remove(ck.c_str());
+
+  run::SweepSpec spec;
+  spec.algorithms = {Algorithm::kTournamentArbitrary,
+                     Algorithm::kStrongArbitrary};
+  spec.families = {"star"};
+  spec.sizes = {128};
+  spec.byzantine_counts = {0};
+  spec.cost = gather::CostModel{/*scaled=*/false};
+  spec.measure_seconds = false;  // reports become pure functions of the grid
+  spec.checkpoint_path = ck;
+
+  const run::SweepResult first = run::run_sweep(spec);
+  ASSERT_EQ(first.points.size(), 2u);
+  EXPECT_EQ(first.from_checkpoint, 0u);
+  for (const auto& p : first.points) {
+    ASSERT_FALSE(p.skipped) << p.skip_reason;
+    EXPECT_TRUE(p.ok) << p.detail;
+    EXPECT_GT(p.stats.rounds, Round::exp2(64));
+  }
+
+  // Second run: every point restored from the checkpoint, and every
+  // report writer reproduces the first run byte for byte — the 128-bit
+  // decimals survive the full write -> parse -> write cycle.
+  const run::SweepResult second = run::run_sweep(spec);
+  EXPECT_EQ(second.from_checkpoint, 2u);
+  const auto render = [](const run::SweepResult& r) {
+    std::ostringstream points, cells, json;
+    run::write_points_csv(points, r);
+    run::write_cells_csv(cells, r);
+    run::write_json(json, r);
+    return points.str() + "\x1f" + cells.str() + "\x1f" + json.str();
+  };
+  EXPECT_EQ(render(first), render(second));
+  std::remove(ck.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-wave charged-prefix fast-forwarding (the PR 3 known limit)
+// ---------------------------------------------------------------------------
+
+TEST(LargeN, MultiWaveChargedPrefixesFastForward) {
+  // k = 12 robots on n = 8 nodes: two waves, and with byz_smallest_ids the
+  // two Byzantine robots land in DIFFERENT waves (rank striping). The
+  // wave-0 adversary used to stay awake through wave 1's multi-million
+  // round charged gathering prefix, forcing the engine to simulate it
+  // round by round; with the charged-window schedule it sleeps, so the
+  // prefix fast-forwards and simulated_rounds collapses to the active
+  // phases.
+  const auto g = run::build_family_graph("er", 8, /*seed=*/7);
+  ASSERT_TRUE(g.has_value());
+  core::ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentArbitrary;
+  cfg.num_robots = 12;
+  cfg.num_byzantine = 2;
+  cfg.strategy = core::ByzStrategy::kFakeSettler;
+  cfg.seed = 11;
+
+  const core::ScenarioResult res = core::run_scenario(*g, cfg);
+  EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+  // Both waves' charged prefixes dominate the round count...
+  EXPECT_GT(res.stats.rounds, 4'000'000u);
+  // ...and neither is simulated round by round, despite awake cross-wave
+  // Byzantine robots before the fix.
+  EXPECT_LT(res.stats.simulated_rounds, 400'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Saturation: loud failure in core, structured skip in run/
+// ---------------------------------------------------------------------------
+
+TEST(LargeN, SaturatedBoundFailsVerificationLoudly) {
+  // Scaled strong-exponential charge at n = 200 is 2^199: past 128 bits.
+  const auto g = run::build_family_graph("star", 200, /*seed=*/3);
+  ASSERT_TRUE(g.has_value());
+  core::ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kStrongArbitrary;
+  cfg.num_byzantine = 0;
+  const core::ScenarioResult res = core::run_scenario(*g, cfg);
+  EXPECT_TRUE(res.saturated);
+  EXPECT_FALSE(res.verify.ok());
+  EXPECT_TRUE(res.planned_rounds.is_saturated());
+  EXPECT_NE(res.verify.detail.find("saturated"), std::string::npos)
+      << res.verify.detail;
+  EXPECT_EQ(res.stats.simulated_rounds, 0u);  // the engine never ran
+}
+
+TEST(LargeN, SaturatedPointIsAStructuredSweepSkip) {
+  run::SweepSpec spec;
+  spec.algorithms = {Algorithm::kStrongArbitrary};
+  spec.families = {"star"};
+  spec.sizes = {200};
+  spec.byzantine_counts = {0};
+  spec.measure_seconds = false;
+  const run::SweepResult result = run::run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 1u);
+  const run::PointResult& p = result.points[0];
+  EXPECT_TRUE(p.skipped);
+  EXPECT_TRUE(p.saturated);
+  EXPECT_NE(p.skip_reason.find("strong-arbitrary(T7)"), std::string::npos)
+      << p.skip_reason;
+  EXPECT_NE(p.skip_reason.find("n=200"), std::string::npos);
+  EXPECT_NE(p.skip_reason.find("f=0"), std::string::npos);
+  // A structured skip, not a failure: the sweep itself is healthy and the
+  // cells never aggregate a fictitious round count.
+  EXPECT_TRUE(result.all_dispersed());
+  EXPECT_TRUE(result.cells.empty());
+}
+
+}  // namespace
+}  // namespace bdg

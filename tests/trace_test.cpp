@@ -42,7 +42,7 @@ TEST(Trace, EventLogOrderedAndBounded) {
                 [](Ctx c) { return hop_and_talk(c, 5); });
   eng.run(10);
   EXPECT_EQ(trace.events().size(), 3u);  // bounded ring
-  std::uint64_t prev = 0;
+  core::Round prev = 0;
   for (const auto& e : trace.events()) {
     EXPECT_GE(e.round, prev);
     prev = e.round;
@@ -76,7 +76,7 @@ TEST(Trace, SettledRobotsNeverMoveAgain) {
   cfg.observer = &trace;
   const auto res = core::run_scenario(g, cfg);
   ASSERT_TRUE(res.verify.ok()) << res.verify.detail;
-  const std::uint64_t phase = core::dispersion_phase_rounds(8);
+  const core::Round phase = core::dispersion_phase_rounds(8);
   for (const auto& [id, a] : trace.per_robot()) {
     if (!a.done) continue;  // Byzantine robots never finish
     // An honest robot's last move precedes the dispersion-phase tail: it
