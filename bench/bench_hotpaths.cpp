@@ -7,11 +7,16 @@
 //    passes (path/ring: the single port "defect" propagates one hop per
 //    pass) and random graphs that shatter into singletons quickly;
 //  * engine sub-round scheduling (sim/engine.cpp) via mid-size scenario
-//    points, where per-round work — not the protocol — dominates.
+//    points, where per-round work — not the protocol — dominates;
+//  * tournament pairing windows (core/tournament_dispersion.cpp), batched
+//    and unbatched, so the map-cache/early-close speedup is timed in
+//    isolation and its active-round collapse is gated exactly.
 //
-// Output: two CSVs (quotient rows: name,n,num_classes,reps,seconds;
-// engine rows: the run/ points schema). Usage:
-//   bench_hotpaths [quotient_csv [engine_csv]]
+// Output: three CSVs (quotient rows: name,n,num_classes,reps,seconds;
+// engine rows: the run/ points schema; pairing rows:
+// algorithm,n,f,batched,reps,ok,rounds,simulated_rounds,moves,messages,
+// planned_rounds,seconds). Usage:
+//   bench_hotpaths [quotient_csv [engine_csv [pairing_csv]]]
 // Paths default to stdout; "-" also means stdout. `seconds` is the
 // minimum over reps; every other column is deterministic and compared
 // exactly by perf_diff.
@@ -66,6 +71,56 @@ void quotient_rows(std::ostream& os) {
   }
 }
 
+void pairing_rows(std::ostream& os) {
+  // Row 4 (tournament-gathered) isolates Phase 2: no gathering prefix, so
+  // the timer measures the pairing windows plus the short dispersion
+  // phase. The f > 0 cases run CRASH faults: Byzantine silence is the
+  // window tail the token early-close removes (see the case table below).
+  os << "algorithm,n,f,batched,reps,ok,rounds,simulated_rounds,moves,"
+        "messages,planned_rounds,seconds\n";
+  Rng rng(19);
+  const Graph g24 = shuffle_ports(make_connected_er(24, 0.3, rng), rng);
+  const Graph g48 = shuffle_ports(make_connected_er(48, 0.2, rng), rng);
+  const Graph g64 = shuffle_ports(make_connected_er(64, 0.2, rng), rng);
+  struct Case {
+    const Graph* g;
+    std::uint32_t f;
+    bool batched;
+  };
+  // The adversarial pair runs CRASH faults at n = 24: unbatched, every
+  // crash window costs the honest token a full t2 of active listening (at
+  // n >= 48 that exceeds any sane bench budget) — exactly the idle tail
+  // the early close sleeps in one jump. (An always-broadcasting liar
+  // keeps the engine awake by itself and would only measure adversary
+  // simulation cost.)
+  const Case cases[] = {{&g48, 0, true}, {&g48, 0, false},
+                        {&g24, 5, true}, {&g24, 5, false},
+                        {&g64, 0, true}, {&g64, 0, false}};
+  for (const Case& c : cases) {
+    core::ScenarioConfig cfg;
+    cfg.algorithm = core::Algorithm::kTournamentGathered;
+    cfg.num_byzantine = c.f;
+    cfg.strategy = core::ByzStrategy::kCrash;
+    cfg.seed = 17;
+    cfg.batched_pairing = c.batched;
+    constexpr int kReps = 3;
+    core::ScenarioResult res;
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double s = time_once([&] { res = core::run_scenario(*c.g, cfg); });
+      best = rep == 0 ? s : std::min(best, s);
+    }
+    os << core::to_string(cfg.algorithm) << ',' << c.g->n() << ',' << c.f
+       << ',' << (c.batched ? 1 : 0) << ',' << kReps << ','
+       << (res.verify.ok() ? 1 : 0) << ',' << res.stats.rounds << ','
+       << res.stats.simulated_rounds << ',' << res.stats.moves << ','
+       << res.stats.messages << ',' << res.planned_rounds << ',' << best
+       << '\n';
+    std::fprintf(stderr, "[pairing n=%zu f=%u batched=%d: %.4fs]\n",
+                 c.g->n(), c.f, c.batched ? 1 : 0, best);
+  }
+}
+
 run::SweepResult engine_points() {
   run::SweepSpec spec = bench::sweep_base();
   spec.algorithms = {core::Algorithm::kQuotient,
@@ -97,6 +152,7 @@ int main(int argc, char** argv) {
   ok &= write_to(argc > 2 ? argv[2] : nullptr, [&](std::ostream& os) {
     run::write_points_csv(os, engine);
   });
+  ok &= write_to(argc > 3 ? argv[3] : nullptr, pairing_rows);
   for (const run::PointResult& p : engine.points)
     if (!p.skipped && !p.ok) {
       std::fprintf(stderr, "engine point failed: %s\n", p.detail.c_str());

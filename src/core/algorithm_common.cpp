@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 namespace bdg::core {
 
 std::vector<PairingWindow> round_robin_schedule(std::vector<sim::RobotId> ids) {
   std::sort(ids.begin(), ids.end());
+  if (!ids.empty() && ids.front() == 0)
+    throw std::invalid_argument(
+        "round_robin_schedule: robot id 0 is reserved (dummy bye)");
   if (ids.size() % 2 != 0) ids.push_back(0);  // 0 = dummy (idle partner)
   const std::size_t k = ids.size();
   if (k < 2) return {};
@@ -29,18 +33,19 @@ std::vector<PairingWindow> round_robin_schedule(std::vector<sim::RobotId> ids) {
 }
 
 std::optional<CanonicalCode> majority_code(
-    const std::vector<CanonicalCode>& votes) {
+    const std::vector<CanonicalCode>& votes, std::size_t fault_budget) {
   if (votes.empty()) return std::nullopt;
   std::map<CanonicalCode, std::size_t> counts;
   for (const auto& v : votes) ++counts[v];
   const CanonicalCode* best = nullptr;
-  std::size_t best_count = 0;
+  std::size_t best_count = fault_budget;  // must strictly beat the budget
   for (const auto& [code, count] : counts) {
     if (count > best_count) {  // map order => ties keep the smaller code
       best_count = count;
       best = &code;
     }
   }
+  if (best == nullptr) return std::nullopt;
   return *best;
 }
 

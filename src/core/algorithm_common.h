@@ -22,13 +22,29 @@ using PairingWindow = std::vector<std::pair<sim::RobotId, sim::RobotId>>;
 /// pairwise across k-1 windows (k even; one participant idles per window
 /// when k is odd). This realizes the paper's "every robot pairs up with
 /// every other robot in O(n) stages" with the same guarantees.
+///
+/// Throws std::invalid_argument if any id is 0: the schedule uses 0 as
+/// its internal dummy-bye marker, and the pairing protocols use "no
+/// partner" sentinels — a real robot with ID 0 would silently idle every
+/// window and corrupt the schedule, so it is rejected loudly at plan time
+/// (the engine likewise rejects ID 0 at add_robot).
 [[nodiscard]] std::vector<PairingWindow> round_robin_schedule(
     std::vector<sim::RobotId> ids);
 
-/// Most frequent code among votes (ties: lexicographically smallest);
-/// nullopt when votes is empty.
+/// Most frequent code among votes whose count strictly exceeds
+/// `fault_budget` (ties above the budget: lexicographically smallest);
+/// nullopt when votes is empty or no count clears the budget.
+///
+/// Callers that know their adversary bound f MUST pass it: within
+/// tolerance the true map collects at least f+1 votes (every honest
+/// pairing yields it) while coordinated liars collect at most f, so the
+/// budget filter never changes a legal-f outcome — but AT the tolerance
+/// frontier it turns "adversarial code deterministically wins a tie
+/// toward the smaller canonical code" into a loud no-map abort the
+/// verifier flags. The default budget 0 is plain plurality, kept for the
+/// group algorithms whose vote multisets are quorum-filtered upstream.
 [[nodiscard]] std::optional<CanonicalCode> majority_code(
-    const std::vector<CanonicalCode>& votes);
+    const std::vector<CanonicalCode>& votes, std::size_t fault_budget = 0);
 
 /// Decode a voted map code defensively (Byzantine-supplied codes may be
 /// garbage); nullopt if the code is not a valid connected port-labeled map

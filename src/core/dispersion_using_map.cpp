@@ -14,10 +14,16 @@ using sim::Ctx;
 using sim::RobotId;
 using sim::Task;
 
+/// Per-round status payloads, broadcast through the engine's payload
+/// arena so the beacon loops stop allocating (the phase-3 hot path: every
+/// settled robot beacons every round).
+constexpr std::int64_t kSettledPayload[] = {kStateSettled};
+constexpr std::int64_t kToBeSettledPayload[] = {kStateToBeSettled};
+
 /// Settled loop: beacon STATUS(Settled) every round until the phase ends.
 Task<void> settled_beacon(Ctx ctx, Round remaining) {
   for (Round i = 0; i < remaining; i += 1) {
-    ctx.broadcast(kMsgStatus, {kStateSettled});
+    ctx.broadcast_pooled(kMsgStatus, kSettledPayload);
     co_await ctx.end_round(std::nullopt);
   }
 }
@@ -49,7 +55,7 @@ Task<DispersionOutcome> run_dispersion_using_map(Ctx ctx,
   while (used < params.phase_rounds) {
     // ---- one decision round at map node v -------------------------------
     // Sub-round 0: status beacons.
-    ctx.broadcast(kMsgStatus, {kStateToBeSettled});
+    ctx.broadcast_pooled(kMsgStatus, kToBeSettledPayload);
     co_await ctx.next_subround();  // sub 1: read status
 
     std::set<RobotId> settled_claims, tbs_claims, heard;

@@ -1,0 +1,42 @@
+#pragma once
+// Protocol slack constants, named in one place with the invariant each one
+// protects. These used to be magic "+ 8" / "+ 6" / "+ 3" literals drifting
+// independently across core/tournament_dispersion.cpp and
+// explore/engine_map.cpp; a change to one of them without the matching
+// change elsewhere silently broke the fixed-length-window synchrony the
+// outer protocols rely on (both partners of every pairing window must end
+// the window on the same round). tests/tournament_test.cpp pins the
+// synchrony invariant across seeds and adversary mixes.
+#include <cstdint>
+
+namespace bdg::core {
+
+/// Rounds appended to an algorithm plan's total (and to harness run
+/// budgets) beyond the sum of its phase bounds. Invariant protected: the
+/// final publish/settle round of a phase plus the engine's end-of-round
+/// bookkeeping never spill past the plan bound, so `verify_round_bound`
+/// and the engine budget `plan.total_rounds` remain true upper bounds on
+/// honest termination. Must be >= 1 (the map-finding Done broadcast
+/// consumes one round after the last exploration op); 8 keeps headroom
+/// for a phase gaining a constant number of closing rounds.
+inline constexpr std::uint64_t kPlanCloseSlack = 8;
+
+/// Agent-side reserve inside one map-finding window, checked by
+/// AgentRun::can_spend before every protocol op. Invariant protected: a
+/// single op sequence between two can_spend checks consumes at most 3
+/// rounds (step + park + re-enter is the longest) and can grow the
+/// walk-home log by at most 3 ports, so `used + home + kAgentOpReserve`
+/// staying within the budget guarantees the unconditional walk home (the
+/// reversed move log) plus the op always fit — an honest agent is back at
+/// the rally node when the fixed-length window ends, whatever Byzantine
+/// partners did.
+inline constexpr std::uint64_t kAgentOpReserve = 6;
+
+/// Token-side reserve inside one map-finding window. Invariant protected:
+/// one listen round can add at most one move to the token's walk-home log,
+/// so breaking out while `budget - used > home + kTokenStepReserve` leaves
+/// the token enough rounds to replay its reversed move log and be back at
+/// the rally node at the window boundary.
+inline constexpr std::uint64_t kTokenStepReserve = 3;
+
+}  // namespace bdg::core

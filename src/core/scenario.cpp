@@ -133,14 +133,16 @@ std::vector<sim::RobotId> draw_ids(std::uint32_t k, std::uint32_t n,
 
 AlgorithmPlan make_plan(Algorithm a, const Graph& g,
                         const std::vector<sim::RobotId>& ids, std::uint32_t f,
-                        const gather::CostModel& cost) {
+                        const gather::CostModel& cost, bool batched_pairing) {
   switch (a) {
     case Algorithm::kQuotient:
       return plan_quotient_dispersion(g, cost);
     case Algorithm::kTournamentArbitrary:
-      return plan_tournament_dispersion(g, ids, /*gathered=*/false, f, cost);
+      return plan_tournament_dispersion(g, ids, /*gathered=*/false, f, cost,
+                                        batched_pairing);
     case Algorithm::kTournamentGathered:
-      return plan_tournament_dispersion(g, ids, /*gathered=*/true, f, cost);
+      return plan_tournament_dispersion(g, ids, /*gathered=*/true, f, cost,
+                                        batched_pairing);
     case Algorithm::kThreeGroupGathered:
       return plan_three_group_dispersion(g, ids, cost);
     case Algorithm::kSqrtArbitrary:
@@ -215,8 +217,8 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
   Round total_rounds = 0;
   plans.reserve(waves);
   for (std::uint32_t w = 0; w < waves; ++w) {
-    plans.push_back(
-        make_plan(cfg.algorithm, g, wave_ids[w], wave_byz[w], cfg.cost));
+    plans.push_back(make_plan(cfg.algorithm, g, wave_ids[w], wave_byz[w],
+                              cfg.cost, cfg.batched_pairing));
     offsets[w] = total_rounds;
     total_rounds += plans[w].total_rounds;
   }

@@ -83,6 +83,12 @@ struct ScenarioConfig {
   bool strong_byzantine = false;
   std::uint64_t seed = 1;
   gather::CostModel cost{/*scaled=*/true};
+  /// Batched pairing windows for the tournament algorithms (map-cache,
+  /// verify-only walk, early window close — see
+  /// plan_tournament_dispersion). On by default; the conformance tests
+  /// turn it off to pin that verdicts and charged round totals are
+  /// bit-identical to the original rebuild-every-window protocol.
+  bool batched_pairing = true;
   /// Optional engine instrumentation (see sim::TraceRecorder); not owned.
   sim::Observer* observer = nullptr;
 };

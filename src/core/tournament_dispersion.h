@@ -18,9 +18,28 @@ namespace bdg::core {
 
 /// Plans Theorem 2 (gathered == false) or Theorem 3 (gathered == true).
 /// `ids` = the IDs of all n robots (the gathered-set common knowledge the
-/// paper grants after Phase 1); `f` only feeds the charged gathering bound.
+/// paper grants after Phase 1); `f` feeds the charged gathering bound and
+/// the vote thresholds (majority fault budget, batching confirmation).
+/// Throws std::invalid_argument if any id is 0 — the pairing machinery
+/// reserves 0 as its dummy-bye/idle marker, so a real robot with ID 0
+/// would silently sleep every window and corrupt the schedule.
+///
+/// `batched` (default, the production path) caches map-finding work
+/// across pairing windows: a robot full-builds until one code has been
+/// self-built in f+1 distinct windows (at most f partners can lie, and
+/// every partner appears in exactly one window, so that code is the true
+/// map); it then runs one verify-only walk re-checking the cache against
+/// the physical graph (mismatch => full rebuild, so even a beyond-budget
+/// adversary can only burn windows, never poison the vote), after which
+/// every remaining window publishes immediately and sleeps — windows
+/// where both partners are confirmed fast-forward whole. Charged bounds
+/// (plan totals, window lengths, phase structure) are bit-identical to
+/// the unbatched path; only active/simulated rounds, moves and messages
+/// drop. `batched = false` keeps the original rebuild-every-window
+/// protocol (conformance tests run both and pin verdicts and round totals
+/// equal).
 [[nodiscard]] AlgorithmPlan plan_tournament_dispersion(
     const Graph& g, std::vector<sim::RobotId> ids, bool gathered,
-    std::uint32_t f, const gather::CostModel& cost);
+    std::uint32_t f, const gather::CostModel& cost, bool batched = true);
 
 }  // namespace bdg::core

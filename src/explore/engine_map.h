@@ -59,6 +59,20 @@ struct MapFindConfig {
   std::uint32_t token_quorum = 1;    ///< presence believed at this count
   core::Round round_budget = 0;      ///< fixed window length (rounds)
   std::uint32_t n = 0;               ///< known node count (map size cap)
+  /// Token-side fast path for the PAIR setting (one agent, one token):
+  /// close the window on the first OUT-OF-PROTOCOL silent round. Silence
+  /// is in-protocol only while the token is parked (broadcasts are
+  /// node-local and the agent is off probing candidates — at most ~n^2
+  /// rounds for an honest agent), so the token closes immediately on
+  /// unparked silence and after the probing bound on parked silence.
+  /// Sound in the pair setting: silence then proves the single agent is
+  /// done, aborted or Byzantine, and nothing later in the window can
+  /// affect this robot's vote (tokens never vote their partner's window)
+  /// or its rally-return contract (it walks its move log home and sleeps
+  /// out the window). MUST stay off for the group settings: there a
+  /// quorum can dip below threshold while honest agents still need token
+  /// service.
+  bool early_close = false;
 };
 
 /// Window length ample for an honest run on any simple n-node graph,
@@ -74,6 +88,13 @@ struct MapFindOutcome {
   std::optional<CanonicalCode> code;
   bool aborted = false;
   std::uint64_t active_rounds = 0;  ///< rounds before going idle
+  /// Set by run_map_agent_cached alone: the cached map passed every
+  /// physical check of the verify-only walk (code echoes the cache).
+  /// False from run_map_agent_cached means the walk hit a mismatch and
+  /// the window fell back to a full rebuild (code, if any, is then a
+  /// fresh self-built map); run_map_publish and the build/token runs
+  /// perform no walk and always leave it false.
+  bool verified_cache = false;
 };
 
 /// Agent-group member program. Must start at the rally node at the first
@@ -86,6 +107,35 @@ struct MapFindOutcome {
 /// the one the agent group broadcast with >= agent_quorum support.
 [[nodiscard]] sim::Task<MapFindOutcome> run_map_token(sim::Ctx ctx,
                                                       MapFindConfig cfg);
+
+/// Agent-side window that reuses a previously self-built map instead of
+/// exploring from scratch: a silent verify-only walk covers every edge of
+/// `cached_map` (DFS tree advances/retreats plus out-and-back probes of
+/// the non-tree edges, ~2|E| rounds instead of the full identity-test
+/// build), cross-checking the physically observed arrival port and degree
+/// of every move against the cache. On a clean pass the agent publishes
+/// Done + the cached code exactly like a fresh build and sleeps out the
+/// window (outcome.verified_cache = true). On ANY mismatch the cache is
+/// untrusted: the agent walks its move log back to the rally node and
+/// runs a full run_map_agent rebuild in the remaining budget — a poisoned
+/// cache burns the window but can never put an unverified map into the
+/// caller's vote. Same fixed-window contract as run_map_agent. NOTE: the
+/// walk alone does not prove the cache correct on adversarially symmetric
+/// graphs (local port/degree checks cannot always distinguish a map from
+/// a consistent pseudo-cover); callers must gate caching on independent
+/// evidence — the tournament only caches a code it fully built in f+1
+/// distinct windows.
+[[nodiscard]] sim::Task<MapFindOutcome> run_map_agent_cached(
+    sim::Ctx ctx, MapFindConfig cfg, const Graph& cached_map,
+    const CanonicalCode& cached_code);
+
+/// Agent-side window fast path for a map that is already confirmed AND
+/// physically self-checked: broadcast Done + `code` in the first round
+/// (so an honest token partner finishes immediately too) and sleep the
+/// rest of the window in one jump. Same fixed-window contract; the robot
+/// never leaves the rally node.
+[[nodiscard]] sim::Task<MapFindOutcome> run_map_publish(
+    sim::Ctx ctx, MapFindConfig cfg, const CanonicalCode& code);
 
 /// Convenience: offline honest two-robot map construction (agent id 1,
 /// token id 2) on `g` from `start`; used by tests and by harnesses needing

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
 #include <stdexcept>
 
 namespace bdg {
@@ -26,43 +25,67 @@ void PartialMap::connect(NodeId u, Port pu, NodeId v, Port pv) {
 }
 
 std::optional<std::pair<NodeId, Port>> PartialMap::first_unexplored() const {
-  for (NodeId v = 0; v < size(); ++v)
-    for (Port p = 0; p < degree(v); ++p)
-      if (!explored(v, p)) return std::make_pair(v, p);
+  // Slots only transition unexplored -> explored and nodes are appended,
+  // so the lexicographically first unexplored slot never moves backwards:
+  // resume the scan at the cursor left by the previous call.
+  for (NodeId v = scan_node_; v < size(); ++v) {
+    for (Port p = (v == scan_node_ ? scan_port_ : 0); p < degree(v); ++p) {
+      if (!explored(v, p)) {
+        scan_node_ = v;
+        scan_port_ = p;
+        return std::make_pair(v, p);
+      }
+    }
+  }
+  scan_node_ = size();
+  scan_port_ = 0;
   return std::nullopt;
 }
 
 std::vector<NodeId> PartialMap::candidates(std::uint32_t deg, Port q) const {
   std::vector<NodeId> out;
-  for (NodeId v = 0; v < size(); ++v)
-    if (degree(v) == deg && q < degree(v) && !explored(v, q))
-      out.push_back(v);
+  candidates_into(deg, q, out);
   return out;
 }
 
+void PartialMap::candidates_into(std::uint32_t deg, Port q,
+                                 std::vector<NodeId>& out) const {
+  out.clear();
+  for (NodeId v = 0; v < size(); ++v)
+    if (degree(v) == deg && q < degree(v) && !explored(v, q))
+      out.push_back(v);
+}
+
 std::vector<Port> PartialMap::route(NodeId from, NodeId to) const {
-  if (from == to) return {};
-  std::vector<NodeId> parent(size(), kNoNode);
-  std::vector<Port> via(size(), kNoPort);
-  std::queue<NodeId> q;
-  parent[from] = from;
-  q.push(from);
-  while (!q.empty()) {
-    const NodeId v = q.front();
-    q.pop();
+  std::vector<Port> out;
+  route_into(from, to, out);
+  return out;
+}
+
+void PartialMap::route_into(NodeId from, NodeId to,
+                            std::vector<Port>& out) const {
+  out.clear();
+  if (from == to) return;
+  bfs_parent_.assign(size(), kNoNode);
+  bfs_via_.assign(size(), kNoPort);
+  bfs_queue_.clear();
+  bfs_parent_[from] = from;
+  bfs_queue_.push_back(from);
+  for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+    const NodeId v = bfs_queue_[head];
     for (Port p = 0; p < degree(v); ++p) {
       if (!explored(v, p)) continue;
       const NodeId u = nodes_[v][p].to;
-      if (parent[u] != kNoNode) continue;
-      parent[u] = v;
-      via[u] = p;
+      if (bfs_parent_[u] != kNoNode) continue;
+      bfs_parent_[u] = v;
+      bfs_via_[u] = p;
       if (u == to) {
-        std::vector<Port> path;
-        for (NodeId w = to; w != from; w = parent[w]) path.push_back(via[w]);
-        std::reverse(path.begin(), path.end());
-        return path;
+        for (NodeId w = to; w != from; w = bfs_parent_[w])
+          out.push_back(bfs_via_[w]);
+        std::reverse(out.begin(), out.end());
+        return;
       }
-      q.push(u);
+      bfs_queue_.push_back(u);
     }
   }
   throw std::logic_error("PartialMap::route: no explored route");

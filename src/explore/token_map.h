@@ -43,7 +43,9 @@ class PartialMap {
   void connect(NodeId u, Port pu, NodeId v, Port pv);
 
   /// First unexplored (node, port) in (node, port) lexicographic order,
-  /// or nullopt when the map is complete.
+  /// or nullopt when the map is complete. Amortized O(1) over a build:
+  /// slots only ever transition unexplored -> explored, so the scan
+  /// resumes from a monotone cursor instead of rescanning from (0, 0).
   [[nodiscard]] std::optional<std::pair<NodeId, Port>> first_unexplored() const;
 
   /// Nodes that could be the one just reached through a frontier edge
@@ -51,11 +53,19 @@ class PartialMap {
   /// unexplored. Ordered by node id (deterministic probe order).
   [[nodiscard]] std::vector<NodeId> candidates(std::uint32_t deg,
                                                Port q) const;
+  /// Allocation-free variant for per-round hot paths: fills `out`
+  /// (cleared first), reusing its capacity.
+  void candidates_into(std::uint32_t deg, Port q,
+                       std::vector<NodeId>& out) const;
 
   /// Shortest route between known nodes using explored edges only, as a
   /// port sequence. Requires such a route to exist (explored subgraph is
   /// connected by construction).
   [[nodiscard]] std::vector<Port> route(NodeId from, NodeId to) const;
+  /// Allocation-free variant: fills `out` (cleared first) and reuses the
+  /// map's internal BFS scratch, so repeated routing inside one window
+  /// stops allocating. Not reentrant (one route computation at a time).
+  void route_into(NodeId from, NodeId to, std::vector<Port>& out) const;
 
   /// Finalize into a Graph. Requires the map to be complete.
   [[nodiscard]] Graph to_graph() const;
@@ -64,6 +74,14 @@ class PartialMap {
 
  private:
   std::vector<std::vector<HalfEdge>> nodes_;
+  /// Monotone frontier cursor for first_unexplored (see above).
+  mutable NodeId scan_node_ = 0;
+  mutable Port scan_port_ = 0;
+  /// BFS scratch reused by route_into (parent node, arrival-via port, and
+  /// the work queue), sized lazily to the current node count.
+  mutable std::vector<NodeId> bfs_parent_;
+  mutable std::vector<Port> bfs_via_;
+  mutable std::vector<NodeId> bfs_queue_;
 };
 
 }  // namespace bdg

@@ -63,7 +63,12 @@ struct GatheringSpec {
   core::Round total_rounds = 0;
 };
 
-/// Walk to the rally node, then idle until the charged phase ends.
+/// Walk to the rally node, then idle until the charged phase ends. The
+/// idle tail is slept in ONE jump (the engine fast-forwards it), and the
+/// task returns after EXACTLY spec.total_rounds rounds — the tournament's
+/// pairing-window synchrony invariant (both partners of every window end
+/// it on the same round, checked in core/tournament_dispersion.cpp) rests
+/// on this phase-length exactness.
 [[nodiscard]] sim::Task<void> run_oracle_gathering(sim::Ctx ctx,
                                                    GatheringSpec spec);
 

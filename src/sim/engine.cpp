@@ -125,6 +125,14 @@ void Engine::resume_robot(Robot& r) {
 }
 
 void Engine::release_inbox(std::vector<Msg>& box) {
+  // Harvest payload capacity for broadcast_pooled before the Msgs die.
+  constexpr std::size_t kPayloadArenaCap = 1024;
+  for (Msg& m : box) {
+    if (payload_arena_.size() >= kPayloadArenaCap) break;
+    if (m.data.capacity() == 0) continue;
+    m.data.clear();
+    payload_arena_.push_back(std::move(m.data));
+  }
   box.clear();
   if (box.capacity() != 0) msg_arena_.push_back(std::move(box));
 }
@@ -273,6 +281,18 @@ void Ctx::broadcast(std::uint32_t kind, std::vector<std::int64_t> data) {
   box.push_back(Msg{r.id, idx_, kind, std::move(data)});
   ++e.stats_.messages;
   if (e.observer_ != nullptr) e.observer_->on_message(box.back(), r.pos, e.round_);
+}
+
+void Ctx::broadcast_pooled(std::uint32_t kind,
+                           std::span<const std::int64_t> data) {
+  Engine& e = *engine_;
+  std::vector<std::int64_t> payload;
+  if (!e.payload_arena_.empty()) {
+    payload = std::move(e.payload_arena_.back());
+    e.payload_arena_.pop_back();
+  }
+  payload.assign(data.begin(), data.end());
+  broadcast(kind, std::move(payload));
 }
 
 void Ctx::spoof_broadcast(RobotId claimed, std::uint32_t kind,

@@ -29,6 +29,7 @@
 #include <functional>
 #include <optional>
 #include <queue>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -96,6 +97,12 @@ class Ctx {
   /// Broadcast to co-located robots; delivered next sub-round. The sender
   /// ID is the robot's true ID (enforced).
   void broadcast(std::uint32_t kind, std::vector<std::int64_t> data = {});
+  /// Allocation-free broadcast for per-round hot paths: the payload is
+  /// copied into a buffer recycled through the engine's payload arena
+  /// (capacity harvested from delivered messages), so steady-state message
+  /// construction performs no heap allocation. Semantically identical to
+  /// broadcast() — receivers cannot tell the two apart.
+  void broadcast_pooled(std::uint32_t kind, std::span<const std::int64_t> data);
   /// Broadcast with a forged sender ID. Only strong Byzantine robots may
   /// call this; the engine throws std::logic_error otherwise.
   void spoof_broadcast(RobotId claimed, std::uint32_t kind,
@@ -251,6 +258,11 @@ class Engine {
   std::vector<std::vector<Msg>> delivered_, pending_;
   std::vector<NodeId> delivered_dirty_, pending_dirty_;
   std::vector<std::vector<Msg>> msg_arena_;
+  /// Recycled payload buffers for Ctx::broadcast_pooled: capacity is
+  /// harvested from cleared inboxes (release_inbox) and handed back out,
+  /// so hot protocol loops stop allocating per message. Bounded so a burst
+  /// never pins memory forever.
+  std::vector<std::vector<std::int64_t>> payload_arena_;
   Observer* observer_ = nullptr;
 };
 

@@ -43,6 +43,35 @@ TEST(EngineEdge, BroadcastInFinalSubroundIsDropped) {
   EXPECT_TRUE(heard.empty());
 }
 
+Proc pooled_broadcaster(Ctx ctx) {
+  // Same payload through both paths across two rounds: receivers must not
+  // be able to tell broadcast_pooled (arena-backed) from broadcast.
+  static constexpr std::int64_t kPayload[] = {7, -3, 42};
+  for (int round = 0; round < 2; ++round) {
+    ctx.broadcast(11, {7, -3, 42});
+    ctx.broadcast_pooled(12, kPayload);
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+TEST(EngineEdge, PooledBroadcastDeliversIdenticalPayloads) {
+  const Graph g = make_path(2);
+  EngineConfig cfg;
+  cfg.subrounds = 4;
+  Engine eng(g, cfg);
+  std::vector<Msg> heard;
+  eng.add_robot(1, Faultiness::kHonest, 0,
+                [](Ctx c) { return pooled_broadcaster(c); });
+  eng.add_robot(2, Faultiness::kHonest, 0,
+                [&](Ctx c) { return every_subround_listener(c, &heard, 4); });
+  eng.run(8);
+  ASSERT_EQ(heard.size(), 4u);  // 2 rounds x 2 kinds
+  for (const Msg& m : heard) {
+    EXPECT_TRUE(m.kind == 11 || m.kind == 12);
+    EXPECT_EQ(m.data, (std::vector<std::int64_t>{7, -3, 42}));
+  }
+}
+
 TEST(EngineEdge, BroadcastBeforeFinalSubroundIsDelivered) {
   const Graph g = make_path(2);
   EngineConfig cfg;

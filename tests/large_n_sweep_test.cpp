@@ -139,6 +139,38 @@ TEST(LargeN, Row2AndRow6SweepCheckpointRoundTripsByteIdentically) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched pairing windows at larger n (the PR 4 headroom note)
+// ---------------------------------------------------------------------------
+
+TEST(LargeN, BatchedPairingMatchesUnbatchedVerdictAndRoundsAt64) {
+  // Row 2 at n = 64 (theory cost): the batched pairing windows must leave
+  // the verdict and the exact > 2^64 charged round count bit-identical to
+  // the original rebuild-every-window path, while the active metrics
+  // collapse (every robot confirms after its first window at f = 0, so
+  // the other 62 windows publish-and-sleep / fast-forward whole).
+  const std::uint32_t n = 64;
+  const auto g = run::build_family_graph("star", n, /*seed=*/99);
+  ASSERT_TRUE(g.has_value());
+  core::ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentArbitrary;
+  cfg.num_byzantine = 0;
+  cfg.seed = 4242;
+  cfg.cost = gather::CostModel{/*scaled=*/false};
+  cfg.batched_pairing = true;
+  const core::ScenarioResult batched = core::run_scenario(*g, cfg);
+  cfg.batched_pairing = false;
+  const core::ScenarioResult plain = core::run_scenario(*g, cfg);
+  ASSERT_TRUE(batched.verify.ok()) << batched.verify.detail;
+  ASSERT_TRUE(plain.verify.ok()) << plain.verify.detail;
+  EXPECT_EQ(batched.stats.rounds, plain.stats.rounds);
+  EXPECT_EQ(batched.planned_rounds, plain.planned_rounds);
+  EXPECT_GT(batched.stats.rounds, Round::exp2(59));
+  // The batching win, pinned as an order-of-magnitude bound so the gate
+  // survives protocol tweaks: >= 10x fewer simulated rounds.
+  EXPECT_LT(batched.stats.simulated_rounds * 10, plain.stats.simulated_rounds);
+}
+
+// ---------------------------------------------------------------------------
 // Multi-wave charged-prefix fast-forwarding (the PR 3 known limit)
 // ---------------------------------------------------------------------------
 

@@ -43,6 +43,44 @@ TEST(PartialMap, CandidatesFilterDegreeAndSlot) {
   EXPECT_TRUE(pm.candidates(5, 0).empty());
 }
 
+TEST(PartialMap, IntoVariantsReuseBuffersAndMatch) {
+  PartialMap pm(2);
+  const NodeId a = pm.add_node(2);
+  const NodeId b = pm.add_node(2);
+  pm.connect(0, 0, a, 1);
+  pm.connect(a, 0, b, 1);
+  std::vector<Port> route;
+  std::vector<NodeId> cands;
+  pm.route_into(0, b, route);
+  EXPECT_EQ(route, pm.route(0, b));
+  pm.route_into(b, 0, route);  // reused buffer is cleared first
+  EXPECT_EQ(route, pm.route(b, 0));
+  pm.route_into(a, a, route);
+  EXPECT_TRUE(route.empty());
+  pm.candidates_into(2, 0, cands);
+  EXPECT_EQ(cands, pm.candidates(2, 0));
+  pm.candidates_into(7, 0, cands);
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(PartialMap, FirstUnexploredCursorIsMonotone) {
+  // The cursor-backed scan must return exactly the lexicographically first
+  // unexplored slot at every step of an incremental build, including after
+  // completion and after adding fresh (all-unexplored) nodes.
+  PartialMap pm(1);
+  ASSERT_EQ(pm.first_unexplored(), std::make_pair(NodeId{0}, Port{0}));
+  const NodeId a = pm.add_node(2);
+  pm.connect(0, 0, a, 0);
+  ASSERT_EQ(pm.first_unexplored(), std::make_pair(a, Port{1}));
+  const NodeId b = pm.add_node(1);
+  pm.connect(a, 1, b, 0);
+  EXPECT_FALSE(pm.first_unexplored().has_value());
+  EXPECT_TRUE(pm.complete());
+  const NodeId c = pm.add_node(1);
+  ASSERT_EQ(pm.first_unexplored(), std::make_pair(c, Port{0}));
+  EXPECT_FALSE(pm.complete());
+}
+
 TEST(CoveringWalk, ToursVisitAllAndReturn) {
   for (const auto& [name, g] : standard_menagerie(9, 5)) {
     SCOPED_TRACE(name);
@@ -181,6 +219,85 @@ TEST(EngineMap, AbsentTokenAborts) {
   EXPECT_TRUE(out->aborted);
   EXPECT_FALSE(out->code.has_value());
   EXPECT_EQ(eng.position_of(1), 0u);
+}
+
+sim::Proc cached_agent_wrapper(sim::Ctx ctx, MapFindConfig cfg, Graph cached,
+                               CanonicalCode code,
+                               std::shared_ptr<MapFindOutcome> out) {
+  *out = co_await explore::run_map_agent_cached(ctx, cfg, cached,
+                                                std::move(code));
+}
+
+sim::Proc plain_token_wrapper(sim::Ctx ctx, MapFindConfig cfg,
+                              std::shared_ptr<MapFindOutcome> out) {
+  *out = co_await explore::run_map_token(ctx, cfg);
+}
+
+/// Drive one cached-agent window against an honest token on `real`, with
+/// `cached` as the map the agent trusts.
+MapFindOutcome run_cached_window(const Graph& real, const Graph& cached,
+                                 bool token_early_close) {
+  const auto n = static_cast<std::uint32_t>(real.n());
+  sim::Engine eng(real);
+  MapFindConfig cfg;
+  cfg.agents = {1};
+  cfg.tokens = {2};
+  cfg.n = n;
+  cfg.round_budget = explore::default_map_window(n);
+  MapFindConfig tcfg = cfg;
+  tcfg.early_close = token_early_close;
+  const CanonicalCode code = rooted_code(cached, 0);
+  auto aout = std::make_shared<MapFindOutcome>();
+  auto tout = std::make_shared<MapFindOutcome>();
+  eng.add_robot(1, sim::Faultiness::kHonest, 0, [=](sim::Ctx c) {
+    return cached_agent_wrapper(c, cfg, cached, code, aout);
+  });
+  eng.add_robot(2, sim::Faultiness::kHonest, 0, [=](sim::Ctx c) {
+    return plain_token_wrapper(c, tcfg, tout);
+  });
+  eng.run(cfg.round_budget + 8);
+  return *aout;
+}
+
+TEST(EngineMap, CachedAgentVerifiesTrueMapWithoutRebuilding) {
+  const Graph g = make_ring(6);
+  const auto ref = explore::build_map_with_token(g, 0);
+  const MapFindOutcome out = run_cached_window(g, ref.map, true);
+  EXPECT_TRUE(out.verified_cache);
+  ASSERT_TRUE(out.code.has_value());
+  EXPECT_TRUE(rooted_isomorphic(graph_from_code(*out.code), 0, g, 0));
+  // The verify-only walk is ~2|E| rounds, far below a full build.
+  EXPECT_LE(out.active_rounds, 2u * 6u + 4u);
+}
+
+TEST(EngineMap, CachedAgentMismatchFallsBackToFullRebuild) {
+  // A poisoned cache (the map of a DIFFERENT graph with the same root
+  // degree) must fail the physical walk, and — with the token partner
+  // still listening — the same window recovers the true map via a full
+  // rebuild. verified_cache stays false: the caller knows this vote came
+  // from a fresh build, not the cache.
+  const Graph real = make_ring(6);
+  const Graph wrong =
+      explore::build_map_with_token(make_grid(2, 3), 0).map;
+  ASSERT_EQ(wrong.degree(0), real.degree(0));  // root check alone won't catch
+  const MapFindOutcome out = run_cached_window(real, wrong, false);
+  EXPECT_FALSE(out.verified_cache);
+  ASSERT_TRUE(out.code.has_value());
+  EXPECT_TRUE(rooted_isomorphic(graph_from_code(*out.code), 0, real, 0));
+}
+
+TEST(EngineMap, CachedAgentMismatchWithClosedTokenBurnsWindowSafely) {
+  // Same poisoned cache, but the token runs the batched early-close: it
+  // leaves after the silent verify walk begins, so the in-window rebuild
+  // has no token service and must abort — a burned window (no vote), never
+  // an unverified map handed to the caller.
+  const Graph real = make_ring(6);
+  const Graph wrong =
+      explore::build_map_with_token(make_grid(2, 3), 0).map;
+  const MapFindOutcome out = run_cached_window(real, wrong, true);
+  EXPECT_FALSE(out.verified_cache);
+  EXPECT_FALSE(out.code.has_value());
+  EXPECT_TRUE(out.aborted);
 }
 
 TEST(EngineMap, GroupRunWithQuorumsBuildsMap) {

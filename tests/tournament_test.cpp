@@ -1,14 +1,21 @@
 // Theorems 2 and 3 end-to-end: all-pairs tournament map finding with
 // majority voting, then dispersion. Includes the pairing-schedule unit
-// tests (all pairs covered, at most one pairing per robot per window).
+// tests (all pairs covered, at most one pairing per robot per window),
+// the sentinel/slack bug-cluster regressions (RobotId 0 rejection,
+// schedule-derived window counts, majority fault budget) and the
+// batched-vs-unbatched pairing conformance grid.
 #include "core/tournament_dispersion.h"
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "core/algorithm_common.h"
+#include "core/dispersion_using_map.h"
+#include "core/protocol_slack.h"
 #include "core/scenario.h"
+#include "explore/engine_map.h"
 #include "graph/generators.h"
 
 namespace bdg::core {
@@ -40,11 +47,69 @@ TEST(RoundRobin, EmptyAndSingleton) {
   for (const auto& win : w) EXPECT_TRUE(win.empty());
 }
 
+// Regression: RobotId 0 is the schedule's internal dummy-bye marker and
+// the window protocol's "no partner" case. It used to be accepted
+// silently — a caller passing ID 0 got a robot that slept every window
+// and a schedule pairing the dummy — so it must be rejected loudly at
+// plan time, mirroring the engine's add_robot check.
+TEST(RoundRobin, RejectsReservedRobotIdZero) {
+  EXPECT_THROW((void)round_robin_schedule({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)round_robin_schedule({0}), std::invalid_argument);
+  const Graph g = make_ring(4);
+  const gather::CostModel cost{true};
+  EXPECT_THROW((void)plan_tournament_dispersion(g, {0, 7, 9, 12},
+                                                /*gathered=*/true, 0, cost),
+               std::invalid_argument);
+  // Nonzero IDs keep planning fine.
+  EXPECT_NO_THROW((void)plan_tournament_dispersion(g, {3, 7, 9, 12},
+                                                   /*gathered=*/true, 0,
+                                                   cost));
+}
+
+// Regression: the planner derives the pairing-phase length from
+// round_robin_schedule(ids).size() itself — never from its own padding
+// arithmetic, which could drift from the coroutine's schedule and desync
+// plan.total_rounds from the run. Pinned against the schedule for odd
+// and even k (gathered, so the plan is schedule + dispersion + slack).
+TEST(TournamentPlan, WindowCountSingleSourcedFromSchedule) {
+  const Graph g = make_ring(6);
+  const gather::CostModel cost{true};
+  const Round t2 = explore::default_map_window(6);
+  const Round phase = dispersion_phase_rounds(6);
+  for (const std::size_t k : {2u, 3u, 5u, 8u, 9u}) {
+    std::vector<sim::RobotId> ids;
+    for (std::size_t i = 0; i < k; ++i) ids.push_back(11 + 3 * i);
+    const auto plan =
+        plan_tournament_dispersion(g, ids, /*gathered=*/true, 0, cost);
+    const Round pairing = Round(round_robin_schedule(ids).size()) * 2 * t2;
+    EXPECT_EQ(plan.total_rounds, pairing + phase + kPlanCloseSlack)
+        << "k=" << k;
+  }
+}
+
 TEST(MajorityCode, PicksMostFrequent) {
   const CanonicalCode a{1, 2}, b{3, 4};
   EXPECT_EQ(majority_code({a, b, a}), a);
   EXPECT_EQ(majority_code({b}), b);
   EXPECT_FALSE(majority_code({}).has_value());
+}
+
+// Regression: at the exact tolerance frontier an adversarial code tying
+// the honest count used to win deterministically whenever it was the
+// lexicographically smaller canonical code. With the fault budget the
+// winner must STRICTLY beat the possible-faulty count, so the tie (and
+// anything below the budget) becomes a loud no-map abort instead.
+TEST(MajorityCode, FaultBudgetBreaksFrontierTies) {
+  const CanonicalCode honest{9, 9}, evil{1, 1};  // evil is the smaller code
+  // f = 2 liars coordinating on one code, tying the two honest votes.
+  const std::vector<CanonicalCode> tied{honest, evil, honest, evil};
+  EXPECT_EQ(majority_code(tied), evil);  // plurality: the documented hazard
+  EXPECT_FALSE(majority_code(tied, 2).has_value());  // budget: loud abort
+  // One honest vote above the budget restores the honest winner.
+  const std::vector<CanonicalCode> clear{honest, evil, honest, evil, honest};
+  EXPECT_EQ(majority_code(clear, 2), honest);
+  // Everything at or below the budget is filtered, not elected.
+  EXPECT_FALSE(majority_code({evil, evil}, 2).has_value());
 }
 
 TEST(DecodeMap, RejectsWrongSizeAndGarbage) {
@@ -121,6 +186,78 @@ TEST(TournamentGathered, AllHonestSmall) {
   cfg.num_byzantine = 0;
   const ScenarioResult res = run_scenario(g, cfg);
   EXPECT_TRUE(res.verify.ok()) << res.verify.detail;
+}
+
+// Conformance grid for the batched pairing windows (map-cache, verify
+// walk, early window close): across a mixed-adversary grid, the batched
+// and unbatched paths must produce bit-identical sweep verdicts and
+// charged round totals — only the ACTIVE metrics (simulated rounds,
+// moves, messages) may drop. Every scenario also exercises the runtime
+// window-synchrony invariant in tournament_robot across all seeds and
+// mixes: a desynced window boundary throws out of run_scenario and fails
+// the test loudly.
+TEST(TournamentBatched, ConformsToUnbatchedOnMixedAdversaryGrid) {
+  const std::vector<std::vector<ByzStrategy>> mixes = {
+      {},  // scalar kMapLiar
+      {ByzStrategy::kMapLiar, ByzStrategy::kCrash},
+      {ByzStrategy::kFakeSettler, ByzStrategy::kIntentSpammer,
+       ByzStrategy::kMapLiar},
+  };
+  for (const Algorithm alg :
+       {Algorithm::kTournamentGathered, Algorithm::kTournamentArbitrary}) {
+    for (const std::uint32_t f : {0u, 1u, 3u}) {
+      for (const std::uint64_t seed : {1ULL, 5ULL, 23ULL}) {
+        for (const auto& mix : mixes) {
+          Rng rng(seed);
+          const Graph g =
+              shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+          ScenarioConfig cfg;
+          cfg.algorithm = alg;
+          cfg.num_byzantine = f;
+          cfg.strategy = ByzStrategy::kMapLiar;
+          cfg.strategies = mix;
+          cfg.seed = seed;
+          cfg.batched_pairing = true;
+          const ScenarioResult batched = run_scenario(g, cfg);
+          cfg.batched_pairing = false;
+          const ScenarioResult plain = run_scenario(g, cfg);
+          const auto ctx = to_string(alg) + " f=" + std::to_string(f) +
+                           " seed=" + std::to_string(seed) + " mix=" +
+                           std::to_string(mix.size());
+          EXPECT_EQ(batched.verify.ok(), plain.verify.ok()) << ctx;
+          EXPECT_TRUE(batched.verify.ok()) << ctx << ": "
+                                           << batched.verify.detail;
+          EXPECT_EQ(batched.stats.rounds, plain.stats.rounds) << ctx;
+          EXPECT_EQ(batched.planned_rounds, plain.planned_rounds) << ctx;
+          EXPECT_LE(batched.stats.simulated_rounds,
+                    plain.stats.simulated_rounds)
+              << ctx;
+        }
+      }
+    }
+  }
+}
+
+// The batching win itself, pinned at a size small enough for a test: with
+// f = 0 every robot confirms its map after the first window, so all later
+// windows collapse to publish-and-sleep and the active metrics drop by an
+// order of magnitude while verdict and charged rounds stay identical.
+TEST(TournamentBatched, CollapsesActiveRoundsWhenConfirmed) {
+  const Graph g = make_ring(12);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = 0;
+  cfg.seed = 3;
+  cfg.batched_pairing = true;
+  const ScenarioResult batched = run_scenario(g, cfg);
+  cfg.batched_pairing = false;
+  const ScenarioResult plain = run_scenario(g, cfg);
+  ASSERT_TRUE(batched.verify.ok()) << batched.verify.detail;
+  ASSERT_TRUE(plain.verify.ok()) << plain.verify.detail;
+  EXPECT_EQ(batched.stats.rounds, plain.stats.rounds);
+  EXPECT_LT(batched.stats.simulated_rounds * 5, plain.stats.simulated_rounds);
+  EXPECT_LT(batched.stats.moves, plain.stats.moves);
+  EXPECT_LT(batched.stats.messages, plain.stats.messages);
 }
 
 }  // namespace
