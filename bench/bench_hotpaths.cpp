@@ -10,12 +10,15 @@
 //    points, where per-round work — not the protocol — dominates;
 //  * tournament pairing windows (core/tournament_dispersion.cpp), batched
 //    and unbatched, so the map-cache/early-close speedup is timed in
-//    isolation and its active-round collapse is gated exactly.
+//    isolation and its active-round collapse is gated exactly — plus the
+//    f > 0 compiled-adversary pair (core/byzantine.cpp range effects): an
+//    always-broadcasting squatter with the interpreter on vs. off, gating
+//    the adversarial-batching speedup the same way.
 //
 // Output: three CSVs (quotient rows: name,n,num_classes,reps,seconds;
 // engine rows: the run/ points schema; pairing rows:
-// algorithm,n,f,batched,reps,ok,rounds,simulated_rounds,moves,messages,
-// planned_rounds,seconds). Usage:
+// algorithm,n,f,strategy,batched,compiled,reps,ok,rounds,simulated_rounds,
+// moves,messages,planned_rounds,seconds). Usage:
 //   bench_hotpaths [quotient_csv [engine_csv [pairing_csv]]]
 // Paths default to stdout; "-" also means stdout. `seconds` is the
 // minimum over reps; every other column is deterministic and compared
@@ -71,13 +74,21 @@ void quotient_rows(std::ostream& os) {
   }
 }
 
+/// Set false by pairing_rows if the compiled-adversary speedup claim
+/// fails; main() turns it into a nonzero exit so CI perf-smoke catches a
+/// regression even before perf_diff sees the baselines.
+bool g_pairing_speedup_ok = true;
+
 void pairing_rows(std::ostream& os) {
   // Row 4 (tournament-gathered) isolates Phase 2: no gathering prefix, so
   // the timer measures the pairing windows plus the short dispersion
-  // phase. The f > 0 cases run CRASH faults: Byzantine silence is the
-  // window tail the token early-close removes (see the case table below).
-  os << "algorithm,n,f,batched,reps,ok,rounds,simulated_rounds,moves,"
-        "messages,planned_rounds,seconds\n";
+  // phase. The f > 0 crash cases time the PR 5 early close (Byzantine
+  // silence is the window tail it removes); the f > 0 squatter pair times
+  // adversary compilation itself — an always-broadcasting squatter keeps
+  // the engine awake every round unless the compiled interpreter parks it
+  // as a range effect, so compiled=1 vs compiled=0 isolates exactly that.
+  os << "algorithm,n,f,strategy,batched,compiled,reps,ok,rounds,"
+        "simulated_rounds,moves,messages,planned_rounds,seconds\n";
   Rng rng(19);
   const Graph g24 = shuffle_ports(make_connected_er(24, 0.3, rng), rng);
   const Graph g48 = shuffle_ports(make_connected_er(48, 0.2, rng), rng);
@@ -85,24 +96,32 @@ void pairing_rows(std::ostream& os) {
   struct Case {
     const Graph* g;
     std::uint32_t f;
+    core::ByzStrategy strategy;
     bool batched;
+    bool compiled;
   };
-  // The adversarial pair runs CRASH faults at n = 24: unbatched, every
-  // crash window costs the honest token a full t2 of active listening (at
-  // n >= 48 that exceeds any sane bench budget) — exactly the idle tail
-  // the early close sleeps in one jump. (An always-broadcasting liar
-  // keeps the engine awake by itself and would only measure adversary
-  // simulation cost.)
-  const Case cases[] = {{&g48, 0, true}, {&g48, 0, false},
-                        {&g24, 5, true}, {&g24, 5, false},
-                        {&g64, 0, true}, {&g64, 0, false}};
+  // Crash faults at n = 24 for the unbatched pair: unbatched, every crash
+  // window costs the honest token a full t2 of active listening (at
+  // n >= 48 that exceeds any sane bench budget).
+  const Case cases[] = {
+      {&g48, 0, core::ByzStrategy::kCrash, true, true},
+      {&g48, 0, core::ByzStrategy::kCrash, false, true},
+      {&g24, 5, core::ByzStrategy::kCrash, true, true},
+      {&g24, 5, core::ByzStrategy::kCrash, false, true},
+      {&g64, 0, core::ByzStrategy::kCrash, true, true},
+      {&g64, 0, core::ByzStrategy::kCrash, false, true},
+      {&g24, 5, core::ByzStrategy::kSquatter, true, true},
+      {&g24, 5, core::ByzStrategy::kSquatter, true, false},
+  };
+  double squatter_compiled = 0, squatter_coroutine = 0;
   for (const Case& c : cases) {
     core::ScenarioConfig cfg;
     cfg.algorithm = core::Algorithm::kTournamentGathered;
     cfg.num_byzantine = c.f;
-    cfg.strategy = core::ByzStrategy::kCrash;
+    cfg.strategy = c.strategy;
     cfg.seed = 17;
     cfg.batched_pairing = c.batched;
+    cfg.compiled_adversary = c.compiled;
     constexpr int kReps = 3;
     core::ScenarioResult res;
     double best = 0;
@@ -110,14 +129,27 @@ void pairing_rows(std::ostream& os) {
       const double s = time_once([&] { res = core::run_scenario(*c.g, cfg); });
       best = rep == 0 ? s : std::min(best, s);
     }
+    if (c.strategy == core::ByzStrategy::kSquatter)
+      (c.compiled ? squatter_compiled : squatter_coroutine) = best;
     os << core::to_string(cfg.algorithm) << ',' << c.g->n() << ',' << c.f
-       << ',' << (c.batched ? 1 : 0) << ',' << kReps << ','
+       << ',' << core::to_string(c.strategy) << ',' << (c.batched ? 1 : 0)
+       << ',' << (c.compiled ? 1 : 0) << ',' << kReps << ','
        << (res.verify.ok() ? 1 : 0) << ',' << res.stats.rounds << ','
        << res.stats.simulated_rounds << ',' << res.stats.moves << ','
        << res.stats.messages << ',' << res.planned_rounds << ',' << best
        << '\n';
-    std::fprintf(stderr, "[pairing n=%zu f=%u batched=%d: %.4fs]\n",
-                 c.g->n(), c.f, c.batched ? 1 : 0, best);
+    std::fprintf(stderr, "[pairing n=%zu f=%u %s batched=%d compiled=%d: %.4fs]\n",
+                 c.g->n(), c.f, core::to_string(c.strategy).c_str(),
+                 c.batched ? 1 : 0, c.compiled ? 1 : 0, best);
+  }
+  // The PR's acceptance bar: compiling the adversary must at least halve
+  // the batched-but-uncompiled wall clock on the squatter point.
+  if (squatter_compiled * 2 > squatter_coroutine) {
+    std::fprintf(stderr,
+                 "pairing: compiled adversary too slow: %.4fs vs %.4fs "
+                 "(need >= 2x)\n",
+                 squatter_compiled, squatter_coroutine);
+    g_pairing_speedup_ok = false;
   }
 }
 
@@ -158,5 +190,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "engine point failed: %s\n", p.detail.c_str());
       ok = false;
     }
+  ok &= g_pairing_speedup_ok;
   return ok ? 0 : 1;
 }

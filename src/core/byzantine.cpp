@@ -1,11 +1,27 @@
 #include "core/byzantine.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "core/protocol_msgs.h"
 #include "explore/engine_map.h"
 
 namespace bdg::core {
+
+Round ChargeGate::pending(Round now) {
+  while (next < sched.charged.size() && now >= sched.charged[next].second)
+    ++next;
+  if (next < sched.charged.size() && now >= sched.charged[next].first)
+    return sched.charged[next].second - now;
+  return 0;
+}
+
+Round ChargeGate::until_next(Round now) const {
+  if (next >= sched.charged.size()) return Round::saturated();
+  return sched.charged[next].first - now;
+}
+
 namespace {
 
 using sim::Ctx;
@@ -16,22 +32,24 @@ std::optional<Port> random_port(Ctx& ctx, Rng& rng) {
   return static_cast<Port>(rng.below(ctx.degree()));
 }
 
-/// Cursor over a schedule's charged windows. pending() returns how long to
-/// sleep from `now` to clear the window containing it (0 = outside every
-/// window). Windows are sorted, so the cursor only ever advances —
-/// checking costs O(1) per awake round.
-struct ChargeGate {
-  ByzSchedule sched;
-  std::size_t next = 0;
-
-  [[nodiscard]] Round pending(Round now) {
-    while (next < sched.charged.size() && now >= sched.charged[next].second)
-      ++next;
-    if (next < sched.charged.size() && now >= sched.charged[next].first)
-      return sched.charged[next].second - now;
-    return 0;
+/// The schedule contract every program (coroutine or compiled) relies on:
+/// windows nonempty, sorted, disjoint, and not before the wake round. A
+/// malformed schedule would silently skew sleep accounting (ChargeGate's
+/// >= advance happens to swallow empty [a, a) windows, for instance), so
+/// reject it loudly at construction.
+void validate_schedule(const ByzSchedule& sched) {
+  Round prev_end = sched.wake;
+  for (const auto& [begin, end] : sched.charged) {
+    if (end <= begin)
+      throw std::invalid_argument(
+          "ByzSchedule: charged window must be nonempty [begin, end)");
+    if (begin < prev_end)
+      throw std::invalid_argument(
+          "ByzSchedule: charged windows must be sorted, disjoint and not "
+          "before the wake round");
+    prev_end = end;
   }
-};
+}
 
 // Every strategy loop starts a round with this: sleep out the initial
 // charged prefix and, later, every charged window of subsequent waves.
@@ -128,17 +146,24 @@ Proc map_liar(Ctx ctx, ByzSchedule sched, Rng rng) {
     ctx.broadcast(explore::kMsgMapCode, {1, 0});
     co_await ctx.next_subround();
     ctx.broadcast(explore::kMsgTokenHere);
-    co_await ctx.end_round(rng.chance(1, 2) ? random_port(ctx, rng)
-                                            : std::nullopt);
+    // The move draw is hoisted out of the co_await argument: GCC 12
+    // evaluates BOTH arms of a side-effecting conditional placed inside a
+    // co_await call argument (observed: random_port's draw consumed even
+    // when the chance failed, with arm order varying across builds), which
+    // silently changed the draw sequence between binaries.
+    std::optional<Port> port;
+    if (rng.chance(1, 2)) port = random_port(ctx, rng);
+    co_await ctx.end_round(port);
   }
 }
 
+// The strong-robot requirement is enforced by the program factory BEFORE
+// this coroutine first runs (a misconfigured weak spoofer must abort at
+// t=0, not after a possibly astronomically long charged prefix).
 Proc spoofer(Ctx ctx, ByzSchedule sched, std::vector<sim::RobotId> peers,
              Rng rng) {
   ChargeGate gate{std::move(sched)};
   if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
-  if (ctx.faultiness() != sim::Faultiness::kStrongByzantine)
-    throw std::logic_error("spoofer strategy requires a strong robot");
   for (;;) {
     BDG_BYZ_SKIP_CHARGED(gate, ctx);
     // Forge votes under several peers' identities on all channels.
@@ -157,12 +182,226 @@ Proc spoofer(Ctx ctx, ByzSchedule sched, std::vector<sim::RobotId> peers,
       const sim::RobotId victim = peers[rng.below(peers.size())];
       ctx.spoof_broadcast(victim, explore::kMsgTokenHere);
     }
-    co_await ctx.end_round(rng.chance(1, 2) ? random_port(ctx, rng)
-                                            : std::nullopt);
+    // Hoisted for the same GCC 12 both-arms miscompile as map_liar above.
+    std::optional<Port> port;
+    if (rng.chance(1, 2)) port = random_port(ctx, rng);
+    co_await ctx.end_round(port);
   }
 }
 
 #undef BDG_BYZ_SKIP_CHARGED
+
+// ---------------------------------------------------------------------------
+// Compiled-strategy interpreter
+// ---------------------------------------------------------------------------
+
+/// Phase length at (re-)entry; the draw (if any) consumes exactly the
+/// rng.below the coroutine strategy consumed at the same point.
+std::uint64_t draw_phase_len(const CompiledStrategy::Phase& p, std::uint32_t n,
+                             Rng& rng) {
+  const std::uint64_t bound = p.n_scaled ? p.bound * n : p.bound;
+  return p.base + (bound != 0 ? rng.below(bound) : 0);
+}
+
+std::vector<std::int64_t> make_payload(
+    const std::vector<CompiledStrategy::PayloadElem>& elems, Rng& rng) {
+  std::vector<std::int64_t> out;
+  out.reserve(elems.size());
+  for (const auto& e : elems)
+    out.push_back(e.draw_below4 ? static_cast<std::int64_t>(rng.below(4))
+                                : e.literal);
+  return out;
+}
+
+/// Replay-side twin of make_payload: consume the draws, skip the bytes.
+void consume_payload_draws(
+    const std::vector<CompiledStrategy::PayloadElem>& elems, Rng& rng) {
+  for (const auto& e : elems)
+    if (e.draw_below4) (void)rng.below(4);
+}
+
+std::optional<Port> draw_move(CompiledStrategy::MoveRule rule, Ctx& ctx,
+                              Rng& rng) {
+  switch (rule) {
+    case CompiledStrategy::MoveRule::kStay:
+      return std::nullopt;
+    case CompiledStrategy::MoveRule::kRandomPort:
+      return random_port(ctx, rng);
+    case CompiledStrategy::MoveRule::kChancePort:
+      return rng.chance(1, 2) ? random_port(ctx, rng) : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// The one interpreter behind every compiled strategy. Live rounds and
+/// replayed (fast-forwarded) rounds walk the SAME op list, so the RNG
+/// draw order, message contents/order, move timing and charged-window
+/// sleeps are bit-identical to the coroutine strategies by construction —
+/// only the execution shape differs: between rounds the robot parks via
+/// end_round_ambient instead of holding the engine awake.
+Proc run_compiled(Ctx ctx, CompiledStrategy cs, ByzSchedule sched,
+                  std::vector<sim::RobotId> peers, Rng rng) {
+  using LenRule = CompiledStrategy::LenRule;
+  using OpKind = CompiledStrategy::OpKind;
+  ChargeGate gate{std::move(sched)};
+  if (gate.sched.wake != 0) co_await ctx.sleep_rounds(gate.sched.wake);
+
+  // kDrawOnce lengths are drawn exactly where the coroutines draw them:
+  // right after the wake sleep, before the first active round.
+  std::vector<std::uint64_t> once_len(cs.phases.size(), 0);
+  for (std::size_t i = 0; i < cs.phases.size(); ++i)
+    if (cs.phases[i].len == LenRule::kDrawOnce)
+      once_len[i] = draw_phase_len(cs.phases[i], ctx.n(), rng);
+
+  std::size_t phase = 0;
+  std::uint64_t left = 0;  // rounds left in the phase (kForever: unused)
+  bool finished = cs.phases.empty();
+
+  // Enter phases from `phase` on until one grants a nonzero budget.
+  // kDrawEachEntry draws here — the same point in the RNG sequence as the
+  // coroutine, since no draw can intervene between a phase's final round
+  // and the next phase's entry.
+  const auto enter_phase = [&](bool advance) {
+    if (finished) return;
+    if (advance) ++phase;
+    for (std::size_t tries = 0; tries <= cs.phases.size(); ++tries) {
+      if (phase >= cs.phases.size()) {
+        if (!cs.loop) {
+          finished = true;
+          return;
+        }
+        phase = 0;
+      }
+      const CompiledStrategy::Phase& p = cs.phases[phase];
+      switch (p.len) {
+        case LenRule::kForever:
+          left = 0;
+          return;
+        case LenRule::kFixed:
+          left = p.base;
+          break;
+        case LenRule::kDrawOnce:
+          left = once_len[phase];
+          break;
+        case LenRule::kDrawEachEntry:
+          left = draw_phase_len(p, ctx.n(), rng);
+          break;
+      }
+      if (left != 0) return;
+      ++phase;  // zero-length phase: skip
+    }
+    finished = true;  // every phase empty: nothing to ever do
+  };
+  enter_phase(/*advance=*/false);
+
+  Round now = ctx.round();  // next round this robot owes an action for
+  for (;;) {
+    if (finished) co_return;
+    if (now < ctx.round()) {
+      // ----- replay: `now` was fast-forwarded past while parked -------
+      if (const Round d = gate.pending(now); d != Round(0)) {
+        // The per-round path slept out this charged stretch: no draws,
+        // no messages, no moves. Jump the cursor.
+        const Round horizon = ctx.round() - now;
+        now += d < horizon ? d : horizon;
+        continue;
+      }
+      const CompiledStrategy::Phase& p = cs.phases[phase];
+      if (p.bulk_ok) {
+        // Draw-free stationary phase: the stretch is ONE range effect —
+        // bounded by the phase budget and the next charged window, and
+        // chunked so the message product stays in 64 bits while the
+        // resume budget still bounds pathological gaps.
+        Round span = ctx.round() - now;
+        if (const Round c = gate.until_next(now); c < span) span = c;
+        if (p.len != LenRule::kForever && Round(left) < span)
+          span = Round(left);
+        const std::uint64_t steps =
+            span.fits_u64() ? span.low_u64()
+                            : std::numeric_limits<std::uint64_t>::max();
+        const std::uint64_t chunk = std::min<std::uint64_t>(steps, 1ULL << 32);
+        ctx.ambient_round(std::nullopt, chunk * p.messages_per_round);
+        now += Round(chunk);
+        if (p.len != LenRule::kForever && (left -= chunk) == 0)
+          enter_phase(/*advance=*/true);
+        continue;
+      }
+      // Per-round replay: the live op walk with broadcasts suppressed
+      // (but counted) and the move applied immediately, so the next
+      // round's degree/draws see the post-move position.
+      std::uint64_t emitted = 0;
+      bool have_victim = false;
+      for (const CompiledStrategy::Op& op : p.ops) {
+        switch (op.kind) {
+          case OpKind::kDrawVictim:
+            if (!peers.empty()) {
+              (void)rng.below(peers.size());
+              have_victim = true;
+            }
+            break;
+          case OpKind::kBroadcast:
+            consume_payload_draws(op.payload, rng);
+            ++emitted;
+            break;
+          case OpKind::kSpoofBroadcast:
+            if (have_victim) {
+              consume_payload_draws(op.payload, rng);
+              ++emitted;
+            }
+            break;
+          case OpKind::kNextSubround:
+            break;
+        }
+      }
+      ctx.ambient_round(draw_move(p.move, ctx, rng), emitted);
+      now += 1;
+      if (p.len != LenRule::kForever && --left == 0)
+        enter_phase(/*advance=*/true);
+      continue;
+    }
+    // ----- live: the engine is simulating round `now` -----------------
+    if (ctx.draining()) {
+      co_await ctx.end_round_ambient(std::nullopt);
+      now = ctx.round();
+      continue;
+    }
+    if (const Round d = gate.pending(now); d != Round(0)) {
+      co_await ctx.sleep_rounds(d);
+      now = ctx.round();
+      continue;
+    }
+    {
+      const CompiledStrategy::Phase& p = cs.phases[phase];
+      sim::RobotId victim = 0;
+      bool have_victim = false;
+      for (const CompiledStrategy::Op& op : p.ops) {
+        switch (op.kind) {
+          case OpKind::kDrawVictim:
+            if (!peers.empty()) {
+              victim = peers[rng.below(peers.size())];
+              have_victim = true;
+            }
+            break;
+          case OpKind::kBroadcast:
+            ctx.broadcast(op.msg_kind, make_payload(op.payload, rng));
+            break;
+          case OpKind::kSpoofBroadcast:
+            if (have_victim)
+              ctx.spoof_broadcast(victim, op.msg_kind,
+                                  make_payload(op.payload, rng));
+            break;
+          case OpKind::kNextSubround:
+            co_await ctx.next_subround();
+            break;
+        }
+      }
+      co_await ctx.end_round_ambient(draw_move(p.move, ctx, rng));
+      now += 1;
+      if (p.len != LenRule::kForever && --left == 0)
+        enter_phase(/*advance=*/true);
+    }
+  }
+}
 
 }  // namespace
 
@@ -177,7 +416,12 @@ std::string to_string(ByzStrategy s) {
     case ByzStrategy::kMapLiar: return "map_liar";
     case ByzStrategy::kSpoofer: return "spoofer";
   }
-  return "unknown";
+  // An out-of-range value is corrupted or foreign data (a checkpoint from
+  // a future strategy set): a silent "unknown" would round-trip through
+  // strategy_from_string to nullopt and quietly drop the record. Fail.
+  throw std::invalid_argument(
+      "to_string(ByzStrategy): invalid strategy value " +
+      std::to_string(static_cast<int>(s)));
 }
 
 std::optional<ByzStrategy> strategy_from_string(const std::string& name) {
@@ -210,6 +454,7 @@ sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
                                            std::vector<sim::RobotId> peer_ids,
                                            std::uint64_t seed,
                                            ByzSchedule schedule) {
+  validate_schedule(schedule);
   switch (strategy) {
     case ByzStrategy::kCrash:
       return [](Ctx c) { return crash_program(c); };
@@ -227,10 +472,166 @@ sim::ProgramFactory make_byzantine_program(ByzStrategy strategy,
       return [=](Ctx c) { return map_liar(c, schedule, Rng(seed)); };
     case ByzStrategy::kSpoofer:
       return [=, peers = std::move(peer_ids)](Ctx c) {
+        // Validate at program start, before any sleep: the factory body
+        // runs synchronously when the engine starts the program, so a
+        // weak robot handed the spoofer aborts the run at round 0 instead
+        // of failing only once its charged prefix (possibly > 2^64
+        // rounds) finally ends.
+        if (c.faultiness() != sim::Faultiness::kStrongByzantine)
+          throw std::logic_error("spoofer strategy requires a strong robot");
         return spoofer(c, schedule, peers, Rng(seed));
       };
   }
   throw std::invalid_argument("make_byzantine_program: bad strategy");
+}
+
+std::optional<CompiledStrategy> compile_strategy(ByzStrategy s) {
+  using CS = CompiledStrategy;
+  const auto lit = [](std::int64_t v) { return CS::PayloadElem{v, false}; };
+  const CS::PayloadElem draw4{0, true};
+  const auto bcast = [](std::uint32_t kind,
+                        std::vector<CS::PayloadElem> payload = {}) {
+    return CS::Op{CS::OpKind::kBroadcast, kind, std::move(payload)};
+  };
+  const auto spoof = [](std::uint32_t kind,
+                        std::vector<CS::PayloadElem> payload = {}) {
+    return CS::Op{CS::OpKind::kSpoofBroadcast, kind, std::move(payload)};
+  };
+  const CS::Op victim{CS::OpKind::kDrawVictim, 0, {}};
+  const CS::Op subround{CS::OpKind::kNextSubround, 0, {}};
+  // Derive each phase's replay shape: a phase is bulk-replayable (one
+  // range effect for the whole stretch) iff no op or move consumes a
+  // draw; spoof phases always draw victims, so they never qualify and
+  // their peers-dependent message count stays with the per-round walk.
+  const auto finalize = [](CS cs) {
+    for (auto& p : cs.phases) {
+      bool draws = p.move != CS::MoveRule::kStay;
+      std::uint64_t msgs = 0;
+      for (const auto& op : p.ops) {
+        if (op.kind == CS::OpKind::kBroadcast ||
+            op.kind == CS::OpKind::kSpoofBroadcast)
+          ++msgs;
+        if (op.kind == CS::OpKind::kDrawVictim) draws = true;
+        for (const auto& e : op.payload)
+          if (e.draw_below4) draws = true;
+      }
+      p.messages_per_round = msgs;
+      p.bulk_ok = !draws;
+    }
+    return cs;
+  };
+
+  CS cs;
+  switch (s) {
+    case ByzStrategy::kCrash:
+      return std::nullopt;  // finishes at round 0; nothing to compile
+    case ByzStrategy::kRandomWalker:
+      cs.phases.push_back({CS::LenRule::kForever,
+                           0,
+                           0,
+                           false,
+                           {bcast(kMsgStatus, {lit(kStateToBeSettled)})},
+                           CS::MoveRule::kRandomPort});
+      return finalize(std::move(cs));
+    case ByzStrategy::kSquatter:
+      cs.phases.push_back({CS::LenRule::kForever,
+                           0,
+                           0,
+                           false,
+                           {bcast(kMsgStatus, {lit(kStateSettled)})},
+                           CS::MoveRule::kStay});
+      return finalize(std::move(cs));
+    case ByzStrategy::kFakeSettler:
+      // squat_len = 2 + below(2n) drawn once; hops = 1 + below(3) drawn
+      // at each entry of the relocation phase.
+      cs.phases.push_back({CS::LenRule::kDrawOnce,
+                           2,
+                           2,
+                           /*n_scaled=*/true,
+                           {bcast(kMsgStatus, {lit(kStateSettled)})},
+                           CS::MoveRule::kStay});
+      cs.phases.push_back({CS::LenRule::kDrawEachEntry,
+                           1,
+                           3,
+                           false,
+                           {},
+                           CS::MoveRule::kRandomPort});
+      return finalize(std::move(cs));
+    case ByzStrategy::kSilentSettler:
+      cs.phases.push_back({CS::LenRule::kFixed,
+                           3,
+                           0,
+                           false,
+                           {bcast(kMsgStatus, {lit(kStateSettled)})},
+                           CS::MoveRule::kStay});
+      cs.loop = false;  // then vanish from the airwaves for good
+      return finalize(std::move(cs));
+    case ByzStrategy::kIntentSpammer:
+      cs.phases.push_back({CS::LenRule::kForever,
+                           0,
+                           0,
+                           false,
+                           {bcast(kMsgStatus, {lit(kStateToBeSettled)}),
+                            bcast(kMsgIntent), bcast(kMsgSettled)},
+                           CS::MoveRule::kRandomPort});
+      return finalize(std::move(cs));
+    case ByzStrategy::kMapLiar:
+      cs.phases.push_back(
+          {CS::LenRule::kForever,
+           0,
+           0,
+           false,
+           {bcast(explore::kMsgTokenHere),
+            bcast(explore::kMsgInstr,
+                  {lit(static_cast<std::int64_t>(explore::MapOp::kTMove)),
+                   draw4}),
+            bcast(explore::kMsgMapCode, {lit(1), lit(0)}), subround,
+            bcast(explore::kMsgTokenHere)},
+           CS::MoveRule::kChancePort});
+      return finalize(std::move(cs));
+    case ByzStrategy::kSpoofer: {
+      CS::Phase p;
+      p.len = CS::LenRule::kForever;
+      p.move = CS::MoveRule::kChancePort;
+      for (int i = 0; i < 3; ++i) {
+        p.ops.push_back(victim);
+        p.ops.push_back(spoof(kMsgStatus, {lit(kStateSettled)}));
+        p.ops.push_back(spoof(explore::kMsgTokenHere));
+        p.ops.push_back(spoof(
+            explore::kMsgInstr,
+            {lit(static_cast<std::int64_t>(explore::MapOp::kTMove)), draw4}));
+        p.ops.push_back(spoof(explore::kMsgMapCode, {lit(1), lit(0)}));
+        p.ops.push_back(spoof(kMsgSettled));
+      }
+      p.ops.push_back(subround);
+      for (int i = 0; i < 2; ++i) {
+        p.ops.push_back(victim);
+        p.ops.push_back(spoof(explore::kMsgTokenHere));
+      }
+      cs.phases.push_back(std::move(p));
+      cs.spoofing = true;
+      return finalize(std::move(cs));
+    }
+  }
+  throw std::invalid_argument("compile_strategy: bad strategy");
+}
+
+sim::ProgramFactory make_compiled_byzantine_program(
+    ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
+    std::uint64_t seed, ByzSchedule schedule) {
+  std::optional<CompiledStrategy> cs = compile_strategy(strategy);
+  if (!cs.has_value())
+    return make_byzantine_program(strategy, std::move(peer_ids), seed,
+                                  std::move(schedule));
+  validate_schedule(schedule);
+  return [cs = std::move(*cs), schedule = std::move(schedule),
+          peers = std::move(peer_ids), seed](Ctx c) {
+    // Same t=0 enforcement as the coroutine factory: a weak robot handed
+    // the spoofer aborts before any sleep.
+    if (cs.spoofing && c.faultiness() != sim::Faultiness::kStrongByzantine)
+      throw std::logic_error("spoofer strategy requires a strong robot");
+    return run_compiled(c, cs, schedule, peers, Rng(seed));
+  };
 }
 
 }  // namespace bdg::core

@@ -61,6 +61,93 @@ struct ByzSchedule {
   ByzSchedule(std::uint64_t wake_round) : wake(wake_round) {}
 };
 
+/// Cursor over a schedule's charged windows. pending() returns how long to
+/// sleep from `now` to clear the window containing it (0 = outside every
+/// window). Windows are sorted, so the cursor only ever advances —
+/// checking costs O(1) per awake round. Shared by the coroutine strategies
+/// and the compiled-strategy interpreter (which also uses until_next to
+/// bound bulk range effects).
+struct ChargeGate {
+  ByzSchedule sched;
+  std::size_t next = 0;
+
+  [[nodiscard]] Round pending(Round now);
+  /// Rounds from `now` until the next charged window begins; saturated
+  /// when no window remains. Requires a preceding pending(now) == 0 call
+  /// (the cursor must already sit on the first window at or after now).
+  [[nodiscard]] Round until_next(Round now) const;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled strategies (range-effect IR)
+// ---------------------------------------------------------------------------
+//
+// Every per-round strategy coroutine above a crash is a tiny loop: emit a
+// fixed op list each round, draw a move, occasionally switch phase.
+// CompiledStrategy captures that loop as data — phases of round-ranges
+// with per-round ops — so ONE interpreter coroutine (behind
+// make_compiled_byzantine_program) can either act live in a simulated
+// round or *replay* a fast-forwarded round by executing the same ops with
+// broadcasts suppressed (but counted) and moves applied immediately. The
+// interpreter parks via Ctx::end_round_ambient between rounds, so an
+// always-broadcasting adversary no longer blocks the engine's O(1)
+// fast-forward over honest sleep windows; per-round semantics (message
+// contents and order, RNG draw order, move timing) are preserved
+// bit-identically because live and replay paths share the op walk.
+struct CompiledStrategy {
+  /// Payload element: a literal, or one rng.below(4) draw at emission
+  /// time (draw order = element order within the op list).
+  struct PayloadElem {
+    std::int64_t literal = 0;
+    bool draw_below4 = false;
+  };
+  enum class OpKind : std::uint8_t {
+    kBroadcast,       ///< broadcast(msg_kind, payload)
+    kSpoofBroadcast,  ///< spoof_broadcast(current victim, msg_kind, payload)
+    kDrawVictim,      ///< victim = peers[below(|peers|)] (no-op if none)
+    kNextSubround,    ///< advance to the next sub-round (live rounds only)
+  };
+  struct Op {
+    OpKind kind = OpKind::kBroadcast;
+    std::uint32_t msg_kind = 0;
+    std::vector<PayloadElem> payload;
+  };
+  /// How many rounds a phase lasts when (re-)entered.
+  enum class LenRule : std::uint8_t {
+    kForever,        ///< never leaves the phase
+    kFixed,          ///< base rounds
+    kDrawOnce,       ///< base + below(bound) drawn once at program start
+    kDrawEachEntry,  ///< base + below(bound) drawn at every phase entry
+  };
+  /// Move drawn at each round boundary of the phase.
+  enum class MoveRule : std::uint8_t {
+    kStay,
+    kRandomPort,  ///< below(degree); stays (and draws nothing) at degree 0
+    kChancePort,  ///< chance(1,2), then kRandomPort on success
+  };
+  struct Phase {
+    LenRule len = LenRule::kForever;
+    std::uint64_t base = 0;   ///< fixed length / draw offset
+    std::uint64_t bound = 0;  ///< draw bound (0 = no draw)
+    bool n_scaled = false;    ///< multiply bound by ctx.n() (fake settler)
+    std::vector<Op> ops;      ///< per-round ops in emission order
+    MoveRule move = MoveRule::kStay;
+    // Derived by compile_strategy():
+    /// Draw-free and stationary: a fast-forwarded stretch inside this
+    /// phase replays as one range effect (message count += rounds x
+    /// messages_per_round) instead of round by round.
+    bool bulk_ok = false;
+    std::uint64_t messages_per_round = 0;
+  };
+  std::vector<Phase> phases;
+  bool loop = true;      ///< cycle phases forever; false = run once, finish
+  bool spoofing = false; ///< requires a strong robot (kSpoofer)
+};
+
+/// Range-effect form of `s`; nullopt for kCrash (nothing to compile — the
+/// crash program finishes immediately and never wakes the engine).
+[[nodiscard]] std::optional<CompiledStrategy> compile_strategy(ByzStrategy s);
+
 /// Build the engine program for a Byzantine robot.
 /// `peer_ids` lists all robot IDs (used for spoofing and targeted lies);
 /// `seed` derives the robot's private randomness.
@@ -69,8 +156,19 @@ struct ByzSchedule {
     std::uint64_t seed);
 
 /// Same, but the robot honors `schedule`: it sleeps until schedule.wake
-/// first and stays asleep through every later charged window.
+/// first and stays asleep through every later charged window. Throws
+/// std::invalid_argument on a malformed schedule (an empty [a, a) window,
+/// unsorted/overlapping windows, or a window starting before wake).
 [[nodiscard]] sim::ProgramFactory make_byzantine_program(
+    ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
+    std::uint64_t seed, ByzSchedule schedule);
+
+/// Compiled variant of make_byzantine_program: same observable behavior
+/// bit-for-bit (verdicts, rounds, moves, messages, RNG draws, final
+/// position), but executed as range effects through Ctx::end_round_ambient
+/// so the engine can fast-forward honest sleep windows the adversary would
+/// otherwise keep awake. Falls back to the coroutine program for kCrash.
+[[nodiscard]] sim::ProgramFactory make_compiled_byzantine_program(
     ByzStrategy strategy, std::vector<sim::RobotId> peer_ids,
     std::uint64_t seed, ByzSchedule schedule);
 

@@ -241,8 +241,12 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
   // engine's fast-forwarding for every later wave).
   std::vector<std::pair<Round, Round>> charged;
   for (std::uint32_t w = 0; w < waves; ++w) {
-    if (plans[w].byz_wake_round != 0)
-      charged.emplace_back(offsets[w], offsets[w] + plans[w].byz_wake_round);
+    // Explicit non-empty guard: a zero-length wave prefix must not emit an
+    // [a, a) window (ByzSchedule validation rejects it; ChargeGate would
+    // only skip it by accident of its >= comparison).
+    const std::pair<Round, Round> win{offsets[w],
+                                      offsets[w] + plans[w].byz_wake_round};
+    if (win.second > win.first) charged.push_back(win);
   }
 
   sim::Engine eng(g);
@@ -260,12 +264,19 @@ ScenarioResult run_scenario(const Graph& g, const ScenarioConfig& cfg) {
       sched.wake = offsets[w] + plans[w].byz_wake_round;
       for (const auto& win : charged)
         if (win.first >= sched.wake) sched.charged.push_back(win);
+      // Draw the robot's seed exactly once so the compiled and coroutine
+      // paths consume the scenario RNG identically.
+      const std::uint64_t byz_seed = rng.next();
+      const bool compiled =
+          cfg.compiled_adversary && cfg.observer == nullptr;
       eng.add_robot(ids[i],
                     strong ? sim::Faultiness::kStrongByzantine
                            : sim::Faultiness::kWeakByzantine,
                     starts[i],
-                    make_byzantine_program(strategy, ids, rng.next(),
-                                           std::move(sched)));
+                    compiled ? make_compiled_byzantine_program(
+                                   strategy, ids, byz_seed, std::move(sched))
+                             : make_byzantine_program(strategy, ids, byz_seed,
+                                                      std::move(sched)));
     } else {
       eng.add_robot(ids[i], sim::Faultiness::kHonest, starts[i],
                     plans[w].honest(ids[i], starts[i]), offsets[w]);

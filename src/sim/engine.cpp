@@ -107,6 +107,15 @@ void Engine::set_command(std::uint32_t idx, WakeKind kind,
       else
         wake_queue_.push({r.wake_round, idx});
       break;
+    case WakeKind::kAmbient:
+      // Park outside both wake queues: the robot moves this round like
+      // end_round, then waits to be merged into whichever round the
+      // engine simulates next (possibly far ahead).
+      r.move = port;
+      r.wake_round = round_ + 1;
+      ambient_.push_back(idx);
+      if (port.has_value()) movers_.push_back(idx);
+      break;
   }
 }
 
@@ -216,6 +225,14 @@ RunStats Engine::run(Round max_rounds) {
       runnable_.push_back(wake_queue_.top().second);
       wake_queue_.pop();
     }
+    // Parked ambient robots run in every simulated round: merged here (and
+    // ID-sorted below with everyone else) their live broadcasts land in
+    // exactly the rounds — and the inbox order — the per-round path would
+    // produce, while skipped rounds are theirs to replay.
+    if (!ambient_.empty()) {
+      runnable_.insert(runnable_.end(), ambient_.begin(), ambient_.end());
+      ambient_.clear();
+    }
     std::sort(runnable_.begin(), runnable_.end());
     for (const std::uint32_t idx : runnable_) robots_[idx].wake = WakeKind::kSubround;
     ++stats_.simulated_rounds;
@@ -223,6 +240,19 @@ RunStats Engine::run(Round max_rounds) {
     run_subrounds();
     apply_moves();
     round_ += 1;
+  }
+  // Drain parked ambient robots: one final resume each (with draining_
+  // set) replays any rounds fast-forwarded past after their last live
+  // action, so moves and message totals match the per-round path exactly
+  // even when the run was cut off by max_rounds or by the honest robots
+  // finishing before the adversary's tail.
+  if (!ambient_.empty()) {
+    draining_ = true;
+    std::vector<std::uint32_t> parked;
+    parked.swap(ambient_);
+    std::sort(parked.begin(), parked.end());
+    for (const std::uint32_t idx : parked) resume_robot(robots_[idx]);
+    draining_ = false;
   }
   stats_.rounds = round_;
   stats_.all_honest_done = honest_all_done();
@@ -294,6 +324,26 @@ void Ctx::broadcast_pooled(std::uint32_t kind,
   payload.assign(data.begin(), data.end());
   broadcast(kind, std::move(payload));
 }
+
+void Ctx::ambient_round(std::optional<Port> port, std::uint64_t messages) {
+  Engine& e = *engine_;
+  // Replay is adversary work like any resume: budget it so a runaway
+  // catch-up loop fails the same way a livelocked coroutine does.
+  ++e.stats_.resumes;
+  if (e.stats_.resumes > e.cfg_.max_resumes)
+    throw std::runtime_error("Engine: resume budget exceeded (livelock?)");
+  e.stats_.messages += messages;
+  if (!port.has_value()) return;
+  auto& r = e.robots_[idx_];
+  if (*port >= e.graph_.degree(r.pos))
+    throw std::logic_error("Engine: robot moved through invalid port");
+  const HalfEdge he = e.graph_.hop(r.pos, *port);
+  r.pos = he.to;
+  r.arrival = he.reverse;
+  ++e.stats_.moves;
+}
+
+bool Ctx::draining() const { return engine_->draining_; }
 
 void Ctx::spoof_broadcast(RobotId claimed, std::uint32_t kind,
                           std::vector<std::int64_t> data) {

@@ -121,6 +121,33 @@ class Ctx {
   /// further sub-round participation this round. A saturated duration
   /// sleeps past any feasible run budget (the robot never runs again).
   [[nodiscard]] auto sleep_rounds(Round rounds);
+  /// Finish this round like end_round, but park "ambient": the robot is
+  /// re-run in EVERY simulated round — whatever its number — instead of
+  /// holding the engine awake each round. Parked robots live outside both
+  /// wake queues, so stretches where every queued robot sleeps still
+  /// fast-forward in O(1); on resume ctx.round() may have jumped, and the
+  /// program is responsible for replaying the skipped rounds (see
+  /// ambient_round) so its RNG draws, moves and message totals stay
+  /// bit-identical to the per-round execution. Compiled Byzantine
+  /// strategies (core/byzantine.h) are the intended caller. Ambient
+  /// robots never keep the run alive by themselves (matching the rule
+  /// that Byzantine programs that never finish do not block completion).
+  [[nodiscard]] auto end_round_ambient(std::optional<Port> port);
+
+  // --- ambient replay accounting ---------------------------------------
+  /// Account one fast-forwarded round on behalf of a parked ambient
+  /// robot: apply an immediate hop through `port` (nullopt = stay,
+  /// invalid port throws exactly like a live move) and add `messages`
+  /// suppressed broadcasts to the run totals — nobody was awake to hear
+  /// them, but the per-round path would still have counted them. Each
+  /// call also counts toward the resume budget, so a runaway replay is
+  /// caught like a livelocked coroutine. Only meaningful while the
+  /// calling robot is catching up rounds strictly before ctx.round().
+  void ambient_round(std::optional<Port> port, std::uint64_t messages);
+  /// True while the engine is draining parked ambient robots after the
+  /// run loop ended: the program must replay up to (not including)
+  /// ctx.round(), then park again without acting.
+  [[nodiscard]] bool draining() const;
 
  private:
   friend class Engine;
@@ -207,7 +234,7 @@ class Engine {
   friend struct detail::WakeAwaiter;
   struct Robot;
 
-  enum class WakeKind : std::uint8_t { kSubround, kEndRound, kSleep };
+  enum class WakeKind : std::uint8_t { kSubround, kEndRound, kSleep, kAmbient };
   void set_command(std::uint32_t idx, WakeKind kind, std::optional<Port> port,
                    Round rounds, std::coroutine_handle<> leaf);
 
@@ -245,6 +272,13 @@ class Engine {
   std::priority_queue<WakeEntry, std::vector<WakeEntry>,
                       std::greater<WakeEntry>>
       wake_queue_;
+  /// Robots parked via end_round_ambient: merged into runnable_ at every
+  /// simulated round, never consulted by the fast-forward logic. Drained
+  /// (one final resume each, with draining_ set) after the run loop so
+  /// their replay accounting covers rounds cut off by max_rounds or by
+  /// the honest robots finishing.
+  std::vector<std::uint32_t> ambient_;
+  bool draining_ = false;
   /// Robots participating in the current / next sub-round, in ID order.
   std::vector<std::uint32_t> runnable_, next_runnable_;
   /// Robots that chose a port this round (sorted before applying).
@@ -297,6 +331,11 @@ inline auto Ctx::end_round(std::optional<Port> port) {
 inline auto Ctx::sleep_rounds(Round rounds) {
   return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kSleep,
                              std::nullopt, rounds};
+}
+
+inline auto Ctx::end_round_ambient(std::optional<Port> port) {
+  return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kAmbient, port,
+                             0};
 }
 
 }  // namespace bdg::sim

@@ -128,6 +128,163 @@ TEST(Byzantine, DeterministicPerSeed) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Byzantine, StrategyNamesRoundTripExhaustively) {
+  std::vector<ByzStrategy> all = weak_strategies();
+  all.push_back(ByzStrategy::kSpoofer);
+  for (const auto s : all) {
+    const auto back = strategy_from_string(to_string(s));
+    ASSERT_TRUE(back.has_value()) << to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(Byzantine, ToStringThrowsOnCorruptEnumValue) {
+  // A checkpoint record holding a corrupted/future strategy value must fail
+  // loudly at serialization time, not round-trip through "unknown".
+  EXPECT_THROW(to_string(static_cast<ByzStrategy>(255)), std::invalid_argument);
+  EXPECT_THROW(to_string(static_cast<ByzStrategy>(-1)), std::invalid_argument);
+}
+
+TEST(Byzantine, SpooferOnWeakRobotThrowsBeforeWake) {
+  // Regression: the faultiness check used to sit after sleep_rounds(wake),
+  // so a weak robot handed the spoofer with a huge charged prefix ran
+  // silently for the whole experiment instead of aborting at round 0.
+  const Graph g = make_complete(4);
+  sim::Engine eng(g);
+  eng.add_robot(5, sim::Faultiness::kWeakByzantine, 0,
+                make_byzantine_program(ByzStrategy::kSpoofer, {5, 9}, 42,
+                                       std::uint64_t{1} << 40));
+  std::vector<sim::Msg> heard;
+  eng.add_robot(9, sim::Faultiness::kHonest, 0,
+                [&](sim::Ctx c) { return listen_robot(c, 4, &heard); });
+  EXPECT_THROW(eng.run(8), std::logic_error);
+}
+
+TEST(Byzantine, CompiledSpooferOnWeakRobotThrowsBeforeWake) {
+  const Graph g = make_complete(4);
+  sim::Engine eng(g);
+  ByzSchedule sched{std::uint64_t{1} << 40};
+  eng.add_robot(5, sim::Faultiness::kWeakByzantine, 0,
+                make_compiled_byzantine_program(ByzStrategy::kSpoofer, {5, 9},
+                                                42, std::move(sched)));
+  std::vector<sim::Msg> heard;
+  eng.add_robot(9, sim::Faultiness::kHonest, 0,
+                [&](sim::Ctx c) { return listen_robot(c, 4, &heard); });
+  EXPECT_THROW(eng.run(8), std::logic_error);
+}
+
+TEST(Byzantine, EmptyChargedWindowIsRejected) {
+  // ChargeGate only skips an [a, a) window by accident of its >= compare;
+  // schedule validation pins the invariant at construction instead.
+  ByzSchedule sched{2};
+  sched.charged = {{5, 5}};
+  EXPECT_THROW(
+      make_byzantine_program(ByzStrategy::kSquatter, {5}, 1, sched),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_compiled_byzantine_program(ByzStrategy::kSquatter, {5}, 1, sched),
+      std::invalid_argument);
+  // Unsorted / overlapping / pre-wake windows are rejected too.
+  ByzSchedule bad{4};
+  bad.charged = {{2, 6}};  // starts before wake
+  EXPECT_THROW(make_byzantine_program(ByzStrategy::kSquatter, {5}, 1, bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-vs-coroutine conformance: same messages (kind, claimed, source,
+// payload, order), same final position, same move/message/round totals —
+// live (listener awake every round) and across engine fast-forwards
+// (listener asleep, forcing the compiled program to replay the gap).
+// ---------------------------------------------------------------------------
+
+sim::Proc listen_after(sim::Ctx ctx, std::uint64_t sleep_first,
+                       std::uint64_t rounds, std::vector<sim::Msg>* heard) {
+  if (sleep_first != 0) co_await ctx.sleep_rounds(sleep_first);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    co_await ctx.next_subround();
+    for (const sim::Msg& m : ctx.inbox()) heard->push_back(m);
+    co_await ctx.next_subround();
+    for (const sim::Msg& m : ctx.inbox()) heard->push_back(m);
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+Heard observe_program(ByzStrategy strategy, sim::Faultiness fault,
+                      bool compiled, std::uint64_t sleep_first,
+                      std::uint64_t rounds, const ByzSchedule& sched) {
+  const Graph g = make_complete(4);
+  sim::Engine eng(g);
+  Heard h;
+  eng.add_robot(
+      5, fault, 0,
+      compiled
+          ? make_compiled_byzantine_program(strategy, {5, 9}, 42, sched)
+          : make_byzantine_program(strategy, {5, 9}, 42, sched));
+  eng.add_robot(9, sim::Faultiness::kHonest, 0, [&](sim::Ctx c) {
+    return listen_after(c, sleep_first, rounds, &h.msgs);
+  });
+  h.stats = eng.run(sleep_first + rounds + 4);
+  h.byz_end = eng.position_of(5);
+  return h;
+}
+
+void expect_identical_observation(const Heard& coroutine, const Heard& compiled,
+                                  const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(coroutine.msgs.size(), compiled.msgs.size());
+  for (std::size_t i = 0; i < coroutine.msgs.size(); ++i) {
+    EXPECT_EQ(coroutine.msgs[i].claimed, compiled.msgs[i].claimed) << i;
+    EXPECT_EQ(coroutine.msgs[i].source, compiled.msgs[i].source) << i;
+    EXPECT_EQ(coroutine.msgs[i].kind, compiled.msgs[i].kind) << i;
+    EXPECT_EQ(coroutine.msgs[i].data, compiled.msgs[i].data) << i;
+  }
+  EXPECT_EQ(coroutine.byz_end, compiled.byz_end);
+  EXPECT_EQ(coroutine.stats.rounds, compiled.stats.rounds);
+  EXPECT_EQ(coroutine.stats.moves, compiled.stats.moves);
+  EXPECT_EQ(coroutine.stats.messages, compiled.stats.messages);
+  EXPECT_LE(compiled.stats.simulated_rounds, coroutine.stats.simulated_rounds);
+}
+
+std::vector<std::pair<ByzStrategy, sim::Faultiness>> conformance_cases() {
+  std::vector<std::pair<ByzStrategy, sim::Faultiness>> cases;
+  for (const auto s : weak_strategies())
+    cases.emplace_back(s, sim::Faultiness::kWeakByzantine);
+  cases.emplace_back(ByzStrategy::kSpoofer,
+                     sim::Faultiness::kStrongByzantine);
+  return cases;
+}
+
+TEST(CompiledStrategy, MatchesCoroutineLive) {
+  for (const auto& [s, fault] : conformance_cases()) {
+    const Heard a = observe_program(s, fault, false, 0, 14, ByzSchedule{0});
+    const Heard b = observe_program(s, fault, true, 0, 14, ByzSchedule{0});
+    expect_identical_observation(a, b, to_string(s) + " live");
+  }
+}
+
+TEST(CompiledStrategy, MatchesCoroutineAcrossFastForward) {
+  // Listener sleeps 9 rounds first: the compiled adversary is the only
+  // ambient robot, the engine fast-forwards the gap, and the interpreter
+  // must replay it (draws, suppressed messages, immediate hops) so the
+  // listener wakes to a bit-identical world.
+  for (const auto& [s, fault] : conformance_cases()) {
+    const Heard a = observe_program(s, fault, false, 9, 10, ByzSchedule{0});
+    const Heard b = observe_program(s, fault, true, 9, 10, ByzSchedule{0});
+    expect_identical_observation(a, b, to_string(s) + " fast-forward");
+  }
+}
+
+TEST(CompiledStrategy, MatchesCoroutineWithChargedWindows) {
+  ByzSchedule sched{3};
+  sched.charged = {{5, 8}, {11, 13}};
+  for (const auto& [s, fault] : conformance_cases()) {
+    const Heard a = observe_program(s, fault, false, 7, 12, sched);
+    const Heard b = observe_program(s, fault, true, 7, 12, sched);
+    expect_identical_observation(a, b, to_string(s) + " charged");
+  }
+}
+
 TEST(Byzantine, StrategyNamesAreUniqueAndComplete) {
   std::set<std::string> names;
   for (const auto s : weak_strategies()) names.insert(to_string(s));

@@ -1,0 +1,133 @@
+// Sweep-level conformance tier for adversary compilation: toggling ONLY
+// SweepSpec::compiled_adversary across a grid of every strategy x
+// {tournament, group, crash-real} x {single-wave k = n, multi-wave k > n}
+// must leave every per-point result bit-identical — verdict, rounds,
+// planned_rounds, derived_seed, moves, messages — because the compiled
+// interpreter replays the exact per-round semantics of the strategy
+// coroutines as range effects. Runs under the tsan preset job in CI, so
+// the ambient-parking engine paths the compiled adversary exercises are
+// also raced against the parallel sweep runner.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/byzantine.h"
+#include "core/scenario.h"
+#include "run/sweep.h"
+
+namespace bdg::run {
+namespace {
+
+using core::Algorithm;
+using core::ByzStrategy;
+
+/// Run `spec` with the compiled adversary on and off and require every
+/// point to match on all observable fields (seconds excluded: the specs
+/// run with measure_seconds off, so reports are pure functions of the
+/// spec and any drift is a conformance failure, not noise).
+void expect_compiled_conformance(SweepSpec spec) {
+  spec.measure_seconds = false;
+  spec.compiled_adversary = true;
+  const SweepResult compiled = run_sweep(spec);
+  spec.compiled_adversary = false;
+  const SweepResult plain = run_sweep(spec);
+  ASSERT_EQ(compiled.points.size(), plain.points.size());
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < compiled.points.size(); ++i) {
+    const PointResult& c = compiled.points[i];
+    const PointResult& p = plain.points[i];
+    SCOPED_TRACE(core::to_string(c.point.algorithm) + " on " +
+                 c.point.family + " n=" + std::to_string(c.point.n) +
+                 " k=" + std::to_string(c.point.k) +
+                 " f=" + std::to_string(c.point.f) + " strategy=" +
+                 core::to_string(c.point.strategy));
+    EXPECT_EQ(c.derived_seed, p.derived_seed);
+    EXPECT_EQ(c.skipped, p.skipped);
+    if (c.skipped || p.skipped) continue;
+    ++ran;
+    EXPECT_EQ(c.ok, p.ok) << c.detail << " vs " << p.detail;
+    EXPECT_EQ(c.stats.rounds, p.stats.rounds);
+    EXPECT_EQ(c.planned_rounds, p.planned_rounds);
+    EXPECT_EQ(c.stats.moves, p.stats.moves);
+    EXPECT_EQ(c.stats.messages, p.stats.messages);
+    EXPECT_LE(c.stats.simulated_rounds, p.stats.simulated_rounds);
+  }
+  EXPECT_GT(ran, 0u) << "sweep skipped every point";
+}
+
+// Every weak strategy against the tournament and group algorithms at
+// their claimed tolerance (one strategy axis per sweep via the scalar
+// strategy knob), single wave.
+TEST(CompiledAdversarySweep, WeakStrategiesSingleWave) {
+  for (const ByzStrategy s : core::weak_strategies()) {
+    SweepSpec spec;
+    spec.algorithms = {Algorithm::kTournamentGathered,
+                       Algorithm::kThreeGroupGathered};
+    spec.families = {"er"};
+    spec.sizes = {8};
+    spec.strategy = s;
+    spec.strategy_follows_algorithm = false;
+    SCOPED_TRACE("strategy=" + core::to_string(s));
+    expect_compiled_conformance(spec);
+  }
+}
+
+// The strong spoofer against its algorithm, and crash faults against the
+// REAL (fully simulated) gathering extension — the two per-algorithm
+// default adversaries the scalar sweeps above don't reach.
+TEST(CompiledAdversarySweep, SpooferAndCrashDefaults) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kStrongGathered,
+                     Algorithm::kCrashRealGathering};
+  spec.families = {"er", "ring"};
+  spec.sizes = {8};
+  expect_compiled_conformance(spec);
+}
+
+// Multi-wave k > n points: the Byzantine schedule gains charged windows
+// from every later wave, so the compiled interpreter's ChargeGate jumps
+// and bulk replays are exercised against the coroutine's sleep pattern.
+TEST(CompiledAdversarySweep, MultiWaveChargedWindows) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kTournamentGathered,
+                     Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {6};
+  spec.robot_counts = {6, 13};  // single wave and ceil(13/6) = 3 waves
+  spec.strategy = ByzStrategy::kSquatter;
+  spec.strategy_follows_algorithm = false;
+  expect_compiled_conformance(spec);
+}
+
+// Heterogeneous mixes (including crash members, which fall back to the
+// coroutine program inside an otherwise compiled scenario).
+TEST(CompiledAdversarySweep, MixedAdversaries) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kTournamentGathered};
+  spec.families = {"er", "grid"};
+  spec.sizes = {8};
+  spec.strategy_mixes = {
+      {ByzStrategy::kSquatter, ByzStrategy::kCrash},
+      {ByzStrategy::kMapLiar, ByzStrategy::kIntentSpammer,
+       ByzStrategy::kFakeSettler},
+  };
+  spec.strategy_follows_algorithm = false;
+  expect_compiled_conformance(spec);
+}
+
+// The compiled_adversary knob is part of the checkpoint contract: results
+// recorded under one execution path must not be silently imported by a
+// sweep using the other (even though the results are bit-identical, the
+// provenance matters for perf forensics).
+TEST(CompiledAdversarySweep, FlagFoldsIntoSpecFingerprint) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kTournamentGathered};
+  spec.families = {"er"};
+  spec.sizes = {8};
+  const std::uint64_t on = spec_fingerprint(spec);
+  spec.compiled_adversary = false;
+  EXPECT_NE(on, spec_fingerprint(spec));
+}
+
+}  // namespace
+}  // namespace bdg::run

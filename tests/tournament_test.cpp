@@ -242,6 +242,78 @@ TEST(TournamentBatched, ConformsToUnbatchedOnMixedAdversaryGrid) {
 // f = 0 every robot confirms its map after the first window, so all later
 // windows collapse to publish-and-sleep and the active metrics drop by an
 // order of magnitude while verdict and charged rounds stay identical.
+// Compiled-adversary mirror of the grid above: toggling ONLY
+// ScenarioConfig::compiled_adversary must leave every observable result
+// bit-identical — verdicts, rounds, planned bound, moves AND messages
+// (the adversary's own traffic is part of the accounting contract) — while
+// the compiled path simulates no more rounds than the coroutine one.
+TEST(CompiledAdversary, ConformsToCoroutineOnMixedAdversaryGrid) {
+  const std::vector<std::vector<ByzStrategy>> mixes = {
+      {},  // scalar kMapLiar
+      {ByzStrategy::kMapLiar, ByzStrategy::kCrash},
+      {ByzStrategy::kFakeSettler, ByzStrategy::kIntentSpammer,
+       ByzStrategy::kMapLiar},
+  };
+  for (const Algorithm alg :
+       {Algorithm::kTournamentGathered, Algorithm::kTournamentArbitrary}) {
+    for (const std::uint32_t f : {0u, 1u, 3u}) {
+      for (const std::uint64_t seed : {1ULL, 5ULL, 23ULL}) {
+        for (const auto& mix : mixes) {
+          Rng rng(seed);
+          const Graph g =
+              shuffle_ports(make_connected_er(8, 0.45, rng), rng);
+          ScenarioConfig cfg;
+          cfg.algorithm = alg;
+          cfg.num_byzantine = f;
+          cfg.strategy = ByzStrategy::kMapLiar;
+          cfg.strategies = mix;
+          cfg.seed = seed;
+          cfg.compiled_adversary = true;
+          const ScenarioResult compiled = run_scenario(g, cfg);
+          cfg.compiled_adversary = false;
+          const ScenarioResult plain = run_scenario(g, cfg);
+          const auto ctx = to_string(alg) + " f=" + std::to_string(f) +
+                           " seed=" + std::to_string(seed) + " mix=" +
+                           std::to_string(mix.size());
+          EXPECT_EQ(compiled.verify.ok(), plain.verify.ok()) << ctx;
+          EXPECT_TRUE(compiled.verify.ok()) << ctx << ": "
+                                            << compiled.verify.detail;
+          EXPECT_EQ(compiled.stats.rounds, plain.stats.rounds) << ctx;
+          EXPECT_EQ(compiled.planned_rounds, plain.planned_rounds) << ctx;
+          EXPECT_EQ(compiled.stats.moves, plain.stats.moves) << ctx;
+          EXPECT_EQ(compiled.stats.messages, plain.stats.messages) << ctx;
+          EXPECT_LE(compiled.stats.simulated_rounds,
+                    plain.stats.simulated_rounds)
+              << ctx;
+        }
+      }
+    }
+  }
+}
+
+// The adversarial-batching win itself: with an always-broadcasting
+// squatter at f > 0, the coroutine adversary keeps the engine awake in
+// every honest sleep window, while the compiled one parks and replays —
+// the simulated-round count collapses with identical verdict and totals.
+TEST(CompiledAdversary, CollapsesSimulatedRoundsUnderSquatter) {
+  const Graph g = make_ring(12);
+  ScenarioConfig cfg;
+  cfg.algorithm = Algorithm::kTournamentGathered;
+  cfg.num_byzantine = 2;
+  cfg.strategy = ByzStrategy::kSquatter;
+  cfg.seed = 3;
+  cfg.compiled_adversary = true;
+  const ScenarioResult compiled = run_scenario(g, cfg);
+  cfg.compiled_adversary = false;
+  const ScenarioResult plain = run_scenario(g, cfg);
+  EXPECT_EQ(compiled.verify.ok(), plain.verify.ok());
+  EXPECT_EQ(compiled.stats.rounds, plain.stats.rounds);
+  EXPECT_EQ(compiled.stats.moves, plain.stats.moves);
+  EXPECT_EQ(compiled.stats.messages, plain.stats.messages);
+  EXPECT_LT(compiled.stats.simulated_rounds * 5,
+            plain.stats.simulated_rounds);
+}
+
 TEST(TournamentBatched, CollapsesActiveRoundsWhenConfirmed) {
   const Graph g = make_ring(12);
   ScenarioConfig cfg;
