@@ -16,6 +16,10 @@
 //   sweep_cli --shard=1/2 --resume=ck.jsonl --no-timing ... &
 //   wait; sweep_cli --resume=ck.jsonl --no-timing --points-csv=merged.csv ...
 //
+// The grid flags are shared with the distributed front-ends (sweepd,
+// sweep_worker) via run/cli_flags, so the same flag set drives single-shot
+// and coordinator/worker sweeps interchangeably.
+//
 // Run with --help for the full flag list. Exit code: 0 when every
 // non-skipped point disperses, 1 otherwise, 2 on usage errors, 3 when the
 // sweep was aborted (--abort-after) before finishing, 4 when a grid point's
@@ -26,10 +30,10 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "run/cli_flags.h"
 #include "run/report.h"
 #include "run/sweep.h"
 
@@ -37,105 +41,20 @@ namespace {
 
 using namespace bdg;
 
-constexpr struct {
-  const char* name;
-  core::Algorithm algorithm;
-} kAlgorithms[] = {
-    {"quotient", core::Algorithm::kQuotient},
-    {"tournament-arbitrary", core::Algorithm::kTournamentArbitrary},
-    {"sqrt-arbitrary", core::Algorithm::kSqrtArbitrary},
-    {"tournament-gathered", core::Algorithm::kTournamentGathered},
-    {"three-group", core::Algorithm::kThreeGroupGathered},
-    {"strong-arbitrary", core::Algorithm::kStrongArbitrary},
-    {"strong-gathered", core::Algorithm::kStrongGathered},
-    {"crash-real-gathering", core::Algorithm::kCrashRealGathering},
-    {"ring-baseline", core::Algorithm::kRingBaseline},
-};
-
-constexpr struct {
-  const char* name;
-  core::ByzStrategy strategy;
-} kStrategies[] = {
-    {"crash", core::ByzStrategy::kCrash},
-    {"random_walker", core::ByzStrategy::kRandomWalker},
-    {"squatter", core::ByzStrategy::kSquatter},
-    {"fake_settler", core::ByzStrategy::kFakeSettler},
-    {"silent_settler", core::ByzStrategy::kSilentSettler},
-    {"intent_spammer", core::ByzStrategy::kIntentSpammer},
-    {"map_liar", core::ByzStrategy::kMapLiar},
-    {"spoofer", core::ByzStrategy::kSpoofer},
-};
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, sep))
-    if (!item.empty()) out.push_back(item);
-  return out;
-}
-
 void usage(std::FILE* to) {
+  std::fputs("usage: sweep_cli [flags]\n", to);
+  run::print_grid_flag_help(to);
   std::fputs(
-      "usage: sweep_cli [flags]\n"
-      "grid:\n"
-      "  --algorithms=a,b,...   algorithms to sweep, or 'all' (default: all\n"
-      "                         general-graph algorithms, no ring-baseline)\n"
-      "  --families=f,g,...     graph families, or 'all' (default: er)\n"
-      "  --sizes=n1,n2,...      node counts (default: 8,12,16)\n"
-      "  --k=k1,k2,...          robot counts (Theorem 8 axis; default: k=n;\n"
-      "                         0 means k=n; infeasible (k,n,f) points are\n"
-      "                         recorded as structured skips)\n"
-      "  --byz=f1,f2,...        Byzantine counts (default: per-algorithm\n"
-      "                         maximum claimed tolerance)\n"
-      "  --seeds=s1,s2,...      grid seeds, one repetition each (default: 1)\n"
-      "scenario:\n"
-      "  --strategy=name        fixed adversary for all algorithms (default:\n"
-      "                         per-algorithm as the e2e suite chooses)\n"
-      "  --mix=a+b,c+d,...      heterogeneous adversary mixes ('+'-joined\n"
-      "                         strategy names; each mix adds a grid axis).\n"
-      "                         A mix is a multiset: it is canonicalized\n"
-      "                         (sorted), then Byzantine robot i runs\n"
-      "                         mix[i %% len] of the canonical order\n"
-      "  --no-clamp             keep f values beyond an algorithm's tolerance\n"
-      "  --require-trivial-quotient  restrict graphs to all-distinct views\n"
-      "  --common-graphs        share the graph across algorithms and f per\n"
-      "                         (family, n, seed) cell\n"
-      "  --er-p=P               ER edge probability (<=0: connectivity\n"
-      "                         threshold; default 0.45)\n"
-      "  --base-seed=S          reseed the whole sweep\n"
-      "execution:\n"
-      "  --threads=N            worker threads (default: hardware)\n"
-      "  --shard=i/m            run only stripe i of m of the grid (union\n"
-      "                         of all stripes = the full grid)\n"
-      "  --resume=PATH          JSON-lines checkpoint: completed points are\n"
-      "                         loaded instead of re-run, new ones appended\n"
       "  --abort-after=N        abort after N newly-run points (testing and\n"
       "                         CI resume smoke; exit code 3)\n"
       "  --progress             print one line per completed point to stderr\n"
-      "  --no-timing            zero all seconds fields: reports become a\n"
-      "                         pure function of the grid (resume/shard\n"
-      "                         conformance diffs run in this mode)\n"
       "output:\n"
       "  --points-csv=PATH      per-point CSV ('-' = stdout)\n"
       "  --cells-csv=PATH       per-cell aggregate CSV ('-' = stdout)\n"
       "  --json=PATH            full JSON report ('-' = stdout)\n"
-      "  --quiet                suppress the summary line\n"
-      "algorithm names:\n",
+      "  --quiet                suppress the summary line\n",
       to);
-  for (const auto& a : kAlgorithms) std::fprintf(to, "  %s\n", a.name);
-  std::fputs("strategy names:\n", to);
-  for (const auto& s : kStrategies) std::fprintf(to, "  %s\n", s.name);
-}
-
-std::optional<core::Algorithm> parse_algorithm(const std::string& name) {
-  for (const auto& a : kAlgorithms)
-    if (name == a.name) return a.algorithm;
-  return std::nullopt;
-}
-
-std::optional<core::ByzStrategy> parse_strategy(const std::string& name) {
-  return core::strategy_from_string(name);  // CLI names == to_string names
+  run::print_grid_name_lists(to);
 }
 
 bool write_report(const std::string& path, const run::SweepResult& result,
@@ -154,148 +73,53 @@ bool write_report(const std::string& path, const run::SweepResult& result,
 }  // namespace
 
 int main(int argc, char** argv) {
-  run::SweepSpec spec;
-  spec.families = {"er"};
-  spec.sizes = {8, 12, 16};
+  run::SweepSpec spec = run::default_cli_spec();
   std::string points_csv, cells_csv, json;
   bool quiet = false;
   bool progress = false;
   unsigned long abort_after = 0;  // 0 = never abort
 
-  const auto value_of = [](const char* arg, const char* flag)
+  const run::GridFlagsResult grid = run::parse_grid_flags(argc, argv, spec);
+  if (!grid.ok) {
+    std::fprintf(stderr, "sweep_cli: %s\n", grid.error.c_str());
+    return 2;
+  }
+  const auto value_of = [](const std::string& arg, const char* flag)
       -> std::optional<std::string> {
     const std::size_t len = std::strlen(flag);
-    if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
-      return std::string(arg + len + 1);
+    if (arg.compare(0, len, flag) == 0 && arg.size() > len && arg[len] == '=')
+      return arg.substr(len + 1);
     return std::nullopt;
   };
-
   try {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      usage(stdout);
-      return 0;
-    } else if (auto v = value_of(argv[i], "--algorithms")) {
-      for (const std::string& name : split(*v, ',')) {
-        if (name == "all") {
-          for (const auto& a : kAlgorithms)
-            spec.algorithms.push_back(a.algorithm);
-          continue;
-        }
-        const auto a = parse_algorithm(name);
-        if (!a) {
-          std::fprintf(stderr, "sweep_cli: unknown algorithm '%s'\n",
-                       name.c_str());
-          return 2;
-        }
-        spec.algorithms.push_back(*a);
-      }
-    } else if (auto v = value_of(argv[i], "--families")) {
-      spec.families.clear();
-      for (const std::string& name : split(*v, ',')) {
-        if (name == "all") {
-          const auto& known = run::known_families();
-          spec.families.insert(spec.families.end(), known.begin(),
-                               known.end());
-        } else {
-          spec.families.push_back(name);  // expand_grid validates
-        }
-      }
-    } else if (auto v = value_of(argv[i], "--sizes")) {
-      spec.sizes.clear();
-      for (const std::string& n : split(*v, ','))
-        spec.sizes.push_back(static_cast<std::uint32_t>(std::stoul(n)));
-    } else if (auto v = value_of(argv[i], "--k")) {
-      for (const std::string& k : split(*v, ','))
-        spec.robot_counts.push_back(static_cast<std::uint32_t>(std::stoul(k)));
-    } else if (auto v = value_of(argv[i], "--mix")) {
-      for (const std::string& text : split(*v, ',')) {
-        const auto mix = run::mix_from_string(text);
-        if (!mix) {
-          std::fprintf(stderr, "sweep_cli: unknown strategy in mix '%s'\n",
-                       text.c_str());
-          return 2;
-        }
-        spec.strategy_mixes.push_back(*mix);
-      }
-    } else if (auto v = value_of(argv[i], "--shard")) {
-      const std::size_t slash = v->find('/');
-      if (slash == std::string::npos) {
-        std::fprintf(stderr, "sweep_cli: --shard wants i/m, got '%s'\n",
-                     v->c_str());
+    for (const std::string& arg : grid.leftover) {
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else if (auto v = value_of(arg, "--abort-after")) {
+        abort_after = std::stoul(*v);
+      } else if (arg == "--progress") {
+        progress = true;
+      } else if (auto v = value_of(arg, "--points-csv")) {
+        points_csv = *v;
+      } else if (auto v = value_of(arg, "--cells-csv")) {
+        cells_csv = *v;
+      } else if (auto v = value_of(arg, "--json")) {
+        json = *v;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::fprintf(stderr, "sweep_cli: unknown flag '%s'\n\n", arg.c_str());
+        usage(stderr);
         return 2;
       }
-      spec.shard_index =
-          static_cast<unsigned>(std::stoul(v->substr(0, slash)));
-      spec.shard_count =
-          static_cast<unsigned>(std::stoul(v->substr(slash + 1)));
-      if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count) {
-        std::fprintf(stderr, "sweep_cli: --shard needs i < m, got '%s'\n",
-                     v->c_str());
-        return 2;
-      }
-    } else if (auto v = value_of(argv[i], "--resume")) {
-      spec.checkpoint_path = *v;
-    } else if (auto v = value_of(argv[i], "--abort-after")) {
-      abort_after = std::stoul(*v);
-    } else if (arg == "--progress") {
-      progress = true;
-    } else if (arg == "--no-timing") {
-      spec.measure_seconds = false;
-    } else if (auto v = value_of(argv[i], "--byz")) {
-      for (const std::string& f : split(*v, ','))
-        spec.byzantine_counts.push_back(
-            static_cast<std::uint32_t>(std::stoul(f)));
-    } else if (auto v = value_of(argv[i], "--seeds")) {
-      spec.seeds.clear();
-      for (const std::string& s : split(*v, ','))
-        spec.seeds.push_back(std::stoull(s));
-    } else if (auto v = value_of(argv[i], "--strategy")) {
-      const auto s = parse_strategy(*v);
-      if (!s) {
-        std::fprintf(stderr, "sweep_cli: unknown strategy '%s'\n", v->c_str());
-        return 2;
-      }
-      spec.strategy = *s;
-      spec.strategy_follows_algorithm = false;
-    } else if (arg == "--no-clamp") {
-      spec.clamp_f_to_tolerance = false;
-    } else if (arg == "--require-trivial-quotient") {
-      spec.require_trivial_quotient = true;
-    } else if (arg == "--common-graphs") {
-      spec.common_graphs = true;
-    } else if (auto v = value_of(argv[i], "--er-p")) {
-      spec.er_edge_probability = std::stod(*v);
-    } else if (auto v = value_of(argv[i], "--base-seed")) {
-      spec.base_seed = std::stoull(*v);
-    } else if (auto v = value_of(argv[i], "--threads")) {
-      spec.threads = static_cast<unsigned>(std::stoul(*v));
-    } else if (auto v = value_of(argv[i], "--points-csv")) {
-      points_csv = *v;
-    } else if (auto v = value_of(argv[i], "--cells-csv")) {
-      cells_csv = *v;
-    } else if (auto v = value_of(argv[i], "--json")) {
-      json = *v;
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      std::fprintf(stderr, "sweep_cli: unknown flag '%s'\n\n", argv[i]);
-      usage(stderr);
-      return 2;
     }
-  }
   } catch (const std::exception& e) {
     // std::stoul and friends throw on malformed numbers: a usage error.
     std::fprintf(stderr, "sweep_cli: bad flag value (%s)\n", e.what());
     return 2;
   }
-  if (spec.algorithms.empty()) {
-    // General-graph default: every algorithm except the ring-only baseline.
-    for (const auto& a : kAlgorithms)
-      if (a.algorithm != core::Algorithm::kRingBaseline)
-        spec.algorithms.push_back(a.algorithm);
-  }
+  run::apply_default_algorithms(spec);
 
   // Progress/abort callback: live per-point lines and the forced
   // mid-sweep abort the CI resume smoke exercises. `completed` counts
@@ -343,13 +167,19 @@ int main(int argc, char** argv) {
       if (first_saturated == nullptr) first_saturated = &p;
     }
   }
-  if (!quiet)
+  if (!quiet) {
     std::fprintf(stderr,
                  "[sweep_cli: %zu points, %zu skipped, %zu failed, "
                  "%zu from checkpoint%s, %.2fs]\n",
                  result.points.size(), result.skipped(), failed,
                  result.from_checkpoint, result.aborted ? ", ABORTED" : "",
                  result.wall_seconds);
+    if (result.torn_checkpoint_lines != 0)
+      std::fprintf(stderr,
+                   "[sweep_cli: %zu torn checkpoint line(s) skipped and "
+                   "re-run — a previous run crashed mid-append]\n",
+                   result.torn_checkpoint_lines);
+  }
   if (saturated != 0) {
     // Reject the grid loudly, before any other verdict: a bound past
     // 2^128-1 cannot be swept, and a skip row alone is invisible when

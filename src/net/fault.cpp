@@ -1,0 +1,119 @@
+#include "net/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace bdg::net {
+
+std::optional<FaultConfig> parse_fault_config(const std::string& text) {
+  FaultConfig cfg;
+  std::stringstream ss(text);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    const std::string key = field.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "seed") {
+      cfg.seed = std::strtoull(val.c_str(), &end, 10);
+    } else if (key == "drop") {
+      cfg.drop = std::strtod(val.c_str(), &end);
+    } else if (key == "delay") {
+      cfg.delay = std::strtod(val.c_str(), &end);
+    } else if (key == "delay_ms") {
+      cfg.delay_ms = static_cast<std::uint32_t>(std::strtoul(val.c_str(), &end, 10));
+    } else if (key == "close_after") {
+      cfg.close_after_frames =
+          static_cast<std::uint32_t>(std::strtoul(val.c_str(), &end, 10));
+    } else if (key == "kill_after") {
+      cfg.kill_after_points =
+          static_cast<std::uint32_t>(std::strtoul(val.c_str(), &end, 10));
+    } else if (key == "hard") {
+      cfg.kill_hard = true;
+      end = nullptr;  // flag field, no value to validate
+      cfg.enabled = true;
+      continue;
+    } else {
+      return std::nullopt;
+    }
+    if (val.empty() || end == val.c_str() ||
+        static_cast<std::size_t>(end - val.c_str()) != val.size())
+      return std::nullopt;
+    cfg.enabled = true;
+  }
+  if (!cfg.enabled) return std::nullopt;  // empty spec is a usage error
+  if (cfg.drop < 0 || cfg.drop > 1 || cfg.delay < 0 || cfg.delay > 1)
+    return std::nullopt;
+  return cfg;
+}
+
+std::string to_string(const FaultConfig& cfg) {
+  if (!cfg.enabled) return "off";
+  std::ostringstream os;
+  os << "seed=" << cfg.seed;
+  if (cfg.drop > 0) os << ",drop=" << cfg.drop;
+  if (cfg.delay > 0) os << ",delay=" << cfg.delay << ",delay_ms=" << cfg.delay_ms;
+  if (cfg.close_after_frames != 0) os << ",close_after=" << cfg.close_after_frames;
+  if (cfg.kill_after_points != 0) os << ",kill_after=" << cfg.kill_after_points;
+  if (cfg.kill_hard) os << ",hard";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+FaultInjector::Action FaultInjector::next_send() {
+  Action a;
+  ++frames_;
+  if (cfg_.close_after_frames != 0 && frames_ >= cfg_.close_after_frames) {
+    a.close = true;
+    return a;
+  }
+  // Fixed draw order per frame — drop then delay — so the schedule is a
+  // pure function of (seed, frame index) regardless of which faults are
+  // configured on.
+  const double u_drop = rng_.uniform();
+  const double u_delay = rng_.uniform();
+  if (cfg_.drop > 0 && u_drop < cfg_.drop) {
+    a.drop = true;
+    return a;
+  }
+  if (cfg_.delay > 0 && u_delay < cfg_.delay) a.delay_ms = cfg_.delay_ms;
+  return a;
+}
+
+FaultyChannel::FaultyChannel(std::unique_ptr<Channel> inner,
+                             const FaultConfig& cfg)
+    : inner_(std::move(inner)), injector_(cfg) {}
+
+bool FaultyChannel::send_frame(std::string_view payload) {
+  const FaultInjector::Action a = injector_.next_send();
+  if (a.close) {
+    inner_->shutdown();
+    return false;
+  }
+  if (a.drop) return true;  // vanished in transit: sender believes it went
+  if (a.delay_ms != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(a.delay_ms));
+  return inner_->send_frame(payload);
+}
+
+RecvStatus FaultyChannel::recv_frame(std::string& payload, int timeout_ms) {
+  return inner_->recv_frame(payload, timeout_ms);
+}
+
+void FaultyChannel::shutdown() { inner_->shutdown(); }
+
+int FaultyChannel::fd() const { return inner_->fd(); }
+
+std::unique_ptr<Channel> maybe_shim(std::unique_ptr<Channel> conn,
+                                    const FaultConfig& cfg) {
+  if (!cfg.enabled) return conn;
+  return std::make_unique<FaultyChannel>(std::move(conn), cfg);
+}
+
+}  // namespace bdg::net

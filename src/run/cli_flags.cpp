@@ -1,0 +1,223 @@
+#include "run/cli_flags.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "run/report.h"
+
+namespace bdg::run {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+constexpr struct {
+  const char* name;
+  core::ByzStrategy strategy;
+} kStrategies[] = {
+    {"crash", core::ByzStrategy::kCrash},
+    {"random_walker", core::ByzStrategy::kRandomWalker},
+    {"squatter", core::ByzStrategy::kSquatter},
+    {"fake_settler", core::ByzStrategy::kFakeSettler},
+    {"silent_settler", core::ByzStrategy::kSilentSettler},
+    {"intent_spammer", core::ByzStrategy::kIntentSpammer},
+    {"map_liar", core::ByzStrategy::kMapLiar},
+    {"spoofer", core::ByzStrategy::kSpoofer},
+};
+
+std::optional<std::string> value_of(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=')
+    return std::string(arg + len + 1);
+  return std::nullopt;
+}
+
+}  // namespace
+
+SweepSpec default_cli_spec() {
+  SweepSpec spec;
+  spec.families = {"er"};
+  spec.sizes = {8, 12, 16};
+  return spec;
+}
+
+const std::vector<CliAlgorithm>& cli_algorithms() {
+  static const std::vector<CliAlgorithm> kList = {
+      {"quotient", core::Algorithm::kQuotient},
+      {"tournament-arbitrary", core::Algorithm::kTournamentArbitrary},
+      {"sqrt-arbitrary", core::Algorithm::kSqrtArbitrary},
+      {"tournament-gathered", core::Algorithm::kTournamentGathered},
+      {"three-group", core::Algorithm::kThreeGroupGathered},
+      {"strong-arbitrary", core::Algorithm::kStrongArbitrary},
+      {"strong-gathered", core::Algorithm::kStrongGathered},
+      {"crash-real-gathering", core::Algorithm::kCrashRealGathering},
+      {"ring-baseline", core::Algorithm::kRingBaseline},
+  };
+  return kList;
+}
+
+std::optional<core::Algorithm> algorithm_from_cli(const std::string& name) {
+  for (const auto& a : cli_algorithms())
+    if (name == a.name) return a.algorithm;
+  return std::nullopt;
+}
+
+GridFlagsResult parse_grid_flags(int argc, char** argv, SweepSpec& spec) {
+  GridFlagsResult res;
+  const auto fail = [&res](std::string message) {
+    res.ok = false;
+    res.error = std::move(message);
+    return res;
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (auto v = value_of(argv[i], "--algorithms")) {
+        for (const std::string& name : split(*v, ',')) {
+          if (name == "all") {
+            for (const auto& a : cli_algorithms())
+              spec.algorithms.push_back(a.algorithm);
+            continue;
+          }
+          const auto a = algorithm_from_cli(name);
+          if (!a) return fail("unknown algorithm '" + name + "'");
+          spec.algorithms.push_back(*a);
+        }
+      } else if (auto v = value_of(argv[i], "--families")) {
+        spec.families.clear();
+        for (const std::string& name : split(*v, ',')) {
+          if (name == "all") {
+            const auto& known = known_families();
+            spec.families.insert(spec.families.end(), known.begin(),
+                                 known.end());
+          } else {
+            spec.families.push_back(name);  // expand_grid validates
+          }
+        }
+      } else if (auto v = value_of(argv[i], "--sizes")) {
+        spec.sizes.clear();
+        for (const std::string& n : split(*v, ','))
+          spec.sizes.push_back(static_cast<std::uint32_t>(std::stoul(n)));
+      } else if (auto v = value_of(argv[i], "--k")) {
+        for (const std::string& k : split(*v, ','))
+          spec.robot_counts.push_back(
+              static_cast<std::uint32_t>(std::stoul(k)));
+      } else if (auto v = value_of(argv[i], "--byz")) {
+        for (const std::string& f : split(*v, ','))
+          spec.byzantine_counts.push_back(
+              static_cast<std::uint32_t>(std::stoul(f)));
+      } else if (auto v = value_of(argv[i], "--seeds")) {
+        spec.seeds.clear();
+        for (const std::string& s : split(*v, ','))
+          spec.seeds.push_back(std::stoull(s));
+      } else if (auto v = value_of(argv[i], "--strategy")) {
+        const auto s = core::strategy_from_string(*v);
+        if (!s) return fail("unknown strategy '" + *v + "'");
+        spec.strategy = *s;
+        spec.strategy_follows_algorithm = false;
+      } else if (auto v = value_of(argv[i], "--mix")) {
+        for (const std::string& text : split(*v, ',')) {
+          const auto mix = mix_from_string(text);
+          if (!mix) return fail("unknown strategy in mix '" + text + "'");
+          spec.strategy_mixes.push_back(*mix);
+        }
+      } else if (auto v = value_of(argv[i], "--shard")) {
+        const std::size_t slash = v->find('/');
+        if (slash == std::string::npos)
+          return fail("--shard wants i/m, got '" + *v + "'");
+        spec.shard_index =
+            static_cast<unsigned>(std::stoul(v->substr(0, slash)));
+        spec.shard_count =
+            static_cast<unsigned>(std::stoul(v->substr(slash + 1)));
+        if (spec.shard_count == 0 || spec.shard_index >= spec.shard_count)
+          return fail("--shard needs i < m, got '" + *v + "'");
+      } else if (auto v = value_of(argv[i], "--resume")) {
+        spec.checkpoint_path = *v;
+      } else if (arg == "--no-timing") {
+        spec.measure_seconds = false;
+      } else if (arg == "--no-clamp") {
+        spec.clamp_f_to_tolerance = false;
+      } else if (arg == "--require-trivial-quotient") {
+        spec.require_trivial_quotient = true;
+      } else if (arg == "--common-graphs") {
+        spec.common_graphs = true;
+      } else if (auto v = value_of(argv[i], "--er-p")) {
+        spec.er_edge_probability = std::stod(*v);
+      } else if (auto v = value_of(argv[i], "--base-seed")) {
+        spec.base_seed = std::stoull(*v);
+      } else if (auto v = value_of(argv[i], "--threads")) {
+        spec.threads = static_cast<unsigned>(std::stoul(*v));
+      } else {
+        res.leftover.push_back(arg);
+      }
+    }
+  } catch (const std::exception& e) {
+    // std::stoul and friends throw on malformed numbers: a usage error.
+    return fail(std::string("bad flag value (") + e.what() + ")");
+  }
+  return res;
+}
+
+void apply_default_algorithms(SweepSpec& spec) {
+  if (!spec.algorithms.empty()) return;
+  // General-graph default: every algorithm except the ring-only baseline.
+  for (const auto& a : cli_algorithms())
+    if (a.algorithm != core::Algorithm::kRingBaseline)
+      spec.algorithms.push_back(a.algorithm);
+}
+
+void print_grid_flag_help(std::FILE* to) {
+  std::fputs(
+      "grid:\n"
+      "  --algorithms=a,b,...   algorithms to sweep, or 'all' (default: all\n"
+      "                         general-graph algorithms, no ring-baseline)\n"
+      "  --families=f,g,...     graph families, or 'all' (default: er)\n"
+      "  --sizes=n1,n2,...      node counts (default: 8,12,16)\n"
+      "  --k=k1,k2,...          robot counts (Theorem 8 axis; default: k=n;\n"
+      "                         0 means k=n; infeasible (k,n,f) points are\n"
+      "                         recorded as structured skips)\n"
+      "  --byz=f1,f2,...        Byzantine counts (default: per-algorithm\n"
+      "                         maximum claimed tolerance)\n"
+      "  --seeds=s1,s2,...      grid seeds, one repetition each (default: 1)\n"
+      "scenario:\n"
+      "  --strategy=name        fixed adversary for all algorithms (default:\n"
+      "                         per-algorithm as the e2e suite chooses)\n"
+      "  --mix=a+b,c+d,...      heterogeneous adversary mixes ('+'-joined\n"
+      "                         strategy names; each mix adds a grid axis).\n"
+      "                         A mix is a multiset: it is canonicalized\n"
+      "                         (sorted), then Byzantine robot i runs\n"
+      "                         mix[i %% len] of the canonical order\n"
+      "  --no-clamp             keep f values beyond an algorithm's tolerance\n"
+      "  --require-trivial-quotient  restrict graphs to all-distinct views\n"
+      "  --common-graphs        share the graph across algorithms and f per\n"
+      "                         (family, n, seed) cell\n"
+      "  --er-p=P               ER edge probability (<=0: connectivity\n"
+      "                         threshold; default 0.45)\n"
+      "  --base-seed=S          reseed the whole sweep\n"
+      "execution:\n"
+      "  --threads=N            worker threads (default: hardware)\n"
+      "  --shard=i/m            run only stripe i of m of the grid (union\n"
+      "                         of all stripes = the full grid)\n"
+      "  --resume=PATH          JSON-lines checkpoint: completed points are\n"
+      "                         loaded instead of re-run, new ones appended\n"
+      "  --no-timing            zero all seconds fields: reports become a\n"
+      "                         pure function of the grid (resume/shard and\n"
+      "                         distributed conformance diffs run in this\n"
+      "                         mode)\n",
+      to);
+}
+
+void print_grid_name_lists(std::FILE* to) {
+  std::fputs("algorithm names:\n", to);
+  for (const auto& a : cli_algorithms()) std::fprintf(to, "  %s\n", a.name);
+  std::fputs("strategy names:\n", to);
+  for (const auto& s : kStrategies) std::fprintf(to, "  %s\n", s.name);
+}
+
+}  // namespace bdg::run

@@ -1,0 +1,62 @@
+#pragma once
+// Shared command-line grid parsing for the sweep front-ends (sweep_cli,
+// sweepd, sweep_worker). The coordinator and its workers must expand the
+// SAME grid from the same flags — grid_fingerprint rejects drift at the
+// hello handshake, but sharing the parser removes the temptation to drift
+// in the first place. sweep_cli delegates here too, so one flag vocabulary
+// drives single-shot, distributed and worker processes alike.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "run/sweep.h"
+
+namespace bdg::run {
+
+/// A SweepSpec with the CLI defaults (families {"er"}, sizes {8,12,16})
+/// rather than the library defaults — the starting point every sweep
+/// front-end parses flags into.
+[[nodiscard]] SweepSpec default_cli_spec();
+
+/// CLI algorithm names in registry order (also the help-text order).
+struct CliAlgorithm {
+  const char* name;
+  core::Algorithm algorithm;
+};
+[[nodiscard]] const std::vector<CliAlgorithm>& cli_algorithms();
+[[nodiscard]] std::optional<core::Algorithm> algorithm_from_cli(
+    const std::string& name);
+
+/// Outcome of parse_grid_flags: either ok (with any unrecognized argv
+/// entries — including --help — in `leftover`, in order, for the caller's
+/// own flags), or !ok with a printable error (no program-name prefix).
+struct GridFlagsResult {
+  bool ok = true;
+  std::string error;
+  std::vector<std::string> leftover;
+};
+
+/// Parse the shared grid/scenario/execution flags (--algorithms,
+/// --families, --sizes, --k, --byz, --seeds, --strategy, --mix,
+/// --no-clamp, --require-trivial-quotient, --common-graphs, --er-p,
+/// --base-seed, --threads, --shard, --resume, --no-timing) into `spec`.
+/// Malformed values (unknown names, bad numbers, i >= m shards) fail the
+/// parse; unknown flags are returned, not rejected, so each front-end can
+/// layer its own flags on top.
+[[nodiscard]] GridFlagsResult parse_grid_flags(int argc, char** argv,
+                                               SweepSpec& spec);
+
+/// Fill spec.algorithms with the general-graph default (every algorithm
+/// except the ring-only baseline) when no --algorithms flag was given.
+void apply_default_algorithms(SweepSpec& spec);
+
+/// Print the shared flags' help sections (grid, scenario, shared
+/// execution flags). Name lists are separate so front-ends can append
+/// their own sections in between.
+void print_grid_flag_help(std::FILE* to);
+
+/// Print the accepted algorithm and strategy name lists.
+void print_grid_name_lists(std::FILE* to);
+
+}  // namespace bdg::run

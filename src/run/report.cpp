@@ -7,63 +7,23 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
+
+#include "util/json_mini.h"
 
 namespace bdg::run {
 namespace {
 
-/// Family names and strategy names are identifier-like, but escape anyway
-/// so free-form verifier details stay valid JSON.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Inverse of json_escape for the escapes it emits (checkpoint lines only
-/// ever contain writer-produced strings).
-std::string json_unescape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 >= s.size()) {
-      out += s[i];
-      continue;
-    }
-    const char e = s[++i];
-    switch (e) {
-      case '"': out += '"'; break;
-      case '\\': out += '\\'; break;
-      case 'n': out += '\n'; break;
-      case 't': out += '\t'; break;
-      case 'u': {
-        if (i + 4 < s.size()) {
-          const std::string hex = s.substr(i + 1, 4);
-          out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-          i += 4;
-        }
-        break;
-      }
-      default: out += e;
-    }
-  }
-  return out;
-}
+// The flat-object writer/scanner pair lives in util/json_mini.h now, shared
+// with the sweep-service wire protocol; these aliases keep the checkpoint
+// code reading as before.
+inline std::string json_escape(const std::string& s) { return json::escape(s); }
+using json::find_bool;
+using json::find_double;
+using json::find_raw;
+using json::find_string;
+using json::find_u32;
+using json::find_u64;
 
 /// Quote a field when it contains CSV metacharacters (the ring-baseline
 /// algorithm name carries a literal comma in its citation brackets).
@@ -87,61 +47,6 @@ std::string exact_double(double v) {
   return buf;
 }
 
-// --- checkpoint line scanning ---------------------------------------------
-// The parser only has to read what write_checkpoint_line produces: a flat
-// JSON object, string values escaped by json_escape, no nested objects.
-
-/// Find `"key":` at top level and return the raw value token after it.
-bool find_raw(const std::string& line, const char* key, std::string& out) {
-  const std::string needle = "\"" + std::string(key) + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  std::size_t i = at + needle.size();
-  while (i < line.size() && line[i] == ' ') ++i;
-  if (i >= line.size()) return false;
-  if (line[i] == '"') {
-    // String: scan to the closing unescaped quote.
-    std::size_t j = i + 1;
-    while (j < line.size()) {
-      if (line[j] == '\\') {
-        j += 2;
-        continue;
-      }
-      if (line[j] == '"') break;
-      ++j;
-    }
-    if (j >= line.size()) return false;
-    out = line.substr(i + 1, j - i - 1);
-    return true;
-  }
-  std::size_t j = i;
-  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
-  out = line.substr(i, j - i);
-  return true;
-}
-
-bool find_string(const std::string& line, const char* key, std::string& out) {
-  std::string raw;
-  if (!find_raw(line, key, raw)) return false;
-  out = json_unescape(raw);
-  return true;
-}
-
-bool find_u64(const std::string& line, const char* key, std::uint64_t& out) {
-  std::string raw;
-  if (!find_raw(line, key, raw)) return false;
-  char* end = nullptr;
-  out = std::strtoull(raw.c_str(), &end, 10);
-  return end != raw.c_str();
-}
-
-bool find_u32(const std::string& line, const char* key, std::uint32_t& out) {
-  std::uint64_t v = 0;
-  if (!find_u64(line, key, v)) return false;
-  out = static_cast<std::uint32_t>(v);
-  return true;
-}
-
 /// Round counts are exact decimal magnitudes up to 2^128-1; a malformed or
 /// overflowing token fails the whole line (foreign data must re-run).
 bool find_round(const std::string& line, const char* key, core::Round& out) {
@@ -151,28 +56,6 @@ bool find_round(const std::string& line, const char* key, core::Round& out) {
   if (!parsed) return false;
   out = *parsed;
   return true;
-}
-
-bool find_bool(const std::string& line, const char* key, bool& out) {
-  std::string raw;
-  if (!find_raw(line, key, raw)) return false;
-  if (raw == "true") {
-    out = true;
-    return true;
-  }
-  if (raw == "false") {
-    out = false;
-    return true;
-  }
-  return false;
-}
-
-bool find_double(const std::string& line, const char* key, double& out) {
-  std::string raw;
-  if (!find_raw(line, key, raw)) return false;
-  char* end = nullptr;
-  out = std::strtod(raw.c_str(), &end);
-  return end != raw.c_str();
 }
 
 }  // namespace
@@ -234,6 +117,7 @@ void write_cells_csv(std::ostream& os, const SweepResult& result) {
 
 void write_json(std::ostream& os, const SweepResult& result) {
   os << "{\n  \"wall_seconds\": " << result.wall_seconds
+     << ",\n  \"torn_checkpoint_lines\": " << result.torn_checkpoint_lines
      << ",\n  \"points\": [";
   bool first = true;
   for (const PointResult& p : result.points) {
@@ -313,9 +197,26 @@ void write_checkpoint_line(std::ostream& os, const PointResult& p,
      << exact_double(p.seconds) << "}\n";
 }
 
+void append_checkpoint_line(std::ostream& os, const std::string& path,
+                            const PointResult& p,
+                            std::uint64_t spec_fingerprint) {
+  write_checkpoint_line(os, p, spec_fingerprint);
+  os.flush();
+  if (!os.good())
+    throw std::runtime_error(
+        "checkpoint append failed (disk full or descriptor closed?): " +
+        path);
+}
+
 std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
-  if (line.empty() || line.front() != '{' ||
-      line.find_last_of('}') == std::string::npos)
+  // A complete record is one whole object: it must both open with '{' and
+  // end with '}' (modulo trailing whitespace). A torn tail from a crash
+  // mid-write fails here even when the truncated prefix happens to contain
+  // every key and a '}' inside an escaped string — prefix parses must never
+  // resurface as results.
+  std::size_t end = line.size();
+  while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\r')) --end;
+  if (end == 0 || line.front() != '{' || line[end - 1] != '}')
     return std::nullopt;
   std::uint64_t version = 0;
   if (!find_u64(line, "v", version) || version != 2) return std::nullopt;
@@ -357,14 +258,26 @@ std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
 }
 
 std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
-    std::istream& is, std::uint64_t spec_fingerprint) {
+    std::istream& is, std::uint64_t spec_fingerprint,
+    CheckpointLoadStats* stats) {
   std::unordered_map<std::uint64_t, PointResult> out;
   std::string line;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank separators are not torn records
     auto entry = parse_checkpoint_line(line);
-    if (!entry) continue;  // truncated tail / foreign line: skip, don't fail
-    if (entry->spec != spec_fingerprint) continue;  // other sweep knobs
+    if (!entry) {
+      // A torn tail (crash mid-write_checkpoint_line) or garbage: the point
+      // re-runs, and the caller surfaces the count — silent nullopt must
+      // not be the only witness of a truncated record.
+      if (stats != nullptr) ++stats->malformed;
+      continue;
+    }
+    if (entry->spec != spec_fingerprint) {
+      if (stats != nullptr) ++stats->foreign;
+      continue;  // other sweep knobs: must re-run, not resurface
+    }
+    if (stats != nullptr) ++stats->loaded;
     out[entry->result.derived_seed] = std::move(entry->result);
   }
   return out;

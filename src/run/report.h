@@ -58,11 +58,30 @@ void write_checkpoint_line(std::ostream& os, const PointResult& p,
 [[nodiscard]] std::optional<CheckpointEntry> parse_checkpoint_line(
     const std::string& line);
 
+/// Tally of what load_checkpoint saw, so callers can surface torn tails
+/// loudly instead of relying on parse_checkpoint_line's silent nullopt.
+struct CheckpointLoadStats {
+  std::size_t loaded = 0;     ///< usable entries returned
+  std::size_t malformed = 0;  ///< torn/truncated/garbage lines skipped
+  std::size_t foreign = 0;    ///< well-formed, but different spec fingerprint
+};
+
 /// Read a whole checkpoint stream into derived_seed -> PointResult,
 /// keeping only entries whose spec fingerprint matches — results recorded
 /// under different sweep knobs must re-run, not resurface. Later
-/// duplicates win (append-only files may re-record a point).
+/// duplicates win (append-only files may re-record a point). A truncated
+/// final line (crash mid-append) is skipped and counted in
+/// `stats->malformed`; run_sweep surfaces that count in the report.
 [[nodiscard]] std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
-    std::istream& is, std::uint64_t spec_fingerprint);
+    std::istream& is, std::uint64_t spec_fingerprint,
+    CheckpointLoadStats* stats = nullptr);
+
+/// Append one checkpoint line and flush, then verify the stream is still
+/// good: a full disk or closed descriptor becomes a thrown error naming
+/// `path`, never a silently lost point. Shared by run_sweep and the sweepd
+/// coordinator's merge path.
+void append_checkpoint_line(std::ostream& os, const std::string& path,
+                            const PointResult& p,
+                            std::uint64_t spec_fingerprint);
 
 }  // namespace bdg::run

@@ -1,0 +1,549 @@
+#include "run/service.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "run/report.h"
+#include "util/json_mini.h"
+#include "util/parallel.h"
+
+namespace bdg::run {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Control messages. Flat JSON like the checkpoint records; a frame whose
+// "type" field is absent is a result (a verbatim checkpoint line).
+// ---------------------------------------------------------------------------
+
+std::string msg_hello(const std::string& name, std::uint64_t spec_fp,
+                      std::uint64_t grid_fp) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello\", \"name\": \"" << json::escape(name)
+     << "\", \"spec\": " << spec_fp << ", \"grid\": " << grid_fp << "}";
+  return os.str();
+}
+
+std::string msg_hello_ok(std::uint32_t lease_timeout_ms) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello_ok\", \"lease_timeout_ms\": " << lease_timeout_ms
+     << "}";
+  return os.str();
+}
+
+std::string msg_reject(const std::string& reason) {
+  std::ostringstream os;
+  os << "{\"type\": \"reject\", \"reason\": \"" << json::escape(reason)
+     << "\"}";
+  return os.str();
+}
+
+std::string msg_lease(std::uint64_t id,
+                      const std::vector<std::size_t>& indices) {
+  std::ostringstream os;
+  os << "{\"type\": \"lease\", \"id\": " << id << ", \"points\": \"";
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << indices[i];
+  }
+  os << "\"}";
+  return os.str();
+}
+
+std::string msg_heartbeat(std::uint64_t lease_id) {
+  std::ostringstream os;
+  os << "{\"type\": \"heartbeat\", \"id\": " << lease_id << "}";
+  return os.str();
+}
+
+std::string msg_lease_done(std::uint64_t lease_id) {
+  std::ostringstream os;
+  os << "{\"type\": \"lease_done\", \"id\": " << lease_id << "}";
+  return os.str();
+}
+
+std::string msg_shutdown() { return "{\"type\": \"shutdown\"}"; }
+
+// Each shimmed connection uses schedule seed (base seed + connection
+// index): still a pure function of the config, but a schedule that eats
+// the handshake frame cannot livelock reconnects by eating it identically
+// on every redial.
+net::FaultConfig offset_fault(net::FaultConfig cfg, std::uint64_t index) {
+  cfg.seed += index;
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+struct Coordinator::Impl {
+  SweepSpec spec;
+  ServiceConfig svc;
+  net::Listener listener;
+
+  Impl(SweepSpec s, ServiceConfig c)
+      : spec(std::move(s)), svc(std::move(c)), listener(svc.port) {}
+};
+
+Coordinator::Coordinator(SweepSpec spec, ServiceConfig svc)
+    : impl_(std::make_unique<Impl>(std::move(spec), std::move(svc))) {}
+
+Coordinator::~Coordinator() = default;
+
+std::uint16_t Coordinator::port() const { return impl_->listener.port(); }
+
+SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
+  const SweepSpec& spec = impl_->spec;
+  const ServiceConfig& svc = impl_->svc;
+
+  SweepResult result;
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  const std::uint64_t fp = spec_fingerprint(spec);
+  const std::uint64_t gfp = grid_fingerprint(spec, grid);
+  const auto t0 = Clock::now();
+
+  const RestoredCheckpoint restored =
+      restore_checkpoint(spec, grid, result.points);
+  result.from_checkpoint = restored.restored;
+  result.torn_checkpoint_lines = restored.torn;
+
+  std::vector<char> have(grid.size(), 1);
+  for (const std::size_t i : restored.todo) have[i] = 0;
+
+  // Results are keyed by derived seed on the wire (they ARE checkpoint
+  // records); map them back to their grid index to merge in place.
+  std::unordered_map<std::uint64_t, std::size_t> seed_to_index;
+  seed_to_index.reserve(restored.todo.size());
+  for (const std::size_t i : restored.todo)
+    seed_to_index[point_seed(spec.base_seed, grid[i])] = i;
+
+  std::ofstream ck;
+  if (!spec.checkpoint_path.empty() && !restored.todo.empty()) {
+    ck.open(spec.checkpoint_path, std::ios::app);
+    if (!ck)
+      throw std::runtime_error("sweepd: cannot open checkpoint " +
+                               spec.checkpoint_path);
+  }
+
+  std::deque<std::size_t> pending(restored.todo.begin(), restored.todo.end());
+  const std::size_t need = restored.todo.size();
+  std::size_t merged = 0;
+  bool aborted = false;
+
+  struct WorkerSlot {
+    std::unique_ptr<net::Channel> ch;
+    std::string name;
+    bool greeted = false;
+    std::uint64_t lease_id = 0;  ///< 0 = idle
+    Clock::time_point connected_at;
+  };
+  struct LeaseState {
+    std::vector<std::size_t> remaining;  ///< indices without a result yet
+    int slot = -1;
+    Clock::time_point deadline;
+  };
+  std::map<int, WorkerSlot> slots;
+  std::map<std::uint64_t, LeaseState> leases;
+  int next_slot = 0;
+  std::uint64_t next_lease = 1;
+  Clock::time_point last_live = Clock::now();
+
+  // `mu` serializes merges: the event loop is single-threaded, but the
+  // zero-worker local fallback runs points through parallel_for_index and
+  // merges from its worker threads (exactly as run_sweep does).
+  std::mutex mu;
+
+  // Revoke a worker's lease (re-queueing what it still owed at the FRONT,
+  // preserving near-grid-order dispatch) and drop its connection.
+  const auto drop_worker = [&](int sid) {
+    const auto it = slots.find(sid);
+    if (it == slots.end()) return;
+    if (it->second.lease_id != 0) {
+      const auto lit = leases.find(it->second.lease_id);
+      if (lit != leases.end()) {
+        if (!lit->second.remaining.empty()) {
+          ++stats_.leases_reassigned;
+          for (auto r = lit->second.remaining.rbegin();
+               r != lit->second.remaining.rend(); ++r)
+            pending.push_front(*r);
+        }
+        leases.erase(lit);
+      }
+    }
+    it->second.ch->shutdown();
+    slots.erase(it);
+  };
+
+  // Merge one completed PointResult: place it at its grid index, append it
+  // to the checkpoint, retire it from whichever lease/queue still lists it.
+  // Duplicates (a re-run after reassignment racing the original delivery)
+  // are ignored — results are deterministic per derived seed, so whichever
+  // copy lands first is THE result.
+  const auto merge_result = [&](PointResult&& pr) {
+    const auto it = seed_to_index.find(pr.derived_seed);
+    if (it == seed_to_index.end() || !same_point(pr.point, grid[it->second])) {
+      ++stats_.protocol_errors;
+      return;
+    }
+    const std::size_t idx = it->second;
+    if (have[idx]) {
+      ++stats_.duplicate_results;
+      return;
+    }
+    result.points[idx] = std::move(pr);
+    have[idx] = 1;
+    ++merged;
+    for (auto& [id, ls] : leases) {
+      const auto rit = std::find(ls.remaining.begin(), ls.remaining.end(), idx);
+      if (rit != ls.remaining.end()) {
+        ls.remaining.erase(rit);
+        break;
+      }
+    }
+    const auto pit = std::find(pending.begin(), pending.end(), idx);
+    if (pit != pending.end()) pending.erase(pit);
+    if (ck.is_open())
+      append_checkpoint_line(ck, spec.checkpoint_path, result.points[idx], fp);
+    if (spec.progress &&
+        !spec.progress(result.points[idx], result.from_checkpoint + merged,
+                       grid.size()))
+      aborted = true;
+  };
+
+  // Handle one frame from slot `sid`; false = drop the connection.
+  const auto handle_frame = [&](int sid, const std::string& payload) -> bool {
+    WorkerSlot& w = slots.at(sid);
+    std::string type;
+    if (json::find_string(payload, "type", type)) {
+      if (type == "hello") {
+        std::uint64_t wspec = 0;
+        std::uint64_t wgrid = 0;
+        std::string name;
+        json::find_string(payload, "name", name);
+        if (json::find_u64(payload, "spec", wspec) &&
+            json::find_u64(payload, "grid", wgrid) && wspec == fp &&
+            wgrid == gfp) {
+          w.greeted = true;
+          w.name = name.empty() ? "worker#" + std::to_string(sid) : name;
+          return w.ch->send_frame(msg_hello_ok(svc.lease_timeout_ms));
+        }
+        ++stats_.workers_rejected;
+        w.ch->send_frame(msg_reject("grid/spec fingerprint mismatch"));
+        return false;
+      }
+      if (type == "heartbeat") {
+        if (w.lease_id != 0) {
+          const auto lit = leases.find(w.lease_id);
+          if (lit != leases.end())
+            lit->second.deadline =
+                Clock::now() + std::chrono::milliseconds(svc.lease_timeout_ms);
+        }
+        return true;
+      }
+      if (type == "lease_done") {
+        std::uint64_t id = 0;
+        if (json::find_u64(payload, "id", id) && id != 0 &&
+            id == w.lease_id) {
+          const auto lit = leases.find(id);
+          if (lit != leases.end()) {
+            if (!lit->second.remaining.empty()) {
+              // Results lost in transit: the worker claims it ran them, but
+              // they never arrived. Re-run them — idempotence makes that
+              // safe, and the checkpoint never saw them.
+              ++stats_.leases_reassigned;
+              for (auto r = lit->second.remaining.rbegin();
+                   r != lit->second.remaining.rend(); ++r)
+                pending.push_front(*r);
+            }
+            leases.erase(lit);
+          }
+          w.lease_id = 0;
+        }
+        return true;
+      }
+      ++stats_.protocol_errors;
+      return true;
+    }
+    // No "type": a result — a verbatim checkpoint record.
+    auto entry = parse_checkpoint_line(payload);
+    if (!entry || entry->spec != fp) {
+      ++stats_.protocol_errors;
+      return true;
+    }
+    if (w.lease_id != 0) {
+      const auto lit = leases.find(w.lease_id);
+      if (lit != leases.end())
+        lit->second.deadline =
+            Clock::now() + std::chrono::milliseconds(svc.lease_timeout_ms);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    merge_result(std::move(entry->result));
+    return true;
+  };
+
+  while (merged < need) {
+    if (stop && stop->load()) aborted = true;
+    if (aborted) break;
+
+    // Accept every pending connection (shimmed when fault injection is on).
+    while (auto conn = impl_->listener.accept()) {
+      ++stats_.workers_seen;
+      WorkerSlot w;
+      w.ch = net::maybe_shim(std::move(conn),
+                             offset_fault(svc.fault, stats_.workers_seen - 1));
+      w.connected_at = Clock::now();
+      slots.emplace(next_slot++, std::move(w));
+    }
+
+    // Drain buffered frames from every worker.
+    std::vector<int> dead;
+    for (auto& [sid, w] : slots) {
+      for (;;) {
+        std::string payload;
+        net::RecvStatus st;
+        try {
+          st = w.ch->recv_frame(payload, 0);
+        } catch (const std::exception&) {
+          ++stats_.protocol_errors;  // oversized frame: not one of ours
+          dead.push_back(sid);
+          break;
+        }
+        if (st == net::RecvStatus::kFrame) {
+          if (!handle_frame(sid, payload)) {
+            dead.push_back(sid);
+            break;
+          }
+          if (aborted) break;
+          continue;
+        }
+        if (st != net::RecvStatus::kTimeout) dead.push_back(sid);
+        break;
+      }
+      if (aborted) break;
+    }
+    for (const int sid : dead) drop_worker(sid);
+    if (aborted || merged >= need) break;
+
+    const auto now = Clock::now();
+
+    // Expire leases whose holder went silent past the deadline, and reap
+    // connections that never completed the hello (their hello or our
+    // hello_ok may have been dropped; the worker will redial).
+    std::vector<int> expired;
+    for (const auto& [id, ls] : leases)
+      if (now >= ls.deadline) expired.push_back(ls.slot);
+    for (const auto& [sid, w] : slots)
+      if (!w.greeted &&
+          ms_between(w.connected_at, now) >
+              static_cast<std::int64_t>(svc.lease_timeout_ms))
+        expired.push_back(sid);
+    for (const int sid : expired) drop_worker(sid);
+
+    // Grant leases to idle greeted workers, front of the queue first.
+    for (auto& [sid, w] : slots) {
+      if (!w.greeted || w.lease_id != 0 || pending.empty()) continue;
+      std::vector<std::size_t> batch;
+      while (!pending.empty() && batch.size() < svc.lease_points) {
+        batch.push_back(pending.front());
+        pending.pop_front();
+      }
+      const std::uint64_t id = next_lease++;
+      if (!w.ch->send_frame(msg_lease(id, batch))) {
+        for (auto r = batch.rbegin(); r != batch.rend(); ++r)
+          pending.push_front(*r);
+        dead.push_back(sid);  // reuse: drained below
+        continue;
+      }
+      leases.emplace(id, LeaseState{std::move(batch), sid,
+                                    now + std::chrono::milliseconds(
+                                              svc.lease_timeout_ms)});
+      w.lease_id = id;
+      ++stats_.leases_granted;
+    }
+    for (const int sid : dead) drop_worker(sid);
+
+    // Graceful degradation: nobody reachable for idle_grace_ms with work
+    // still pending => run the remainder in-process through the exact
+    // run_point + merge path, instead of hanging on an empty fleet.
+    if (!slots.empty()) {
+      last_live = now;
+    } else if (svc.local_fallback && !pending.empty() && leases.empty() &&
+               ms_between(last_live, now) >=
+                   static_cast<std::int64_t>(svc.idle_grace_ms)) {
+      const std::vector<std::size_t> batch(pending.begin(), pending.end());
+      pending.clear();
+      std::atomic<bool> cancel{false};
+      parallel_for_index(
+          batch.size(),
+          [&](std::size_t j) {
+            PointResult r = run_point(spec, grid[batch[j]]);
+            std::lock_guard<std::mutex> lock(mu);
+            ++stats_.local_fallback_points;
+            merge_result(std::move(r));
+            if (aborted || (stop && stop->load())) cancel.store(true);
+          },
+          spec.threads,
+          [&] { return cancel.load() || (stop && stop->load()); });
+      continue;  // re-evaluate: a late worker may have connected meanwhile
+    }
+
+    // Wait for traffic (or a new connection) with a bounded nap so stop
+    // flags and lease deadlines are honored promptly.
+    std::vector<pollfd> fds;
+    fds.reserve(slots.size() + 1);
+    if (impl_->listener.fd() >= 0)
+      fds.push_back({impl_->listener.fd(), POLLIN, 0});
+    for (const auto& [sid, w] : slots)
+      if (w.ch->fd() >= 0) fds.push_back({w.ch->fd(), POLLIN, 0});
+    ::poll(fds.empty() ? nullptr : fds.data(),
+           static_cast<nfds_t>(fds.size()), 20);
+  }
+
+  result.aborted = aborted;
+
+  // Unrun remainder of an aborted sweep: structured skips, exactly like
+  // run_sweep's abort path — and never checkpointed, so a resume re-runs.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (have[i]) continue;
+    PointResult& r = result.points[i];
+    r.point = grid[i];
+    r.derived_seed = point_seed(spec.base_seed, grid[i]);
+    r.skipped = true;
+    r.skip_reason = "aborted before running (resume from checkpoint)";
+  }
+
+  // Orderly goodbye: workers still connected exit kShutdown instead of
+  // burning their reconnect budget against a vanished coordinator — and
+  // the listener closes so a worker redialing a finished sweep is refused
+  // instead of queued in a backlog nobody will accept.
+  for (auto& [sid, w] : slots) {
+    w.ch->send_frame(msg_shutdown());
+    w.ch->shutdown();
+  }
+  impl_->listener.close();
+
+  if (spec.measure_seconds)
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+  rebuild_cell_aggregates(result);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+std::string to_string(WorkerExit e) {
+  switch (e) {
+    case WorkerExit::kShutdown: return "shutdown";
+    case WorkerExit::kLostCoordinator: return "lost_coordinator";
+    case WorkerExit::kRejected: return "rejected";
+    case WorkerExit::kKilled: return "killed";
+  }
+  return "unknown";
+}
+
+WorkerExit run_sweep_worker(const SweepSpec& spec, const WorkerConfig& cfg) {
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+  const std::uint64_t fp = spec_fingerprint(spec);
+  const std::uint64_t gfp = grid_fingerprint(spec, grid);
+  Rng jitter(cfg.jitter_seed);
+
+  // The kill hook counts EXECUTED points across reconnects: die after the
+  // N-th run_point, before its result leaves, so that point is provably
+  // lost with us and the coordinator must reassign it.
+  std::uint64_t points_run = 0;
+  const auto kill_due = [&] {
+    return cfg.fault.enabled && cfg.fault.kill_after_points != 0 &&
+           points_run >= cfg.fault.kill_after_points;
+  };
+
+  std::uint64_t conn_index = 0;
+  for (;;) {  // reconnect loop
+    auto conn = net::dial_with_backoff(cfg.host, cfg.port, cfg.backoff, jitter);
+    if (!conn) return WorkerExit::kLostCoordinator;
+    std::unique_ptr<net::Channel> ch =
+        net::maybe_shim(std::move(conn), offset_fault(cfg.fault, conn_index++));
+
+    if (!ch->send_frame(msg_hello(cfg.name, fp, gfp))) continue;
+    std::string payload;
+    if (ch->recv_frame(payload, static_cast<int>(cfg.hello_timeout_ms)) !=
+        net::RecvStatus::kFrame)
+      continue;  // hello or hello_ok lost in transit: redial
+    std::string type;
+    if (!json::find_string(payload, "type", type)) continue;
+    if (type == "reject") return WorkerExit::kRejected;
+    if (type != "hello_ok") continue;
+
+    for (;;) {  // session loop
+      const net::RecvStatus st =
+          ch->recv_frame(payload, static_cast<int>(cfg.idle_recv_ms));
+      if (st == net::RecvStatus::kTimeout) {
+        // Idle: ping so a long gap between leases never reads as death.
+        if (!ch->send_frame(msg_heartbeat(0))) break;
+        continue;
+      }
+      if (st != net::RecvStatus::kFrame) break;  // reconnect
+      if (!json::find_string(payload, "type", type)) continue;
+      if (type == "shutdown") return WorkerExit::kShutdown;
+      if (type != "lease") continue;
+
+      std::uint64_t lease_id = 0;
+      std::string points;
+      json::find_u64(payload, "id", lease_id);
+      json::find_string(payload, "points", points);
+      std::stringstream ss(points);
+      std::size_t idx = 0;
+      bool conn_lost = false;
+      while (ss >> idx) {
+        if (idx >= grid.size()) return WorkerExit::kRejected;
+        // Heartbeat before each point: extends the lease deadline so it
+        // only needs to outlast ONE point's runtime, not the whole batch.
+        if (!ch->send_frame(msg_heartbeat(lease_id))) {
+          conn_lost = true;
+          break;
+        }
+        PointResult r = run_point(spec, grid[idx]);
+        ++points_run;
+        if (kill_due()) {
+          if (cfg.fault.kill_hard) std::_Exit(137);  // simulated SIGKILL
+          ch->shutdown();
+          return WorkerExit::kKilled;
+        }
+        std::ostringstream line;
+        write_checkpoint_line(line, r, fp);
+        std::string record = line.str();
+        if (!record.empty() && record.back() == '\n') record.pop_back();
+        if (!ch->send_frame(record)) {
+          conn_lost = true;
+          break;
+        }
+      }
+      if (conn_lost) break;
+      if (!ch->send_frame(msg_lease_done(lease_id))) break;
+    }
+  }
+}
+
+}  // namespace bdg::run

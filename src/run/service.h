@@ -1,0 +1,135 @@
+#pragma once
+// sweepd: a fault-tolerant coordinator/worker sweep service.
+//
+// The coordinator owns the expanded grid and leases batches of point
+// indices to workers over localhost TCP (net/: length-prefixed frames whose
+// payloads are flat JSON — result frames are verbatim run/report.h
+// checkpoint records, so the wire format IS the on-disk resume format).
+// Workers run their leased points through the exact run_point the
+// single-process runner uses and stream the results back; the coordinator
+// merges them at their grid index and appends each to the spec's checkpoint
+// through append_checkpoint_line, so crash-recovery and byte-identical
+// resume carry over from the PR 3 machinery for free.
+//
+// Robustness model:
+//  * Leases carry deadlines. Any frame from the lease holder (results,
+//    heartbeats) extends the deadline; a missed deadline presumes the
+//    worker dead — its connection is dropped and the un-resulted indices
+//    return to the front of the queue for reassignment.
+//  * Workers dial with capped exponential backoff and jitter
+//    (net::dial_with_backoff) and reconnect after any transport failure;
+//    results are idempotent (deterministic per derived seed), so re-runs
+//    and duplicate deliveries never change the merged report.
+//  * A hello handshake proves coordinator and worker expanded the SAME
+//    grid (run::grid_fingerprint) before any lease is honored.
+//  * Zero reachable workers degrades gracefully: after idle_grace_ms with
+//    no live worker, the coordinator runs the remaining stripe in-process
+//    (same run_point, same merge path) instead of hanging.
+//  * A stop flag (sweepd wires SIGTERM to it) aborts cleanly: finished
+//    points are already flushed to the checkpoint, the remainder is marked
+//    as aborted skips exactly like run_sweep's abort path, and workers are
+//    told to shut down.
+//  * The deterministic fault shim (net/fault.h) can be mounted on either
+//    side to drop/delay/close frames on a seeded schedule — the
+//    conformance tier pins that the merged report stays byte-identical
+//    under kills, drops and delays. Each shimmed connection runs schedule
+//    seed (config seed + connection index): still fully deterministic,
+//    but a schedule that eats the handshake frame cannot livelock
+//    reconnects by eating it identically on every redial.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.h"
+#include "net/transport.h"
+#include "run/sweep.h"
+
+namespace bdg::run {
+
+struct ServiceConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< coordinator listen port (0 = ephemeral)
+  /// Max points per lease. Small leases reassign cheaply after a worker
+  /// death; large leases amortize framing. Grid order is preserved within
+  /// the queue, so lease size never affects the merged report.
+  std::uint32_t lease_points = 8;
+  /// Deadline granted per lease and extended by every frame from its
+  /// holder. Must exceed the longest single-point runtime plus a
+  /// heartbeat interval, or healthy workers get their leases revoked.
+  std::uint32_t lease_timeout_ms = 3000;
+  /// Coordinator: no live worker for this long => run the remaining
+  /// stripe in-process instead of hanging (0 = fall back immediately).
+  std::uint32_t idle_grace_ms = 2000;
+  bool local_fallback = true;
+  net::FaultConfig fault;  ///< shim mounted on this side's sends
+};
+
+struct CoordinatorStats {
+  std::size_t workers_seen = 0;       ///< connections accepted
+  std::size_t workers_rejected = 0;   ///< hellos with a foreign grid
+  std::size_t leases_granted = 0;
+  /// Leases revoked and re-queued: deadline missed, worker connection
+  /// died, or a lease_done arrived with results still missing (dropped in
+  /// transit). The conformance tier asserts this is > 0 when a worker is
+  /// killed mid-grid.
+  std::size_t leases_reassigned = 0;
+  std::size_t duplicate_results = 0;  ///< re-delivered/re-run, ignored
+  std::size_t local_fallback_points = 0;
+  std::size_t protocol_errors = 0;    ///< malformed/mismatched frames
+};
+
+/// The sweepd coordinator. Construction binds the listener (throws when
+/// the port is taken) so callers can read port() before spawning workers;
+/// serve() runs the event loop to completion and returns the merged
+/// result, byte-identical to run_sweep(spec) on the same grid.
+class Coordinator {
+ public:
+  Coordinator(SweepSpec spec, ServiceConfig svc);
+  ~Coordinator();
+
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Serve until every grid point has a result (or the sweep aborts via
+  /// spec.progress / `stop`). Not reentrant; call once.
+  [[nodiscard]] SweepResult serve(const std::atomic<bool>* stop = nullptr);
+
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  CoordinatorStats stats_;
+};
+
+struct WorkerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "worker";
+  net::BackoffConfig backoff;
+  std::uint32_t idle_recv_ms = 500;
+  std::uint32_t hello_timeout_ms = 5000;
+  std::uint64_t jitter_seed = 1;  ///< backoff jitter stream
+  net::FaultConfig fault;  ///< worker-side shim + kill-after-N-points hook
+};
+
+enum class WorkerExit {
+  kShutdown,         ///< coordinator said shutdown: the grid is done
+  kLostCoordinator,  ///< reconnect attempts exhausted
+  kRejected,         ///< grid fingerprint mismatch (or protocol error)
+  kKilled,           ///< fault shim kill hook fired (soft mode)
+};
+
+[[nodiscard]] std::string to_string(WorkerExit e);
+
+/// Run one worker against the coordinator at cfg.host:cfg.port. The spec
+/// must be flag-identical to the coordinator's (the hello handshake
+/// enforces it via grid_fingerprint). Blocks until shutdown or failure.
+/// With cfg.fault.kill_after_points set and kill_hard, this calls
+/// std::_Exit(137) — simulating SIGKILL for the CI process smoke — and
+/// never returns.
+[[nodiscard]] WorkerExit run_sweep_worker(const SweepSpec& spec,
+                                          const WorkerConfig& cfg);
+
+}  // namespace bdg::run

@@ -287,6 +287,17 @@ std::uint64_t spec_fingerprint(const SweepSpec& spec) {
   return h;
 }
 
+std::uint64_t grid_fingerprint(const SweepSpec& spec,
+                               const std::vector<SweepPoint>& grid) {
+  std::uint64_t h = mix(spec_fingerprint(spec), 0x9D1DF1A6E57A11EDULL);
+  h = mix(h, grid.size());
+  for (const SweepPoint& p : grid) {
+    h = mix(h, point_seed(spec.base_seed, p));
+    h = mix(h, static_cast<std::uint64_t>(p.strategy));
+  }
+  return h;
+}
+
 std::uint64_t point_seed(std::uint64_t base_seed, const SweepPoint& p) {
   std::uint64_t s = mix(base_seed, static_cast<std::uint64_t>(p.algorithm));
   s = mix(s, fnv1a(p.family));
@@ -434,40 +445,52 @@ std::size_t SweepResult::skipped() const {
   return count;
 }
 
-SweepResult run_sweep(const SweepSpec& spec) {
-  SweepResult result;
-  const std::vector<SweepPoint> grid = expand_grid(spec);
-  result.points.resize(grid.size());
-
-  const auto t0 = std::chrono::steady_clock::now();
-
+RestoredCheckpoint restore_checkpoint(const SweepSpec& spec,
+                                      const std::vector<SweepPoint>& grid,
+                                      std::vector<PointResult>& out) {
   // Checkpoint reuse: completed points (matched by spec fingerprint,
   // derived seed AND full coordinates) are restored instead of re-run, so
   // interrupted sweeps resume where they stopped and shard stripes merge
   // through one file — while a checkpoint written under different spec
   // knobs (common_graphs, cost model, ...) is ignored, not imported.
-  const std::uint64_t fingerprint = spec_fingerprint(spec);
-  std::vector<char> have(grid.size(), 0);
-  std::vector<std::size_t> todo;
-  todo.reserve(grid.size());
+  RestoredCheckpoint r;
+  r.todo.reserve(grid.size());
+  out.resize(grid.size());
+  std::unordered_map<std::uint64_t, PointResult> cache;
   if (!spec.checkpoint_path.empty()) {
     std::ifstream in(spec.checkpoint_path);
-    std::unordered_map<std::uint64_t, PointResult> cache;
-    if (in) cache = load_checkpoint(in, fingerprint);
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-      const std::uint64_t ds = point_seed(spec.base_seed, grid[i]);
-      const auto it = cache.find(ds);
-      if (it != cache.end() && same_point(it->second.point, grid[i])) {
-        result.points[i] = it->second;
-        have[i] = 1;
-        ++result.from_checkpoint;
-      } else {
-        todo.push_back(i);
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < grid.size(); ++i) todo.push_back(i);
+    CheckpointLoadStats stats;
+    if (in) cache = load_checkpoint(in, spec_fingerprint(spec), &stats);
+    r.torn = stats.malformed;
   }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const std::uint64_t ds = point_seed(spec.base_seed, grid[i]);
+    const auto it = cache.find(ds);
+    if (it != cache.end() && same_point(it->second.point, grid[i])) {
+      out[i] = it->second;
+      ++r.restored;
+    } else {
+      r.todo.push_back(i);
+    }
+  }
+  return r;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  SweepResult result;
+  const std::vector<SweepPoint> grid = expand_grid(spec);
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::uint64_t fingerprint = spec_fingerprint(spec);
+  const RestoredCheckpoint restored =
+      restore_checkpoint(spec, grid, result.points);
+  result.from_checkpoint = restored.restored;
+  result.torn_checkpoint_lines = restored.torn;
+  const std::vector<std::size_t>& todo = restored.todo;
+  std::vector<char> have(grid.size(), 0);
+  for (std::size_t i = 0; i < grid.size(); ++i) have[i] = 1;
+  for (const std::size_t i : todo) have[i] = 0;
 
   std::ofstream ck;
   if (!spec.checkpoint_path.empty() && !todo.empty()) {
@@ -491,10 +514,9 @@ SweepResult run_sweep(const SweepSpec& spec) {
         result.points[i] = std::move(r);
         have[i] = 1;
         ++completed;
-        if (ck.is_open()) {
-          write_checkpoint_line(ck, result.points[i], fingerprint);
-          ck.flush();
-        }
+        if (ck.is_open())
+          append_checkpoint_line(ck, spec.checkpoint_path, result.points[i],
+                                 fingerprint);
         if (spec.progress &&
             !spec.progress(result.points[i], completed, grid.size()))
           aborted.store(true);
@@ -517,6 +539,12 @@ SweepResult run_sweep(const SweepSpec& spec) {
   if (spec.measure_seconds)
     result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
 
+  rebuild_cell_aggregates(result);
+  return result;
+}
+
+void rebuild_cell_aggregates(SweepResult& result) {
+  result.cells.clear();
   // Cells in first-appearance (grid) order, located through a hash of the
   // cell coordinates so million-point sweeps aggregate in O(points), with
   // an exact-match walk inside each bucket (hash collisions must not merge
@@ -570,7 +598,6 @@ SweepResult run_sweep(const SweepSpec& spec) {
         (cell->mean_messages * kprev + static_cast<double>(p.stats.messages)) * w;
     cell->mean_seconds = (cell->mean_seconds * kprev + p.seconds) * w;
   }
-  return result;
 }
 
 }  // namespace bdg::run

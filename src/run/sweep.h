@@ -221,6 +221,10 @@ struct SweepResult {
   double wall_seconds = 0.0;
   bool aborted = false;      ///< progress callback stopped the sweep early
   std::size_t from_checkpoint = 0;  ///< points restored, not re-run
+  /// Torn (truncated) checkpoint lines skipped while restoring — a crash
+  /// mid-append leaves one; it re-runs, and the count is surfaced here and
+  /// in the JSON report so the loss is loud.
+  std::size_t torn_checkpoint_lines = 0;
 
   [[nodiscard]] bool all_dispersed() const;
   [[nodiscard]] std::size_t skipped() const;
@@ -258,6 +262,15 @@ struct SweepResult {
 /// progress) are deliberately excluded: they never change point results.
 [[nodiscard]] std::uint64_t spec_fingerprint(const SweepSpec& spec);
 
+/// Fingerprint of the fully expanded grid PLUS the spec knobs
+/// (spec_fingerprint): folds every point's derived seed and strategy in
+/// grid order. The sweep service leases points by grid INDEX, so a
+/// coordinator and a worker must prove they expanded the same grid before
+/// any lease is honored — same flags => same fingerprint, any drift
+/// (different axes, shard stripe, base seed, clamping) => rejected hello.
+[[nodiscard]] std::uint64_t grid_fingerprint(
+    const SweepSpec& spec, const std::vector<SweepPoint>& grid);
+
 /// Seed for one point: splitmix-style hash of the coordinates into
 /// base_seed. Stable across platforms and sweep composition (adding more
 /// sizes/algorithms never changes another point's seed; points with k = n
@@ -282,5 +295,31 @@ struct SweepResult {
 /// Expand, run (in parallel), aggregate. Honors the spec's checkpoint
 /// (reuse + append), shard stripe and progress/abort callback.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Shared internals of run_sweep and the sweepd coordinator (run/service).
+// Both execution paths restore, merge and aggregate through these exact
+// functions so a distributed sweep is byte-identical to single-shot by
+// construction, not by parallel maintenance.
+// ---------------------------------------------------------------------------
+
+/// What restoring spec.checkpoint_path yielded for one expanded grid.
+struct RestoredCheckpoint {
+  std::vector<std::size_t> todo;  ///< grid indices still to run, grid order
+  std::size_t restored = 0;       ///< points placed from the checkpoint
+  std::size_t torn = 0;           ///< truncated lines skipped (surfaced)
+};
+
+/// Load spec.checkpoint_path (when set), place every matching completed
+/// point at its grid index in `out` (resized to the grid), and list the
+/// rest as todo. Entries match on spec fingerprint, derived seed AND full
+/// coordinates, exactly as run_sweep resumes.
+[[nodiscard]] RestoredCheckpoint restore_checkpoint(
+    const SweepSpec& spec, const std::vector<SweepPoint>& grid,
+    std::vector<PointResult>& out);
+
+/// Rebuild result.cells from result.points: first-appearance (grid) order,
+/// skips excluded — the one aggregation routine behind every report.
+void rebuild_cell_aggregates(SweepResult& result);
 
 }  // namespace bdg::run

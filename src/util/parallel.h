@@ -22,6 +22,19 @@ namespace bdg {
 /// before each index is claimed; once it returns true no further indices
 /// start (indices already in flight complete normally — the sweep runner's
 /// abort callback builds on this).
+///
+/// Cancellation-responsiveness contract (pinned by parallel_test):
+///  * `cancelled` is polled ONLY at claim time, once per index, before the
+///    body starts. A body already running is never interrupted — a cancel
+///    observed while points are in flight stops the sweep before the NEXT
+///    point starts, so the abort latency is bounded by the longest single
+///    body, not by the remaining grid.
+///  * Every spawned thread is joined before returning, on every path:
+///    normal completion, cancellation, and an exception in any body (the
+///    first exception is rethrown only after the join). Callers may
+///    therefore touch captured state immediately after return.
+///  * The poll is on the claiming thread; a `cancelled` callback must be
+///    thread-safe but may be as simple as reading an std::atomic<bool>.
 inline void parallel_for_index(std::size_t count,
                                const std::function<void(std::size_t)>& body,
                                unsigned threads = 0,

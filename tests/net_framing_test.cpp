@@ -1,0 +1,138 @@
+// net/ layer unit tier: length-prefixed framing across arbitrary chunk
+// boundaries, the oversize guard, loopback transport round-trips, and the
+// backoff dialer's give-up path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/framing.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace bdg::net {
+namespace {
+
+TEST(Framing, EncodesBigEndianLengthPrefix) {
+  const std::string frame = encode_frame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(Framing, ReassemblesAcrossEveryChunkBoundary) {
+  const std::string a = encode_frame("first frame");
+  const std::string b = encode_frame("");  // empty payloads are legal
+  const std::string c = encode_frame(std::string(3000, 'x'));
+  const std::string stream = a + b + c;
+
+  // Feed the concatenated stream split at every possible boundary: the
+  // reader must produce the same three payloads regardless of chunking.
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameReader reader;
+    reader.feed(stream.data(), cut);
+    std::vector<std::string> got;
+    while (auto f = reader.next()) got.push_back(std::move(*f));
+    reader.feed(stream.data() + cut, stream.size() - cut);
+    while (auto f = reader.next()) got.push_back(std::move(*f));
+    ASSERT_EQ(got.size(), 3u) << "cut at " << cut;
+    EXPECT_EQ(got[0], "first frame");
+    EXPECT_EQ(got[1], "");
+    EXPECT_EQ(got[2], std::string(3000, 'x'));
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(Framing, ByteAtATimeFeedStillDecodes) {
+  const std::string frame = encode_frame("slow drip");
+  FrameReader reader;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.feed(frame.data() + i, 1);
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  reader.feed(frame.data() + frame.size() - 1, 1);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "slow drip");
+}
+
+TEST(Framing, OversizedLengthPrefixThrowsInsteadOfAllocating) {
+  FrameReader reader;
+  const char huge[4] = {'\x7f', '\x7f', '\x7f', '\x7f'};
+  reader.feed(huge, 4);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(Transport, LoopbackFrameRoundTrip) {
+  Listener listener(0);
+  ASSERT_GT(listener.port(), 0);
+  auto client = dial("127.0.0.1", listener.port());
+  ASSERT_NE(client, nullptr);
+  std::unique_ptr<Connection> server;
+  for (int i = 0; i < 100 && !server; ++i) {
+    server = listener.accept();
+    if (!server) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_NE(server, nullptr);
+
+  ASSERT_TRUE(client->send_frame("ping"));
+  std::string payload;
+  ASSERT_EQ(server->recv_frame(payload, 2000), RecvStatus::kFrame);
+  EXPECT_EQ(payload, "ping");
+  ASSERT_TRUE(server->send_frame("pong"));
+  ASSERT_EQ(client->recv_frame(payload, 2000), RecvStatus::kFrame);
+  EXPECT_EQ(payload, "pong");
+
+  // Peer close: frames sent before the close are still handed out, then
+  // the reader reports kClosed.
+  ASSERT_TRUE(client->send_frame("last words"));
+  client->shutdown();
+  ASSERT_EQ(server->recv_frame(payload, 2000), RecvStatus::kFrame);
+  EXPECT_EQ(payload, "last words");
+  EXPECT_EQ(server->recv_frame(payload, 2000), RecvStatus::kClosed);
+}
+
+TEST(Transport, RecvTimesOutWithoutTraffic) {
+  Listener listener(0);
+  auto client = dial("127.0.0.1", listener.port());
+  ASSERT_NE(client, nullptr);
+  std::string payload;
+  EXPECT_EQ(client->recv_frame(payload, 30), RecvStatus::kTimeout);
+}
+
+TEST(Transport, ClosedListenerRefusesDials) {
+  Listener listener(0);
+  const std::uint16_t port = listener.port();
+  listener.close();
+  EXPECT_EQ(dial("127.0.0.1", port), nullptr);
+}
+
+TEST(Transport, BackoffDialerGivesUpAgainstDeadPort) {
+  Listener listener(0);
+  const std::uint16_t dead_port = listener.port();
+  listener.close();  // nothing listens here now
+
+  BackoffConfig cfg;
+  cfg.attempts = 4;
+  cfg.base_ms = 1;
+  cfg.max_ms = 4;
+  Rng jitter(1);
+  EXPECT_EQ(dial_with_backoff("127.0.0.1", dead_port, cfg, jitter), nullptr);
+
+  // Cancellation is polled before every attempt.
+  int polls = 0;
+  EXPECT_EQ(dial_with_backoff("127.0.0.1", dead_port, cfg, jitter,
+                              [&polls] {
+                                ++polls;
+                                return true;
+                              }),
+            nullptr);
+  EXPECT_EQ(polls, 1);
+}
+
+}  // namespace
+}  // namespace bdg::net

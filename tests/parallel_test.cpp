@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "core/scenario.h"
 #include "graph/generators.h"
@@ -39,6 +41,71 @@ TEST(Parallel, PropagatesFirstException) {
                          },
                          4),
       std::runtime_error);
+}
+
+// Cancellation-responsiveness contract (see util/parallel.h): `cancelled`
+// is polled at claim time, so once a cancel is observed no further bodies
+// start — at most one in-flight body per worker can still complete. This
+// is what bounds the sweep runner's abort latency by a single point, not
+// the remaining grid.
+TEST(Parallel, CancelMidSweepStopsBeforeNextIndex) {
+  constexpr unsigned kThreads = 4;
+  std::atomic<bool> cancel{false};
+  std::atomic<int> started{0};
+  parallel_for_index(
+      100000,
+      [&](std::size_t) {
+        ++started;
+        cancel.store(true);  // the very first body cancels the sweep
+      },
+      kThreads, [&] { return cancel.load(); });
+  EXPECT_GE(started.load(), 1);
+  EXPECT_LE(started.load(), static_cast<int>(kThreads))
+      << "bodies claimed after the cancel was observable";
+}
+
+// All spawned threads are joined before parallel_for_index returns on the
+// cancellation path: captured state is safe to touch immediately after.
+TEST(Parallel, CancelJoinsAllThreadsBeforeReturning) {
+  std::atomic<bool> cancel{false};
+  std::atomic<int> in_flight{0};
+  parallel_for_index(
+      10000,
+      [&](std::size_t) {
+        ++in_flight;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        cancel.store(true);
+        --in_flight;
+      },
+      4, [&] { return cancel.load(); });
+  EXPECT_EQ(in_flight.load(), 0)
+      << "a body was still running after parallel_for_index returned";
+}
+
+// ... and on the exception path: the first exception is rethrown only
+// after every worker joined, so no body outlives the call.
+TEST(Parallel, ExceptionJoinsAllThreadsBeforeRethrow) {
+  std::atomic<int> in_flight{0};
+  bool threw = false;
+  try {
+    parallel_for_index(
+        256,
+        [&](std::size_t i) {
+          ++in_flight;
+          if (i == 0) {
+            --in_flight;
+            throw std::runtime_error("boom");
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          --in_flight;
+        },
+        8);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(in_flight.load(), 0)
+      << "a body was still running when the exception surfaced";
 }
 
 TEST(Parallel, ScenarioSweepMatchesSerialResults) {

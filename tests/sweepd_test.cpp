@@ -1,0 +1,328 @@
+// Conformance tier for the sweepd coordinator/worker service: a
+// distributed sweep over the PR 3 512-point mixed-adversary grid must
+// reproduce the single-shot SweepResult byte-identically (reports
+// included), survive a worker dying mid-grid (leases reassigned and
+// re-run), stay byte-identical under seeded drop/delay fault schedules,
+// degrade to in-process execution with zero reachable workers, and reject
+// workers that expanded a different grid.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fault.h"
+#include "run/report.h"
+#include "run/service.h"
+#include "run/sweep.h"
+
+namespace bdg::run {
+namespace {
+
+using core::Algorithm;
+using core::ByzStrategy;
+
+/// Render every report of a result into one string for byte comparison.
+std::string all_reports(const SweepResult& r) {
+  std::ostringstream os;
+  write_points_csv(os, r);
+  os << "\n--\n";
+  write_cells_csv(os, r);
+  os << "\n--\n";
+  write_json(os, r);
+  return os.str();
+}
+
+/// The same 512-point mixed-adversary, k-axis grid the resume conformance
+/// tier pins (sweep_resume_test): 2 algorithms x 2 families x 1 size x
+/// 4 k x 2 unclamped f x 2 mixes x 8 seeds, timing off so reports are a
+/// pure function of the grid.
+SweepSpec conformance_spec(unsigned threads) {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered,
+                     Algorithm::kTournamentGathered};
+  spec.families = {"er", "complete"};
+  spec.sizes = {6};
+  spec.robot_counts = {4, 6, 7, 12};
+  spec.byzantine_counts = {0, 1};
+  spec.clamp_f_to_tolerance = false;
+  spec.strategy_mixes = {{ByzStrategy::kMapLiar, ByzStrategy::kCrash},
+                         {ByzStrategy::kFakeSettler,
+                          ByzStrategy::kSilentSettler,
+                          ByzStrategy::kSquatter}};
+  spec.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.threads = threads;
+  spec.measure_seconds = false;
+  return spec;
+}
+
+/// A small grid (8 points) for the fault-schedule tests, where drops force
+/// lease expiries and the test runs the sweep several times.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.algorithms = {Algorithm::kThreeGroupGathered};
+  spec.families = {"er"};
+  spec.sizes = {6};
+  spec.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.threads = 2;
+  spec.measure_seconds = false;
+  return spec;
+}
+
+void expect_identical_results(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE("point " + std::to_string(i));
+    const PointResult& pa = a.points[i];
+    const PointResult& pb = b.points[i];
+    EXPECT_TRUE(same_point(pa.point, pb.point));
+    EXPECT_EQ(pa.derived_seed, pb.derived_seed);
+    EXPECT_EQ(pa.skipped, pb.skipped);
+    EXPECT_EQ(pa.skip_reason, pb.skip_reason);
+    EXPECT_EQ(pa.ok, pb.ok);
+    EXPECT_EQ(pa.detail, pb.detail);
+    EXPECT_EQ(pa.stats.rounds, pb.stats.rounds);
+    EXPECT_EQ(pa.stats.moves, pb.stats.moves);
+    EXPECT_EQ(pa.stats.messages, pb.stats.messages);
+    EXPECT_EQ(pa.planned_rounds, pb.planned_rounds);
+    EXPECT_EQ(pa.seconds, pb.seconds);
+  }
+  EXPECT_EQ(all_reports(a), all_reports(b));
+}
+
+/// Run a coordinator plus `workers` in-process worker threads over `spec`,
+/// returning the merged result (and each worker's exit reason).
+SweepResult run_distributed(const SweepSpec& spec, ServiceConfig svc,
+                            std::vector<WorkerConfig> workers,
+                            std::vector<WorkerExit>* exits = nullptr,
+                            CoordinatorStats* stats = nullptr) {
+  Coordinator coordinator(spec, svc);
+  const std::uint16_t port = coordinator.port();
+
+  SweepResult result;
+  std::thread serve_thread(
+      [&] { result = coordinator.serve(); });
+
+  std::vector<WorkerExit> reasons(workers.size(), WorkerExit::kShutdown);
+  std::vector<std::thread> fleet;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    workers[w].port = port;
+    fleet.emplace_back([&, w] {
+      reasons[w] = run_sweep_worker(spec, workers[w]);
+    });
+  }
+  serve_thread.join();
+  for (auto& t : fleet) t.join();
+  if (exits) *exits = reasons;
+  if (stats) *stats = coordinator.stats();
+  return result;
+}
+
+WorkerConfig worker(const std::string& name, std::uint64_t jitter_seed) {
+  WorkerConfig cfg;
+  cfg.name = name;
+  cfg.jitter_seed = jitter_seed;
+  cfg.idle_recv_ms = 50;
+  cfg.hello_timeout_ms = 1000;
+  // Short reconnect budget: a worker that loses a shutdown race gives up
+  // quickly instead of stalling the test on a vanished coordinator.
+  cfg.backoff.attempts = 6;
+  cfg.backoff.base_ms = 5;
+  cfg.backoff.max_ms = 50;
+  return cfg;
+}
+
+// The acceptance statement: a 3-worker distributed sweep over the
+// 512-point conformance grid is byte-identical to single-shot run_sweep.
+TEST(Sweepd, ThreeWorkerSweepIsByteIdenticalToSingleShot) {
+  const SweepSpec spec = conformance_spec(2);
+  const SweepResult single = run_sweep(spec);
+  ASSERT_GE(single.points.size(), 500u);
+
+  ServiceConfig svc;
+  svc.lease_points = 8;
+  svc.lease_timeout_ms = 10000;
+  std::vector<WorkerExit> exits;
+  CoordinatorStats stats;
+  const SweepResult dist = run_distributed(
+      spec, svc, {worker("w0", 1), worker("w1", 2), worker("w2", 3)}, &exits,
+      &stats);
+
+  for (const WorkerExit e : exits) EXPECT_EQ(e, WorkerExit::kShutdown);
+  EXPECT_GE(stats.workers_seen, 3u);
+  EXPECT_GT(stats.leases_granted, 0u);
+  EXPECT_EQ(stats.leases_reassigned, 0u);
+  EXPECT_EQ(stats.duplicate_results, 0u);
+  EXPECT_EQ(stats.local_fallback_points, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_FALSE(dist.aborted);
+  expect_identical_results(single, dist);
+}
+
+// Robustness statement: killing a worker mid-grid (soft kill hook — the
+// thread analogue of SIGKILL; the CI smoke covers the hard _Exit variant)
+// reassigns its leased points and the merged result is still
+// byte-identical.
+TEST(Sweepd, SurvivesWorkerKilledMidGrid) {
+  const SweepSpec spec = conformance_spec(2);
+  const SweepResult single = run_sweep(spec);
+
+  ServiceConfig svc;
+  svc.lease_points = 8;
+  svc.lease_timeout_ms = 10000;
+  WorkerConfig victim = worker("victim", 4);
+  victim.fault.enabled = true;
+  victim.fault.kill_after_points = 50;  // dies well inside the grid
+  victim.fault.kill_hard = false;
+
+  std::vector<WorkerExit> exits;
+  CoordinatorStats stats;
+  const SweepResult dist = run_distributed(
+      spec, svc, {victim, worker("w1", 5), worker("w2", 6)}, &exits, &stats);
+
+  EXPECT_EQ(exits[0], WorkerExit::kKilled);
+  EXPECT_EQ(exits[1], WorkerExit::kShutdown);
+  EXPECT_EQ(exits[2], WorkerExit::kShutdown);
+  EXPECT_GE(stats.leases_reassigned, 1u)
+      << "the victim died mid-lease; its points must be re-queued";
+  EXPECT_FALSE(dist.aborted);
+  expect_identical_results(single, dist);
+}
+
+// Seeded drop/delay schedules lose results and heartbeats on purpose;
+// lease expiry re-runs the points, duplicates are discarded, and the
+// merged report must not change by a byte. Run twice to pin that the
+// fault schedule itself is deterministic end-to-end.
+TEST(Sweepd, FaultScheduleKeepsReportByteIdentical) {
+  const SweepSpec spec = small_spec();
+  const SweepResult single = run_sweep(spec);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    SCOPED_TRACE("attempt " + std::to_string(attempt));
+    ServiceConfig svc;
+    svc.lease_points = 2;
+    svc.lease_timeout_ms = 300;  // expire dropped results quickly
+    WorkerConfig lossy = worker("lossy", 7);
+    lossy.fault.enabled = true;
+    lossy.fault.seed = 9;
+    lossy.fault.drop = 0.2;
+    lossy.fault.delay = 0.1;
+    lossy.fault.delay_ms = 1;
+
+    std::vector<WorkerExit> exits;
+    const SweepResult dist =
+        run_distributed(spec, svc, {lossy, worker("clean", 8)}, &exits);
+    EXPECT_FALSE(dist.aborted);
+    expect_identical_results(single, dist);
+  }
+}
+
+// Zero reachable workers: after idle_grace_ms the coordinator runs the
+// remaining stripe in-process through the same merge path — graceful
+// degradation, not a hang.
+TEST(Sweepd, ZeroWorkersFallsBackToInProcessExecution) {
+  const SweepSpec spec = small_spec();
+  const SweepResult single = run_sweep(spec);
+
+  ServiceConfig svc;
+  svc.idle_grace_ms = 50;
+  Coordinator coordinator(spec, svc);
+  const SweepResult dist = coordinator.serve();
+  EXPECT_EQ(coordinator.stats().local_fallback_points, single.points.size());
+  EXPECT_EQ(coordinator.stats().workers_seen, 0u);
+  expect_identical_results(single, dist);
+}
+
+// A worker whose flags expand a different grid must be rejected at the
+// hello handshake — leases reference grid indices, so index agreement is
+// a correctness precondition, not an optimization.
+TEST(Sweepd, RejectsWorkerWithMismatchedGrid) {
+  const SweepSpec spec = small_spec();
+  SweepSpec other = spec;
+  other.seeds = {1, 2, 3};  // different grid => different fingerprint
+
+  ServiceConfig svc;
+  svc.idle_grace_ms = 300;  // finish in-process after the rejection
+  Coordinator coordinator(spec, svc);
+  const std::uint16_t port = coordinator.port();
+
+  SweepResult dist;
+  std::thread serve_thread([&] { dist = coordinator.serve(); });
+  WorkerConfig cfg = worker("foreign", 9);
+  cfg.port = port;
+  const WorkerExit e = run_sweep_worker(other, cfg);
+  serve_thread.join();
+
+  EXPECT_EQ(e, WorkerExit::kRejected);
+  EXPECT_GE(coordinator.stats().workers_rejected, 1u);
+  expect_identical_results(run_sweep(spec), dist);
+}
+
+// The stop flag (sweepd wires SIGTERM to it) aborts exactly like
+// run_sweep's progress-abort: unrun points become structured skips and
+// the result is flagged aborted.
+TEST(Sweepd, StopFlagAbortsWithStructuredSkips) {
+  const SweepSpec spec = small_spec();
+  ServiceConfig svc;
+  Coordinator coordinator(spec, svc);
+  std::atomic<bool> stop{true};
+  const SweepResult dist = coordinator.serve(&stop);
+  EXPECT_TRUE(dist.aborted);
+  ASSERT_EQ(dist.points.size(), expand_grid(spec).size());
+  for (const PointResult& p : dist.points) {
+    EXPECT_TRUE(p.skipped);
+    EXPECT_NE(p.skip_reason.find("aborted"), std::string::npos);
+  }
+}
+
+// The fault injector's schedule is a pure function of (seed, frame
+// index): same config => identical action sequences, different seed =>
+// a different one, and the CLI spec round-trips through to_string.
+TEST(Sweepd, FaultScheduleIsSeedDeterministic) {
+  net::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 42;
+  cfg.drop = 0.3;
+  cfg.delay = 0.2;
+  cfg.delay_ms = 3;
+  net::FaultInjector a(cfg);
+  net::FaultInjector b(cfg);
+  net::FaultConfig reseeded = cfg;
+  reseeded.seed = 43;
+  net::FaultInjector c(reseeded);
+
+  bool any_drop = false;
+  bool any_delay = false;
+  bool differs = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto fa = a.next_send();
+    const auto fb = b.next_send();
+    const auto fc = c.next_send();
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.delay_ms, fb.delay_ms);
+    EXPECT_EQ(fa.close, fb.close);
+    any_drop |= fa.drop;
+    any_delay |= fa.delay_ms != 0;
+    differs |= fa.drop != fc.drop || fa.delay_ms != fc.delay_ms;
+  }
+  EXPECT_TRUE(any_drop);
+  EXPECT_TRUE(any_delay);
+  EXPECT_TRUE(differs) << "different seeds should give different schedules";
+
+  const auto parsed = net::parse_fault_config(
+      "seed=7,drop=0.25,delay=0.125,delay_ms=3,close_after=20,kill_after=9,"
+      "hard");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(net::to_string(*parsed),
+            "seed=7,drop=0.25,delay=0.125,delay_ms=3,close_after=20,"
+            "kill_after=9,hard");
+  EXPECT_FALSE(net::parse_fault_config("").has_value());
+  EXPECT_FALSE(net::parse_fault_config("bogus=1").has_value());
+  EXPECT_FALSE(net::parse_fault_config("drop=1.5").has_value());
+  EXPECT_FALSE(net::parse_fault_config("drop=x").has_value());
+}
+
+}  // namespace
+}  // namespace bdg::run

@@ -1,0 +1,124 @@
+// sweep_worker: one worker process for the sweepd coordinator.
+//
+// Expands the same grid from the same flags as its coordinator (the hello
+// handshake proves it via the grid fingerprint), then executes leased
+// points and streams results back until the coordinator says shutdown.
+// Reconnects with capped exponential backoff + jitter after any transport
+// failure; --fault mounts the deterministic fault shim on this worker's
+// sends, including the kill-after-N-points hook the CI smoke uses to
+// simulate a worker dying mid-grid (kill_after=N,hard => _Exit(137)).
+//
+// Exit codes: 0 coordinator finished the grid (shutdown), 2 usage,
+// 5 reconnect attempts exhausted, 6 rejected (grid fingerprint mismatch),
+// 7 soft kill hook fired, 137 hard kill hook (_Exit, like SIGKILL).
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "run/cli_flags.h"
+#include "run/service.h"
+
+namespace {
+
+using namespace bdg;
+
+void usage(std::FILE* to) {
+  std::fputs("usage: sweep_worker --connect=HOST:PORT [flags]\n", to);
+  run::print_grid_flag_help(to);
+  std::fputs(
+      "service:\n"
+      "  --connect=HOST:PORT    coordinator address (required; PORT alone\n"
+      "                         means 127.0.0.1:PORT)\n"
+      "  --name=NAME            worker name reported in the hello\n"
+      "  --dial-attempts=N      dials before giving up, per reconnect\n"
+      "                         (default 30, backoff 10ms..1s + jitter)\n"
+      "  --jitter-seed=S        backoff jitter stream (default 1)\n"
+      "  --fault=SPEC           deterministic fault shim on worker sends\n"
+      "                         (seed=S,drop=P,delay=P,delay_ms=N,\n"
+      "                         close_after=N,kill_after=N[,hard])\n",
+      to);
+  run::print_grid_name_lists(to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run::SweepSpec spec = run::default_cli_spec();
+  run::WorkerConfig cfg;
+  bool have_connect = false;
+
+  const run::GridFlagsResult grid = run::parse_grid_flags(argc, argv, spec);
+  if (!grid.ok) {
+    std::fprintf(stderr, "sweep_worker: %s\n", grid.error.c_str());
+    return 2;
+  }
+  const auto value_of = [](const std::string& arg, const char* flag)
+      -> std::optional<std::string> {
+    const std::size_t len = std::strlen(flag);
+    if (arg.compare(0, len, flag) == 0 && arg.size() > len && arg[len] == '=')
+      return arg.substr(len + 1);
+    return std::nullopt;
+  };
+  try {
+    for (const std::string& arg : grid.leftover) {
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else if (auto v = value_of(arg, "--connect")) {
+        const std::size_t colon = v->rfind(':');
+        if (colon == std::string::npos) {
+          cfg.port = static_cast<std::uint16_t>(std::stoul(*v));
+        } else {
+          cfg.host = v->substr(0, colon);
+          cfg.port = static_cast<std::uint16_t>(std::stoul(v->substr(colon + 1)));
+        }
+        have_connect = cfg.port != 0;
+      } else if (auto v = value_of(arg, "--name")) {
+        cfg.name = *v;
+      } else if (auto v = value_of(arg, "--dial-attempts")) {
+        cfg.backoff.attempts = static_cast<std::uint32_t>(std::stoul(*v));
+      } else if (auto v = value_of(arg, "--jitter-seed")) {
+        cfg.jitter_seed = std::stoull(*v);
+      } else if (auto v = value_of(arg, "--fault")) {
+        const auto fault = net::parse_fault_config(*v);
+        if (!fault) {
+          std::fprintf(stderr, "sweep_worker: bad --fault spec '%s'\n",
+                       v->c_str());
+          return 2;
+        }
+        cfg.fault = *fault;
+      } else {
+        std::fprintf(stderr, "sweep_worker: unknown flag '%s'\n\n",
+                     arg.c_str());
+        usage(stderr);
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: bad flag value (%s)\n", e.what());
+    return 2;
+  }
+  if (!have_connect) {
+    std::fprintf(stderr, "sweep_worker: --connect=HOST:PORT is required\n");
+    return 2;
+  }
+  run::apply_default_algorithms(spec);
+
+  run::WorkerExit exit_reason;
+  try {
+    exit_reason = run::run_sweep_worker(spec, cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "[sweep_worker %s: %s]\n", cfg.name.c_str(),
+               run::to_string(exit_reason).c_str());
+  switch (exit_reason) {
+    case run::WorkerExit::kShutdown: return 0;
+    case run::WorkerExit::kLostCoordinator: return 5;
+    case run::WorkerExit::kRejected: return 6;
+    case run::WorkerExit::kKilled: return 7;
+  }
+  return 2;
+}
