@@ -220,4 +220,29 @@ void print_grid_name_lists(std::FILE* to) {
   for (const auto& s : kStrategies) std::fprintf(to, "  %s\n", s.name);
 }
 
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  std::string host_part = "127.0.0.1";
+  std::string port_part = text;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    host_part = text.substr(0, colon);
+    port_part = text.substr(colon + 1);
+    if (host_part.empty()) return false;
+  }
+  if (port_part.empty() ||
+      port_part.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(port_part);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (value == 0 || value > 65535) return false;
+  host = host_part;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
 }  // namespace bdg::run

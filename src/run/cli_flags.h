@@ -59,4 +59,11 @@ void print_grid_flag_help(std::FILE* to);
 /// Print the accepted algorithm and strategy name lists.
 void print_grid_name_lists(std::FILE* to);
 
+/// Parse a "HOST:PORT" (or bare "PORT", meaning 127.0.0.1) connection
+/// flag value into host/port. false on a malformed or zero port — shared
+/// by sweep_worker's and sweep_query's --connect so the two front-ends
+/// cannot drift in address spelling.
+[[nodiscard]] bool parse_host_port(const std::string& text, std::string& host,
+                                   std::uint16_t& port);
+
 }  // namespace bdg::run

@@ -25,19 +25,6 @@ using json::find_string;
 using json::find_u32;
 using json::find_u64;
 
-/// Quote a field when it contains CSV metacharacters (the ring-baseline
-/// algorithm name carries a literal comma in its citation brackets).
-std::string csv_field(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 /// Doubles that must survive a write -> parse -> write cycle bit-exactly
 /// (checkpoint seconds) print with max_digits10 significant digits.
 std::string exact_double(double v) {
@@ -59,6 +46,17 @@ bool find_round(const std::string& line, const char* key, core::Round& out) {
 }
 
 }  // namespace
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 std::string mix_to_string(const std::vector<core::ByzStrategy>& mix) {
   if (mix.empty()) return "-";
@@ -85,8 +83,7 @@ std::optional<std::vector<core::ByzStrategy>> mix_from_string(
 }
 
 void write_points_csv(std::ostream& os, const SweepResult& result) {
-  os << "algorithm,family,n,k,f,seed,strategy,mix,derived_seed,ok,rounds,"
-        "simulated_rounds,moves,messages,planned_rounds,seconds\n";
+  os << kPointsCsvHeader << '\n';
   for (const PointResult& p : result.points) {
     if (p.skipped) continue;
     os << csv_field(core::to_string(p.point.algorithm)) << ','
@@ -103,8 +100,7 @@ void write_points_csv(std::ostream& os, const SweepResult& result) {
 }
 
 void write_cells_csv(std::ostream& os, const SweepResult& result) {
-  os << "algorithm,family,n,k,f,mix,runs,dispersed,min_rounds,max_rounds,"
-        "mean_rounds,mean_simulated,mean_moves,mean_messages,mean_seconds\n";
+  os << kCellsCsvHeader << '\n';
   for (const CellAggregate& c : result.cells) {
     os << csv_field(core::to_string(c.algorithm)) << ',' << csv_field(c.family)
        << ',' << c.n << ',' << (c.k == 0 ? c.n : c.k) << ',' << c.f << ','
@@ -115,55 +111,65 @@ void write_cells_csv(std::ostream& os, const SweepResult& result) {
   }
 }
 
+void write_point_json(std::ostream& os, const PointResult& p) {
+  os << "{\"algorithm\": \""
+     << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
+     << json_escape(p.point.family) << "\", \"n\": " << p.point.n
+     << ", \"k\": " << (p.point.k == 0 ? p.point.n : p.point.k)
+     << ", \"f\": " << p.point.f << ", \"seed\": " << p.point.seed
+     << ", \"strategy\": \""
+     << json_escape(core::to_string(p.point.strategy)) << "\", \"mix\": \""
+     << json_escape(mix_to_string(p.point.mix)) << "\", \"derived_seed\": "
+     << p.derived_seed;
+  if (p.skipped) {
+    os << ", \"skipped\": true, \"skip_reason\": \""
+       << json_escape(p.skip_reason) << "\"";
+    if (p.saturated) os << ", \"saturated\": true";
+    os << '}';
+  } else {
+    os << ", \"ok\": " << (p.ok ? "true" : "false")
+       << ", \"rounds\": " << p.stats.rounds
+       << ", \"simulated_rounds\": " << p.stats.simulated_rounds
+       << ", \"moves\": " << p.stats.moves
+       << ", \"messages\": " << p.stats.messages
+       << ", \"planned_rounds\": " << p.planned_rounds
+       << ", \"seconds\": " << p.seconds;
+    if (!p.ok) os << ", \"detail\": \"" << json_escape(p.detail) << "\"";
+    os << '}';
+  }
+}
+
+void write_cell_json(std::ostream& os, const CellAggregate& c) {
+  os << "{\"algorithm\": \""
+     << json_escape(core::to_string(c.algorithm)) << "\", \"family\": \""
+     << json_escape(c.family) << "\", \"n\": " << c.n << ", \"k\": "
+     << (c.k == 0 ? c.n : c.k) << ", \"f\": " << c.f << ", \"mix\": \""
+     << json_escape(mix_to_string(c.mix)) << "\""
+     << ", \"runs\": " << c.runs << ", \"dispersed\": " << c.dispersed
+     << ", \"min_rounds\": " << c.min_rounds
+     << ", \"max_rounds\": " << c.max_rounds
+     << ", \"mean_rounds\": " << c.mean_rounds
+     << ", \"mean_simulated\": " << c.mean_simulated
+     << ", \"mean_moves\": " << c.mean_moves
+     << ", \"mean_messages\": " << c.mean_messages
+     << ", \"mean_seconds\": " << c.mean_seconds << '}';
+}
+
 void write_json(std::ostream& os, const SweepResult& result) {
   os << "{\n  \"wall_seconds\": " << result.wall_seconds
      << ",\n  \"torn_checkpoint_lines\": " << result.torn_checkpoint_lines
      << ",\n  \"points\": [";
   bool first = true;
   for (const PointResult& p : result.points) {
-    os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
-       << json_escape(core::to_string(p.point.algorithm)) << "\", \"family\": \""
-       << json_escape(p.point.family) << "\", \"n\": " << p.point.n
-       << ", \"k\": " << (p.point.k == 0 ? p.point.n : p.point.k)
-       << ", \"f\": " << p.point.f << ", \"seed\": " << p.point.seed
-       << ", \"strategy\": \""
-       << json_escape(core::to_string(p.point.strategy)) << "\", \"mix\": \""
-       << json_escape(mix_to_string(p.point.mix)) << "\", \"derived_seed\": "
-       << p.derived_seed;
-    if (p.skipped) {
-      os << ", \"skipped\": true, \"skip_reason\": \""
-         << json_escape(p.skip_reason) << "\"";
-      if (p.saturated) os << ", \"saturated\": true";
-      os << '}';
-    } else {
-      os << ", \"ok\": " << (p.ok ? "true" : "false")
-         << ", \"rounds\": " << p.stats.rounds
-         << ", \"simulated_rounds\": " << p.stats.simulated_rounds
-         << ", \"moves\": " << p.stats.moves
-         << ", \"messages\": " << p.stats.messages
-         << ", \"planned_rounds\": " << p.planned_rounds
-         << ", \"seconds\": " << p.seconds;
-      if (!p.ok) os << ", \"detail\": \"" << json_escape(p.detail) << "\"";
-      os << '}';
-    }
+    os << (first ? "\n" : ",\n") << "    ";
+    write_point_json(os, p);
     first = false;
   }
   os << "\n  ],\n  \"cells\": [";
   first = true;
   for (const CellAggregate& c : result.cells) {
-    os << (first ? "\n" : ",\n") << "    {\"algorithm\": \""
-       << json_escape(core::to_string(c.algorithm)) << "\", \"family\": \""
-       << json_escape(c.family) << "\", \"n\": " << c.n << ", \"k\": "
-       << (c.k == 0 ? c.n : c.k) << ", \"f\": " << c.f << ", \"mix\": \""
-       << json_escape(mix_to_string(c.mix)) << "\""
-       << ", \"runs\": " << c.runs << ", \"dispersed\": " << c.dispersed
-       << ", \"min_rounds\": " << c.min_rounds
-       << ", \"max_rounds\": " << c.max_rounds
-       << ", \"mean_rounds\": " << c.mean_rounds
-       << ", \"mean_simulated\": " << c.mean_simulated
-       << ", \"mean_moves\": " << c.mean_moves
-       << ", \"mean_messages\": " << c.mean_messages
-       << ", \"mean_seconds\": " << c.mean_seconds << '}';
+    os << (first ? "\n" : ",\n") << "    ";
+    write_cell_json(os, c);
     first = false;
   }
   os << "\n  ]\n}\n";

@@ -21,6 +21,19 @@ namespace bdg::run {
 [[nodiscard]] std::optional<std::vector<core::ByzStrategy>> mix_from_string(
     const std::string& text);
 
+/// CSV header rows (no trailing newline), shared with the sweep_query
+/// client so its CSV output diffs clean against report CSVs.
+inline constexpr const char kPointsCsvHeader[] =
+    "algorithm,family,n,k,f,seed,strategy,mix,derived_seed,ok,rounds,"
+    "simulated_rounds,moves,messages,planned_rounds,seconds";
+inline constexpr const char kCellsCsvHeader[] =
+    "algorithm,family,n,k,f,mix,runs,dispersed,min_rounds,max_rounds,"
+    "mean_rounds,mean_simulated,mean_moves,mean_messages,mean_seconds";
+
+/// Quote a field when it contains CSV metacharacters (the ring-baseline
+/// algorithm name carries a literal comma in its citation brackets).
+[[nodiscard]] std::string csv_field(const std::string& s);
+
 /// One CSV row per non-skipped point:
 /// algorithm,family,n,k,f,seed,strategy,mix,derived_seed,ok,rounds,
 /// simulated_rounds,moves,messages,planned_rounds,seconds
@@ -28,6 +41,14 @@ void write_points_csv(std::ostream& os, const SweepResult& result);
 
 /// One CSV row per (algorithm, family, n, k, f, mix) cell aggregate.
 void write_cells_csv(std::ostream& os, const SweepResult& result);
+
+/// One point as a flat JSON object (no surrounding whitespace) — the
+/// exact per-point object write_json emits, shared with the sweepd query
+/// wire so query responses are byte-identical to report fragments.
+void write_point_json(std::ostream& os, const PointResult& p);
+
+/// One cell aggregate as a flat JSON object — same sharing contract.
+void write_cell_json(std::ostream& os, const CellAggregate& c);
 
 /// Full result (points incl. skips, cells, wall time) as a JSON document.
 void write_json(std::ostream& os, const SweepResult& result);

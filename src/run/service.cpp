@@ -131,11 +131,29 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
   for (const std::size_t i : restored.todo) have[i] = 0;
 
   // Results are keyed by derived seed on the wire (they ARE checkpoint
-  // records); map them back to their grid index to merge in place.
+  // records); map them back to their grid index to merge in place. The
+  // WHOLE grid is indexed, not just the todo stripe: a worker surviving a
+  // coordinator restart + --resume may re-stream results the checkpoint
+  // already holds, and those must count as duplicates, not protocol
+  // errors. Point queries by derived seed resolve through the same map.
   std::unordered_map<std::uint64_t, std::size_t> seed_to_index;
-  seed_to_index.reserve(restored.todo.size());
-  for (const std::size_t i : restored.todo)
+  seed_to_index.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
     seed_to_index[point_seed(spec.base_seed, grid[i])] = i;
+
+  // Live cell aggregates: every restored/merged point folds in as it
+  // lands (restored ones here, in grid order), so queries are answered
+  // from state that is bit-identical to a full rebuild at any instant.
+  CellAggregator agg;
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    if (have[i]) agg.add(i, result.points[i]);
+
+  // Per-grid-index merge bookkeeping: the lease currently owning each
+  // index (0 = none). With it, retiring a merged result is O(lease size)
+  // instead of a scan over every lease and the whole pending deque;
+  // pending membership is implicit (not owned, no result yet) and stale
+  // entries are skipped lazily at grant/fallback time.
+  std::vector<std::uint64_t> owner(grid.size(), 0);
 
   std::ofstream ck;
   if (!spec.checkpoint_path.empty() && !restored.todo.empty()) {
@@ -154,6 +172,7 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
     std::unique_ptr<net::Channel> ch;
     std::string name;
     bool greeted = false;
+    bool is_client = false;  ///< sent a query: never leased, never reaped
     std::uint64_t lease_id = 0;  ///< 0 = idle
     Clock::time_point connected_at;
   };
@@ -184,8 +203,10 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
         if (!lit->second.remaining.empty()) {
           ++stats_.leases_reassigned;
           for (auto r = lit->second.remaining.rbegin();
-               r != lit->second.remaining.rend(); ++r)
+               r != lit->second.remaining.rend(); ++r) {
+            owner[*r] = 0;
             pending.push_front(*r);
+          }
         }
         leases.erase(lit);
       }
@@ -213,15 +234,19 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
     result.points[idx] = std::move(pr);
     have[idx] = 1;
     ++merged;
-    for (auto& [id, ls] : leases) {
-      const auto rit = std::find(ls.remaining.begin(), ls.remaining.end(), idx);
-      if (rit != ls.remaining.end()) {
-        ls.remaining.erase(rit);
-        break;
+    agg.add(idx, result.points[idx]);
+    // O(1) retirement via the owner map: only the owning lease (if any)
+    // is touched; a pending entry for this index (duplicate racing a
+    // reassignment) is skipped lazily when the queue is next drained.
+    if (owner[idx] != 0) {
+      const auto lit = leases.find(owner[idx]);
+      if (lit != leases.end()) {
+        auto& rem = lit->second.remaining;
+        const auto rit = std::find(rem.begin(), rem.end(), idx);
+        if (rit != rem.end()) rem.erase(rit);
       }
+      owner[idx] = 0;
     }
-    const auto pit = std::find(pending.begin(), pending.end(), idx);
-    if (pit != pending.end()) pending.erase(pit);
     if (ck.is_open())
       append_checkpoint_line(ck, spec.checkpoint_path, result.points[idx], fp);
     if (spec.progress &&
@@ -230,12 +255,130 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
       aborted = true;
   };
 
+  // Answer one query frame: a flat `result` header echoing the query id,
+  // then `count` body frames that are byte-identical to the report's
+  // per-cell / per-point JSON objects. Snapshots under `mu` because the
+  // local fallback merges (and folds the aggregator) from worker threads.
+  // false = client connection broken; drop it.
+  const auto answer_query = [&](WorkerSlot& w,
+                                const std::string& payload) -> bool {
+    std::uint64_t qid = 0;
+    json::find_u64(payload, "id", qid);
+    std::string what;
+    json::find_string(payload, "what", what);
+
+    std::string error;
+    bool pending_point = false;
+    std::vector<std::string> bodies;
+    std::uint64_t live_cells = 0;
+    std::uint64_t completed = 0;
+    bool done = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      live_cells = agg.cell_count();
+      completed = result.from_checkpoint + merged;
+      done = merged >= need;
+      if (what == "cells") {
+        std::optional<std::string> algorithm, family, mix;
+        std::string s;
+        if (json::find_string(payload, "algorithm", s)) algorithm = s;
+        if (json::find_string(payload, "family", s)) family = s;
+        if (json::find_string(payload, "mix", s)) mix = s;
+        std::uint32_t u = 0;
+        std::optional<std::uint32_t> n, k, f;
+        if (json::find_u32(payload, "n", u)) n = u;
+        if (json::find_u32(payload, "k", u)) k = u;
+        if (json::find_u32(payload, "f", u)) f = u;
+        for (const CellAggregate& c : agg.cells()) {
+          if (algorithm && *algorithm != core::to_string(c.algorithm)) continue;
+          if (family && *family != c.family) continue;
+          if (mix && *mix != mix_to_string(c.mix)) continue;
+          if (n && *n != c.n) continue;
+          if (k && *k != (c.k == 0 ? c.n : c.k)) continue;
+          if (f && *f != c.f) continue;
+          std::ostringstream os;
+          write_cell_json(os, c);
+          bodies.push_back(os.str());
+        }
+      } else if (what == "point") {
+        std::uint64_t seed = 0;
+        std::uint64_t index = 0;
+        std::size_t idx = grid.size();
+        if (json::find_u64(payload, "index", index)) {
+          if (index < grid.size())
+            idx = static_cast<std::size_t>(index);
+          else
+            error = "index out of range";
+        } else if (json::find_u64(payload, "derived_seed", seed)) {
+          const auto it = seed_to_index.find(seed);
+          if (it != seed_to_index.end())
+            idx = it->second;
+          else
+            error = "unknown derived seed";
+        } else {
+          error = "point query needs derived_seed or index";
+        }
+        if (idx < grid.size()) {
+          if (have[idx]) {
+            std::ostringstream os;
+            write_point_json(os, result.points[idx]);
+            bodies.push_back(os.str());
+          } else {
+            pending_point = true;  // known point, no result yet
+          }
+        }
+      } else if (what != "progress") {
+        error = "unknown query what";
+      }
+    }
+
+    std::ostringstream h;
+    h << "{\"type\": \"result\", \"id\": " << qid << ", \"what\": \""
+      << json::escape(what) << "\", \"count\": " << bodies.size();
+    if (!error.empty()) h << ", \"error\": \"" << json::escape(error) << "\"";
+    if (pending_point) h << ", \"pending\": true";
+    if (what == "progress")
+      h << ", \"total\": " << grid.size() << ", \"completed\": " << completed
+        << ", \"restored\": " << result.from_checkpoint
+        << ", \"cells\": " << live_cells
+        << ", \"done\": " << (done ? "true" : "false")
+        << ", \"workers_seen\": " << stats_.workers_seen
+        << ", \"workers_rejected\": " << stats_.workers_rejected
+        << ", \"leases_granted\": " << stats_.leases_granted
+        << ", \"leases_reassigned\": " << stats_.leases_reassigned
+        << ", \"duplicate_results\": " << stats_.duplicate_results
+        << ", \"local_fallback_points\": " << stats_.local_fallback_points
+        << ", \"protocol_errors\": " << stats_.protocol_errors
+        << ", \"clients_seen\": " << stats_.clients_seen
+        << ", \"queries_answered\": " << stats_.queries_answered;
+    h << "}";
+    if (!w.ch->send_frame(h.str())) return false;
+    for (const std::string& body : bodies)
+      if (!w.ch->send_frame(body)) return false;
+    ++stats_.queries_answered;
+    return true;
+  };
+
   // Handle one frame from slot `sid`; false = drop the connection.
   const auto handle_frame = [&](int sid, const std::string& payload) -> bool {
     WorkerSlot& w = slots.at(sid);
     std::string type;
     if (json::find_string(payload, "type", type)) {
+      if (type == "query") {
+        if (!w.is_client) {
+          w.is_client = true;
+          ++stats_.clients_seen;
+        }
+        return answer_query(w, payload);
+      }
       if (type == "hello") {
+        if (merged >= need) {
+          // The grid finished while we kept serving queries: a worker
+          // (re)dialing in gets its shutdown at the handshake and exits
+          // cleanly instead of waiting for leases that will never come.
+          w.ch->send_frame(msg_shutdown());
+          return false;
+        }
         std::uint64_t wspec = 0;
         std::uint64_t wgrid = 0;
         std::string name;
@@ -252,8 +395,16 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
         return false;
       }
       if (type == "heartbeat") {
-        if (w.lease_id != 0) {
-          const auto lit = leases.find(w.lease_id);
+        // Only a heartbeat carrying the slot's LIVE lease id extends its
+        // deadline. The idle ping (id 0) a leaseless worker emits every
+        // idle_recv_ms must not: after a lease_done is lost in transit,
+        // the stale lease would otherwise be re-extended forever by idle
+        // pings — a livelock where the worker waits for a lease and the
+        // coordinator waits for a deadline that never comes.
+        std::uint64_t id = 0;
+        if (json::find_u64(payload, "id", id) && id != 0 &&
+            id == w.lease_id) {
+          const auto lit = leases.find(id);
           if (lit != leases.end())
             lit->second.deadline =
                 Clock::now() + std::chrono::milliseconds(svc.lease_timeout_ms);
@@ -301,9 +452,19 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
     return true;
   };
 
-  while (merged < need) {
-    if (stop && stop->load()) aborted = true;
+  // serve_after_finish keeps the loop answering queries once the grid is
+  // done; the stop flag then ends serving WITHOUT marking the sweep
+  // aborted (it did finish). Workers are dismissed the moment the grid
+  // completes so only client connections outlive it.
+  bool serving = svc.serve_after_finish;
+  bool workers_dismissed = false;
+  while (true) {
+    if (stop && stop->load()) {
+      if (merged < need) aborted = true;
+      serving = false;
+    }
     if (aborted) break;
+    if (merged >= need && !serving) break;
 
     // Accept every pending connection (shimmed when fault injection is on).
     while (auto conn = impl_->listener.accept()) {
@@ -342,69 +503,106 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
       if (aborted) break;
     }
     for (const int sid : dead) drop_worker(sid);
-    if (aborted || merged >= need) break;
+    dead.clear();  // grant-phase failures below must not re-drop these
+    if (aborted) break;
+    if (merged >= need && !serving) break;
 
     const auto now = Clock::now();
 
     // Expire leases whose holder went silent past the deadline, and reap
     // connections that never completed the hello (their hello or our
-    // hello_ok may have been dropped; the worker will redial).
+    // hello_ok may have been dropped; the worker will redial). Clients
+    // never greet: they are exempt.
     std::vector<int> expired;
     for (const auto& [id, ls] : leases)
       if (now >= ls.deadline) expired.push_back(ls.slot);
     for (const auto& [sid, w] : slots)
-      if (!w.greeted &&
+      if (!w.greeted && !w.is_client &&
           ms_between(w.connected_at, now) >
               static_cast<std::int64_t>(svc.lease_timeout_ms))
         expired.push_back(sid);
     for (const int sid : expired) drop_worker(sid);
 
-    // Grant leases to idle greeted workers, front of the queue first.
-    for (auto& [sid, w] : slots) {
-      if (!w.greeted || w.lease_id != 0 || pending.empty()) continue;
-      std::vector<std::size_t> batch;
-      while (!pending.empty() && batch.size() < svc.lease_points) {
-        batch.push_back(pending.front());
-        pending.pop_front();
+    if (merged >= need) {
+      // Grid complete, still serving queries: dismiss the workers once —
+      // they exit kShutdown instead of idling against a finished sweep —
+      // and keep polling for clients until the stop flag ends serving.
+      if (!workers_dismissed) {
+        std::vector<int> goodbye;
+        for (const auto& [sid, w] : slots)
+          if (!w.is_client) goodbye.push_back(sid);
+        for (const int sid : goodbye) {
+          slots.at(sid).ch->send_frame(msg_shutdown());
+          drop_worker(sid);
+        }
+        workers_dismissed = true;
       }
-      const std::uint64_t id = next_lease++;
-      if (!w.ch->send_frame(msg_lease(id, batch))) {
-        for (auto r = batch.rbegin(); r != batch.rend(); ++r)
-          pending.push_front(*r);
-        dead.push_back(sid);  // reuse: drained below
-        continue;
+    } else {
+      // Grant leases to idle greeted workers, front of the queue first.
+      // Entries merged while queued (duplicate deliveries racing a
+      // reassignment) were deleted lazily: skip them here.
+      for (auto& [sid, w] : slots) {
+        if (!w.greeted || w.lease_id != 0 || pending.empty()) continue;
+        std::vector<std::size_t> batch;
+        while (!pending.empty() && batch.size() < svc.lease_points) {
+          const std::size_t idx = pending.front();
+          pending.pop_front();
+          if (have[idx]) continue;  // lazily deleted: already merged
+          batch.push_back(idx);
+        }
+        if (batch.empty()) continue;
+        const std::uint64_t id = next_lease++;
+        if (!w.ch->send_frame(msg_lease(id, batch))) {
+          for (auto r = batch.rbegin(); r != batch.rend(); ++r)
+            pending.push_front(*r);
+          dead.push_back(sid);  // reuse: drained below
+          continue;
+        }
+        for (const std::size_t idx : batch) owner[idx] = id;
+        leases.emplace(id, LeaseState{std::move(batch), sid,
+                                      now + std::chrono::milliseconds(
+                                                svc.lease_timeout_ms)});
+        w.lease_id = id;
+        ++stats_.leases_granted;
       }
-      leases.emplace(id, LeaseState{std::move(batch), sid,
-                                    now + std::chrono::milliseconds(
-                                              svc.lease_timeout_ms)});
-      w.lease_id = id;
-      ++stats_.leases_granted;
-    }
-    for (const int sid : dead) drop_worker(sid);
+      for (const int sid : dead) drop_worker(sid);
+      dead.clear();
 
-    // Graceful degradation: nobody reachable for idle_grace_ms with work
-    // still pending => run the remainder in-process through the exact
-    // run_point + merge path, instead of hanging on an empty fleet.
-    if (!slots.empty()) {
-      last_live = now;
-    } else if (svc.local_fallback && !pending.empty() && leases.empty() &&
-               ms_between(last_live, now) >=
-                   static_cast<std::int64_t>(svc.idle_grace_ms)) {
-      const std::vector<std::size_t> batch(pending.begin(), pending.end());
-      pending.clear();
-      std::atomic<bool> cancel{false};
-      parallel_for_index(
-          batch.size(),
-          [&](std::size_t j) {
-            PointResult r = run_point(spec, grid[batch[j]]);
-            std::lock_guard<std::mutex> lock(mu);
-            ++stats_.local_fallback_points;
-            merge_result(std::move(r));
-            if (aborted || (stop && stop->load())) cancel.store(true);
-          },
-          spec.threads,
-          [&] { return cancel.load() || (stop && stop->load()); });
-      continue;  // re-evaluate: a late worker may have connected meanwhile
+      // Graceful degradation: no WORKER reachable for idle_grace_ms with
+      // work still pending => run the remainder in-process through the
+      // exact run_point + merge path, instead of hanging on an empty
+      // fleet. Clients don't run points, so a connected query client must
+      // not keep a workerless sweep waiting.
+      bool worker_live = false;
+      for (const auto& [sid, w] : slots)
+        if (!w.is_client) {
+          worker_live = true;
+          break;
+        }
+      if (worker_live) {
+        last_live = now;
+      } else if (svc.local_fallback && !pending.empty() && leases.empty() &&
+                 ms_between(last_live, now) >=
+                     static_cast<std::int64_t>(svc.idle_grace_ms)) {
+        std::vector<std::size_t> batch;
+        batch.reserve(pending.size());
+        for (const std::size_t idx : pending)
+          if (!have[idx]) batch.push_back(idx);  // skip lazily-deleted
+        pending.clear();
+        std::atomic<bool> cancel{false};
+        parallel_for_index(
+            batch.size(),
+            [&](std::size_t j) {
+              PointResult r = run_point(spec, grid[batch[j]]);
+              std::lock_guard<std::mutex> lock(mu);
+              ++stats_.local_fallback_points;
+              merge_result(std::move(r));
+              if (aborted || (stop && stop->load())) cancel.store(true);
+            },
+            spec.threads,
+            [&] { return cancel.load() || (stop && stop->load()); });
+        continue;  // re-evaluate: a late worker may have connected meanwhile
+      }
     }
 
     // Wait for traffic (or a new connection) with a bounded nap so stop
@@ -494,6 +692,7 @@ WorkerExit run_sweep_worker(const SweepSpec& spec, const WorkerConfig& cfg) {
     std::string type;
     if (!json::find_string(payload, "type", type)) continue;
     if (type == "reject") return WorkerExit::kRejected;
+    if (type == "shutdown") return WorkerExit::kShutdown;  // sweep finished
     if (type != "hello_ok") continue;
 
     for (;;) {  // session loop
@@ -511,8 +710,14 @@ WorkerExit run_sweep_worker(const SweepSpec& spec, const WorkerConfig& cfg) {
 
       std::uint64_t lease_id = 0;
       std::string points;
-      json::find_u64(payload, "id", lease_id);
-      json::find_string(payload, "points", points);
+      // A lease whose id does not parse (or is the reserved 0) must be
+      // rejected outright: running it would stream the batch under lease
+      // 0, whose lease_done the coordinator discards — the real lease
+      // would then expire spuriously and re-run everything. Ignoring the
+      // frame lets the coordinator's deadline reassign the batch cleanly.
+      if (!json::find_u64(payload, "id", lease_id) || lease_id == 0 ||
+          !json::find_string(payload, "points", points))
+        continue;
       std::stringstream ss(points);
       std::size_t idx = 0;
       bool conn_lost = false;
@@ -544,6 +749,106 @@ WorkerExit run_sweep_worker(const SweepSpec& spec, const WorkerConfig& cfg) {
       if (!ch->send_frame(msg_lease_done(lease_id))) break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Query client
+// ---------------------------------------------------------------------------
+
+std::optional<QueryReply> run_query(const QueryRequest& req,
+                                    const QueryClientConfig& cfg) {
+  Rng jitter(cfg.jitter_seed);
+  std::uint64_t conn_index = 0;
+  std::uint64_t qid = 0;
+  for (std::uint32_t attempt = 0; attempt < cfg.attempts; ++attempt) {
+    // Every attempt runs on a FRESH connection: a shim schedule that ate
+    // part of the response gets a new (offset) schedule on redial, and no
+    // stale frame from a timed-out attempt can alias the new response.
+    auto conn = net::dial_with_backoff(cfg.host, cfg.port, cfg.backoff, jitter);
+    if (!conn) continue;
+    std::unique_ptr<net::Channel> ch =
+        net::maybe_shim(std::move(conn), offset_fault(cfg.fault, conn_index++));
+
+    const std::uint64_t id = ++qid;
+    std::ostringstream os;
+    os << "{\"type\": \"query\", \"id\": " << id << ", \"what\": \""
+       << json::escape(req.what) << "\"";
+    if (req.algorithm)
+      os << ", \"algorithm\": \"" << json::escape(*req.algorithm) << "\"";
+    if (req.family)
+      os << ", \"family\": \"" << json::escape(*req.family) << "\"";
+    if (req.mix) os << ", \"mix\": \"" << json::escape(*req.mix) << "\"";
+    if (req.n) os << ", \"n\": " << *req.n;
+    if (req.k) os << ", \"k\": " << *req.k;
+    if (req.f) os << ", \"f\": " << *req.f;
+    if (req.derived_seed) os << ", \"derived_seed\": " << *req.derived_seed;
+    if (req.index) os << ", \"index\": " << *req.index;
+    os << "}";
+    if (!ch->send_frame(os.str())) continue;
+
+    std::string payload;
+    net::RecvStatus st;
+    try {
+      st = ch->recv_frame(payload, static_cast<int>(cfg.timeout_ms));
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (st != net::RecvStatus::kFrame) continue;
+    std::string type;
+    std::uint64_t rid = 0;
+    if (!json::find_string(payload, "type", type) || type != "result" ||
+        !json::find_u64(payload, "id", rid) || rid != id)
+      continue;  // not our header (e.g. a shutdown frame): retry afresh
+
+    QueryReply reply;
+    json::find_string(payload, "what", reply.what);
+    json::find_string(payload, "error", reply.error);
+    json::find_bool(payload, "pending", reply.pending);
+    std::uint64_t count = 0;
+    json::find_u64(payload, "count", count);
+    json::find_u64(payload, "total", reply.total);
+    json::find_u64(payload, "completed", reply.completed);
+    json::find_u64(payload, "restored", reply.restored);
+    json::find_u64(payload, "cells", reply.cells);
+    json::find_bool(payload, "done", reply.done);
+    std::uint64_t v = 0;
+    if (json::find_u64(payload, "workers_seen", v)) reply.stats.workers_seen = v;
+    if (json::find_u64(payload, "workers_rejected", v))
+      reply.stats.workers_rejected = v;
+    if (json::find_u64(payload, "leases_granted", v))
+      reply.stats.leases_granted = v;
+    if (json::find_u64(payload, "leases_reassigned", v))
+      reply.stats.leases_reassigned = v;
+    if (json::find_u64(payload, "duplicate_results", v))
+      reply.stats.duplicate_results = v;
+    if (json::find_u64(payload, "local_fallback_points", v))
+      reply.stats.local_fallback_points = v;
+    if (json::find_u64(payload, "protocol_errors", v))
+      reply.stats.protocol_errors = v;
+    if (json::find_u64(payload, "clients_seen", v)) reply.stats.clients_seen = v;
+    if (json::find_u64(payload, "queries_answered", v))
+      reply.stats.queries_answered = v;
+
+    bool lost_body = false;
+    reply.bodies.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string body;
+      try {
+        if (ch->recv_frame(body, static_cast<int>(cfg.timeout_ms)) !=
+            net::RecvStatus::kFrame) {
+          lost_body = true;
+          break;
+        }
+      } catch (const std::exception&) {
+        lost_body = true;
+        break;
+      }
+      reply.bodies.push_back(std::move(body));
+    }
+    if (lost_body) continue;  // a dropped body frame: retry the whole query
+    return reply;
+  }
+  return std::nullopt;
 }
 
 }  // namespace bdg::run

@@ -36,9 +36,20 @@
 //    seed (config seed + connection index): still fully deterministic,
 //    but a schedule that eats the handshake frame cannot livelock
 //    reconnects by eating it identically on every redial.
+//  * Live aggregate queries: clients dial the SAME listener and send
+//    framed-JSON `query` frames — cell aggregates for an (algorithm,
+//    family, n, k, f, mix) selector, point lookups by derived seed or grid
+//    index, and sweep progress — answered from incrementally maintained
+//    CellAggregator state (run/sweep.h), never from a full report rebuild.
+//    Responses are one flat header frame plus N body frames that are
+//    byte-identical to the report's per-cell/per-point JSON objects. With
+//    serve_after_finish the coordinator keeps answering queries after the
+//    grid completes (workers are sent shutdown the moment it does), which
+//    also turns a finished checkpoint into a standalone query server.
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +74,12 @@ struct ServiceConfig {
   /// stripe in-process instead of hanging (0 = fall back immediately).
   std::uint32_t idle_grace_ms = 2000;
   bool local_fallback = true;
+  /// Keep serving queries after every grid point has a result: workers get
+  /// their shutdown as soon as the grid completes, clients keep getting
+  /// answers until the stop flag is raised (which then leaves `aborted`
+  /// false — the sweep DID finish). With a checkpoint that restores the
+  /// whole grid this is a standalone query server over finished results.
+  bool serve_after_finish = false;
   net::FaultConfig fault;  ///< shim mounted on this side's sends
 };
 
@@ -78,6 +95,8 @@ struct CoordinatorStats {
   std::size_t duplicate_results = 0;  ///< re-delivered/re-run, ignored
   std::size_t local_fallback_points = 0;
   std::size_t protocol_errors = 0;    ///< malformed/mismatched frames
+  std::size_t clients_seen = 0;       ///< connections that sent a query
+  std::size_t queries_answered = 0;   ///< complete responses sent
 };
 
 /// The sweepd coordinator. Construction binds the listener (throws when
@@ -131,5 +150,71 @@ enum class WorkerExit {
 /// never returns.
 [[nodiscard]] WorkerExit run_sweep_worker(const SweepSpec& spec,
                                           const WorkerConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Query protocol. A client dials the coordinator's listener and sends a
+// flat-JSON `query` frame; the coordinator replies with one flat `result`
+// header frame (echoing the query id) followed by `count` body frames,
+// each a verbatim report-JSON cell/point object (run/report.h's
+// write_cell_json / write_point_json). Unlike leases, queries need no
+// hello: the first query frame marks the connection as a client.
+// ---------------------------------------------------------------------------
+
+/// One query. `what` selects the answer shape:
+///  * "progress": no bodies; the header carries grid totals, completion
+///    and the coordinator's live ServiceStats counters.
+///  * "cells": every live cell aggregate matching the set selectors
+///    (unset = wildcard). Strings match the report's spelling —
+///    core::to_string names, mix_to_string mixes ("-" = no mix); k
+///    matches the resolved robot count (k == n points match their n).
+///  * "point": exactly one of derived_seed / index must be set; answers
+///    the completed point's report JSON, or pending=true when the point
+///    exists but has no result yet.
+struct QueryRequest {
+  std::string what = "progress";
+  std::optional<std::string> algorithm;
+  std::optional<std::string> family;
+  std::optional<std::string> mix;
+  std::optional<std::uint32_t> n;
+  std::optional<std::uint32_t> k;
+  std::optional<std::uint32_t> f;
+  std::optional<std::uint64_t> derived_seed;
+  std::optional<std::uint64_t> index;
+};
+
+/// A parsed response: header fields plus the verbatim body frames.
+struct QueryReply {
+  std::string what;
+  std::string error;     ///< coordinator-side rejection ("" = answered)
+  bool pending = false;  ///< point exists but has not completed yet
+  std::vector<std::string> bodies;  ///< verbatim report JSON objects
+  // Progress fields (what == "progress"):
+  std::uint64_t total = 0;      ///< grid points
+  std::uint64_t completed = 0;  ///< restored + merged so far
+  std::uint64_t restored = 0;   ///< placed from the checkpoint
+  std::uint64_t cells = 0;      ///< distinct live cells
+  bool done = false;            ///< every grid point has a result
+  CoordinatorStats stats;       ///< live counters snapshot
+};
+
+struct QueryClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t timeout_ms = 2000;  ///< per-frame receive deadline
+  /// Full-query retries. Each failed attempt redials on a fresh
+  /// connection (fresh fault-shim schedule), so a seeded drop schedule
+  /// can eat a response without wedging the client.
+  std::uint32_t attempts = 5;
+  net::BackoffConfig backoff;
+  std::uint64_t jitter_seed = 1;
+  net::FaultConfig fault;  ///< client-side shim (conformance tests)
+};
+
+/// Issue one query, retrying per cfg. nullopt = the coordinator could not
+/// be reached (or kept dropping the response) within cfg.attempts; a
+/// reply with a non-empty `error` means it answered and rejected the
+/// query (unknown `what`, bad selector).
+[[nodiscard]] std::optional<QueryReply> run_query(const QueryRequest& req,
+                                                  const QueryClientConfig& cfg);
 
 }  // namespace bdg::run

@@ -543,61 +543,111 @@ SweepResult run_sweep(const SweepSpec& spec) {
   return result;
 }
 
-void rebuild_cell_aggregates(SweepResult& result) {
-  result.cells.clear();
-  // Cells in first-appearance (grid) order, located through a hash of the
-  // cell coordinates so million-point sweeps aggregate in O(points), with
-  // an exact-match walk inside each bucket (hash collisions must not merge
-  // cells).
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cell_index;
-  const auto cell_key = [](const SweepPoint& p) {
-    SweepPoint coords = p;
-    coords.seed = 0;  // cells aggregate over seeds
-    return mix(point_seed(0, coords), static_cast<std::uint64_t>(p.strategy));
-  };
-  const auto cell_matches = [](const CellAggregate& c, const SweepPoint& p) {
-    return c.algorithm == p.algorithm && c.family == p.family && c.n == p.n &&
-           c.k == p.k && c.f == p.f && c.mix == p.mix;
-  };
-  for (const PointResult& p : result.points) {
-    if (p.skipped) continue;
-    CellAggregate* cell = nullptr;
-    auto& bucket = cell_index[cell_key(p.point)];
-    for (const std::size_t idx : bucket) {
-      if (cell_matches(result.cells[idx], p.point)) {
-        cell = &result.cells[idx];
-        break;
-      }
-    }
-    if (cell == nullptr) {
-      bucket.push_back(result.cells.size());
-      result.cells.push_back({});
-      cell = &result.cells.back();
-      cell->algorithm = p.point.algorithm;
-      cell->family = p.point.family;
-      cell->n = p.point.n;
-      cell->k = p.point.k;
-      cell->f = p.point.f;
-      cell->mix = p.point.mix;
-      cell->min_rounds = p.stats.rounds;
-      cell->max_rounds = p.stats.rounds;
-    }
-    const double kprev = static_cast<double>(cell->runs);
-    ++cell->runs;
-    if (p.ok) ++cell->dispersed;
-    cell->min_rounds = std::min(cell->min_rounds, p.stats.rounds);
-    cell->max_rounds = std::max(cell->max_rounds, p.stats.rounds);
-    const double w = 1.0 / static_cast<double>(cell->runs);
-    cell->mean_rounds =
-        (cell->mean_rounds * kprev + p.stats.rounds.to_double()) * w;
-    cell->mean_simulated =
-        (cell->mean_simulated * kprev + static_cast<double>(p.stats.simulated_rounds)) * w;
-    cell->mean_moves =
-        (cell->mean_moves * kprev + static_cast<double>(p.stats.moves)) * w;
-    cell->mean_messages =
-        (cell->mean_messages * kprev + static_cast<double>(p.stats.messages)) * w;
-    cell->mean_seconds = (cell->mean_seconds * kprev + p.seconds) * w;
+void CellAggregator::fold(CellAggregate& cell, const Member& m) {
+  if (cell.runs == 0) {
+    cell.min_rounds = m.rounds;
+    cell.max_rounds = m.rounds;
   }
+  const double kprev = static_cast<double>(cell.runs);
+  ++cell.runs;
+  if (m.ok) ++cell.dispersed;
+  cell.min_rounds = std::min(cell.min_rounds, m.rounds);
+  cell.max_rounds = std::max(cell.max_rounds, m.rounds);
+  const double w = 1.0 / static_cast<double>(cell.runs);
+  cell.mean_rounds = (cell.mean_rounds * kprev + m.rounds.to_double()) * w;
+  cell.mean_simulated =
+      (cell.mean_simulated * kprev + static_cast<double>(m.simulated)) * w;
+  cell.mean_moves = (cell.mean_moves * kprev + static_cast<double>(m.moves)) * w;
+  cell.mean_messages =
+      (cell.mean_messages * kprev + static_cast<double>(m.messages)) * w;
+  cell.mean_seconds = (cell.mean_seconds * kprev + m.seconds) * w;
+}
+
+void CellAggregator::replay(State& st) {
+  // An out-of-order arrival changes the running-mean evaluation order, so
+  // re-fold this one cell's members in grid-index order — the exact
+  // sequence the batch rebuild applies, hence bit-identical means.
+  CellAggregate fresh;
+  fresh.algorithm = st.agg.algorithm;
+  fresh.family = st.agg.family;
+  fresh.n = st.agg.n;
+  fresh.k = st.agg.k;
+  fresh.f = st.agg.f;
+  fresh.mix = st.agg.mix;
+  st.agg = std::move(fresh);
+  for (const Member& m : st.members) fold(st.agg, m);
+}
+
+void CellAggregator::add(std::size_t grid_index, const PointResult& p) {
+  if (p.skipped) return;
+  // Cells are located through a hash of the cell coordinates, with an
+  // exact-match walk inside each bucket (hash collisions must not merge
+  // cells).
+  SweepPoint coords = p.point;
+  coords.seed = 0;  // cells aggregate over seeds
+  const std::uint64_t key =
+      mix(point_seed(0, coords), static_cast<std::uint64_t>(p.point.strategy));
+  auto& bucket = index_[key];
+  State* st = nullptr;
+  for (const std::size_t idx : bucket) {
+    const CellAggregate& c = states_[idx].agg;
+    if (c.algorithm == p.point.algorithm && c.family == p.point.family &&
+        c.n == p.point.n && c.k == p.point.k && c.f == p.point.f &&
+        c.mix == p.point.mix) {
+      st = &states_[idx];
+      break;
+    }
+  }
+  if (st == nullptr) {
+    bucket.push_back(states_.size());
+    states_.emplace_back();
+    st = &states_.back();
+    st->agg.algorithm = p.point.algorithm;
+    st->agg.family = p.point.family;
+    st->agg.n = p.point.n;
+    st->agg.k = p.point.k;
+    st->agg.f = p.point.f;
+    st->agg.mix = p.point.mix;
+  }
+  Member m;
+  m.index = grid_index;
+  m.ok = p.ok;
+  m.rounds = p.stats.rounds;
+  m.simulated = p.stats.simulated_rounds;
+  m.moves = p.stats.moves;
+  m.messages = p.stats.messages;
+  m.seconds = p.seconds;
+  if (st->members.empty() || st->members.back().index < grid_index) {
+    st->members.push_back(m);
+    fold(st->agg, m);  // in-order: the O(1) incremental recurrence
+    return;
+  }
+  const auto pos = std::lower_bound(
+      st->members.begin(), st->members.end(), grid_index,
+      [](const Member& a, std::size_t idx) { return a.index < idx; });
+  st->members.insert(pos, m);
+  replay(*st);
+}
+
+std::vector<CellAggregate> CellAggregator::cells() const {
+  // First-appearance (grid) order = ascending first member index. Members
+  // are sorted, so members.front() is each cell's first grid appearance.
+  std::vector<std::size_t> order(states_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return states_[a].members.front().index < states_[b].members.front().index;
+  });
+  std::vector<CellAggregate> out;
+  out.reserve(states_.size());
+  for (const std::size_t i : order) out.push_back(states_[i].agg);
+  return out;
+}
+
+void rebuild_cell_aggregates(SweepResult& result) {
+  CellAggregator agg;
+  for (std::size_t i = 0; i < result.points.size(); ++i)
+    agg.add(i, result.points[i]);
+  result.cells = agg.cells();
 }
 
 }  // namespace bdg::run

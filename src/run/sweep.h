@@ -33,6 +33,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scenario.h"
@@ -318,8 +319,63 @@ struct RestoredCheckpoint {
     const SweepSpec& spec, const std::vector<SweepPoint>& grid,
     std::vector<PointResult>& out);
 
+/// Incrementally maintained (algorithm, family, n, k, f, mix) cell
+/// aggregates — the aggregation recurrence behind rebuild_cell_aggregates,
+/// extracted so the sweepd coordinator can fold every merged point into
+/// live aggregate state instead of rebuilding a full report per query.
+///
+/// Bit-identity contract: cells() is bit-identical (including the
+/// order-sensitive floating-point running means) to rebuild_cell_aggregates
+/// over the same set of points, REGARDLESS of the order add() saw them in.
+/// Each cell keeps its member points sorted by grid index; an in-order add
+/// folds in O(1) (the recurrence is incremental), an out-of-order add
+/// replays only that cell's members (bounded by the seeds-per-cell count,
+/// not the grid) so arrival order — lease reassignment, duplicate racing,
+/// local fallback — can never leak into the aggregates.
+class CellAggregator {
+ public:
+  /// Fold one completed point, identified by its grid index, into its
+  /// cell. Skipped points are ignored (they never aggregate). Call at most
+  /// once per grid index.
+  void add(std::size_t grid_index, const PointResult& p);
+
+  /// Distinct cells seen so far.
+  [[nodiscard]] std::size_t cell_count() const { return states_.size(); }
+
+  /// Snapshot of every cell, ordered by first (grid-order) appearance —
+  /// exactly rebuild_cell_aggregates' output over the same points.
+  [[nodiscard]] std::vector<CellAggregate> cells() const;
+
+ private:
+  /// The per-point contribution, small enough to copy so replay never
+  /// needs the full PointResult back.
+  struct Member {
+    std::size_t index = 0;
+    bool ok = false;
+    core::Round rounds = 0;
+    std::uint64_t simulated = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t messages = 0;
+    double seconds = 0.0;
+  };
+  struct State {
+    CellAggregate agg;
+    std::vector<Member> members;  ///< sorted by grid index
+  };
+
+  static void fold(CellAggregate& cell, const Member& m);
+  void replay(State& st);
+
+  std::vector<State> states_;
+  /// Coordinate-hash buckets (collisions resolved by exact match) so
+  /// million-point sweeps aggregate in O(points).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+};
+
 /// Rebuild result.cells from result.points: first-appearance (grid) order,
-/// skips excluded — the one aggregation routine behind every report.
+/// skips excluded — the one aggregation routine behind every report
+/// (implemented as an in-order CellAggregator pass, so the batch and
+/// incremental paths cannot drift).
 void rebuild_cell_aggregates(SweepResult& result);
 
 }  // namespace bdg::run

@@ -1,0 +1,270 @@
+// sweep_query: a query client for the sweepd coordinator.
+//
+// Dials a running (or --serve-ing) sweepd and asks for live aggregate
+// state over the same framed-JSON wire the workers use:
+//
+//   sweep_query --connect=39173 --progress
+//   sweep_query --connect=39173 --cells '--algorithm=three-group(T4)' --f=1
+//   sweep_query --connect=39173 --point --derived-seed=1234567
+//   sweep_query --connect=39173 --cells --csv > cells.csv
+//
+// Answers come from the coordinator's incrementally maintained
+// CellAggregator, so querying never pauses the sweep or rebuilds a
+// report; the JSON bodies printed here are byte-identical to the
+// corresponding objects of sweep_cli's --json report, and --csv rows are
+// byte-identical to the --cells-csv/--points-csv rows (raw-token
+// passthrough, no number re-formatting). Failed attempts redial on a
+// fresh connection, so seeded fault shims on either side cannot wedge a
+// query — they only cost retries.
+//
+// Exit codes: 0 answered, 1 coordinator rejected the query (or the point
+// has no result yet), 2 usage, 5 coordinator unreachable.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "run/cli_flags.h"
+#include "run/report.h"
+#include "run/service.h"
+#include "util/json_mini.h"
+
+namespace {
+
+using namespace bdg;
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: sweep_query --connect=HOST:PORT [--progress | --cells | "
+      "--point] [selectors]\n"
+      "queries (default --progress):\n"
+      "  --progress             sweep totals, completion and coordinator\n"
+      "                         counters, as one flat JSON object\n"
+      "  --cells                matching live cell aggregates, one report\n"
+      "                         JSON object per line\n"
+      "  --point                one point's result, by --derived-seed or\n"
+      "                         --index (exit 1 while it has no result)\n"
+      "cell selectors (unset = wildcard):\n"
+      "  --algorithm=NAME --family=NAME --mix=MIX  report spellings\n"
+      "                         (mix: 'a+b' canonical sorted, '-' = none)\n"
+      "  --n=N --k=K --f=F      resolved coordinates (k = n points match n)\n"
+      "point lookup:\n"
+      "  --derived-seed=S       the derived seed reports key points by\n"
+      "  --index=I              grid index (the lease currency)\n"
+      "output / transport:\n"
+      "  --csv                  CSV with the report header instead of JSON\n"
+      "                         lines (cells or a completed, non-skipped\n"
+      "                         point; byte-identical to report CSV rows)\n"
+      "  --timeout-ms=N         per-frame receive deadline (default 2000)\n"
+      "  --attempts=N           full-query retries, fresh connection each\n"
+      "                         (default 5)\n"
+      "  --jitter-seed=S        dial backoff jitter stream (default 1)\n",
+      to);
+}
+
+/// One cells-CSV row from a cell's report-JSON body, by raw-token
+/// passthrough: numeric tokens are copied verbatim (no parse/re-print
+/// drift), strings are unescaped and CSV-quoted exactly as
+/// write_cells_csv does.
+bool cell_csv_row(const std::string& body, std::string& out) {
+  std::string algorithm, family, mix;
+  std::string n, k, f, runs, dispersed, min_r, max_r, mean_r, mean_sim,
+      mean_mov, mean_msg, mean_sec;
+  if (!json::find_string(body, "algorithm", algorithm) ||
+      !json::find_string(body, "family", family) ||
+      !json::find_string(body, "mix", mix) || !json::find_raw(body, "n", n) ||
+      !json::find_raw(body, "k", k) || !json::find_raw(body, "f", f) ||
+      !json::find_raw(body, "runs", runs) ||
+      !json::find_raw(body, "dispersed", dispersed) ||
+      !json::find_raw(body, "min_rounds", min_r) ||
+      !json::find_raw(body, "max_rounds", max_r) ||
+      !json::find_raw(body, "mean_rounds", mean_r) ||
+      !json::find_raw(body, "mean_simulated", mean_sim) ||
+      !json::find_raw(body, "mean_moves", mean_mov) ||
+      !json::find_raw(body, "mean_messages", mean_msg) ||
+      !json::find_raw(body, "mean_seconds", mean_sec))
+    return false;
+  out = run::csv_field(algorithm) + ',' + run::csv_field(family) + ',' + n +
+        ',' + k + ',' + f + ',' + run::csv_field(mix) + ',' + runs + ',' +
+        dispersed + ',' + min_r + ',' + max_r + ',' + mean_r + ',' + mean_sim +
+        ',' + mean_mov + ',' + mean_msg + ',' + mean_sec;
+  return true;
+}
+
+/// One points-CSV row from a point's report-JSON body. Skipped points have
+/// no row in write_points_csv, so they have none here either.
+bool point_csv_row(const std::string& body, std::string& out) {
+  bool skipped = false;
+  if (json::find_bool(body, "skipped", skipped) && skipped) return false;
+  std::string algorithm, family, strategy, mix;
+  std::string n, k, f, seed, derived, ok, rounds, sim, moves, msgs, planned,
+      seconds;
+  if (!json::find_string(body, "algorithm", algorithm) ||
+      !json::find_string(body, "family", family) ||
+      !json::find_string(body, "strategy", strategy) ||
+      !json::find_string(body, "mix", mix) || !json::find_raw(body, "n", n) ||
+      !json::find_raw(body, "k", k) || !json::find_raw(body, "f", f) ||
+      !json::find_raw(body, "seed", seed) ||
+      !json::find_raw(body, "derived_seed", derived) ||
+      !json::find_raw(body, "ok", ok) ||
+      !json::find_raw(body, "rounds", rounds) ||
+      !json::find_raw(body, "simulated_rounds", sim) ||
+      !json::find_raw(body, "moves", moves) ||
+      !json::find_raw(body, "messages", msgs) ||
+      !json::find_raw(body, "planned_rounds", planned) ||
+      !json::find_raw(body, "seconds", seconds))
+    return false;
+  out = run::csv_field(algorithm) + ',' + run::csv_field(family) + ',' + n +
+        ',' + k + ',' + f + ',' + seed + ',' + run::csv_field(strategy) + ',' +
+        run::csv_field(mix) + ',' + derived + ',' +
+        (ok == "true" ? "1" : "0") + ',' + rounds + ',' + sim + ',' + moves +
+        ',' + msgs + ',' + planned + ',' + seconds;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run::QueryRequest req;
+  run::QueryClientConfig cfg;
+  bool have_connect = false;
+  bool have_what = false;
+  bool csv = false;
+
+  const auto value_of = [](const std::string& arg, const char* flag)
+      -> std::optional<std::string> {
+    const std::size_t len = std::strlen(flag);
+    if (arg.compare(0, len, flag) == 0 && arg.size() > len && arg[len] == '=')
+      return arg.substr(len + 1);
+    return std::nullopt;
+  };
+  const auto set_what = [&](const char* what) {
+    if (have_what && req.what != what) {
+      std::fprintf(stderr, "sweep_query: pick ONE of --progress / --cells / "
+                           "--point\n");
+      return false;
+    }
+    req.what = what;
+    have_what = true;
+    return true;
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        return 0;
+      } else if (auto v = value_of(arg, "--connect")) {
+        if (!run::parse_host_port(*v, cfg.host, cfg.port)) {
+          std::fprintf(stderr, "sweep_query: bad --connect '%s'\n",
+                       v->c_str());
+          return 2;
+        }
+        have_connect = true;
+      } else if (arg == "--progress") {
+        if (!set_what("progress")) return 2;
+      } else if (arg == "--cells") {
+        if (!set_what("cells")) return 2;
+      } else if (arg == "--point") {
+        if (!set_what("point")) return 2;
+      } else if (auto v = value_of(arg, "--algorithm")) {
+        req.algorithm = *v;
+      } else if (auto v = value_of(arg, "--family")) {
+        req.family = *v;
+      } else if (auto v = value_of(arg, "--mix")) {
+        req.mix = *v;
+      } else if (auto v = value_of(arg, "--n")) {
+        req.n = static_cast<std::uint32_t>(std::stoul(*v));
+      } else if (auto v = value_of(arg, "--k")) {
+        req.k = static_cast<std::uint32_t>(std::stoul(*v));
+      } else if (auto v = value_of(arg, "--f")) {
+        req.f = static_cast<std::uint32_t>(std::stoul(*v));
+      } else if (auto v = value_of(arg, "--derived-seed")) {
+        req.derived_seed = std::stoull(*v);
+      } else if (auto v = value_of(arg, "--index")) {
+        req.index = std::stoull(*v);
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (auto v = value_of(arg, "--timeout-ms")) {
+        cfg.timeout_ms = static_cast<std::uint32_t>(std::stoul(*v));
+      } else if (auto v = value_of(arg, "--attempts")) {
+        cfg.attempts = static_cast<std::uint32_t>(std::stoul(*v));
+        if (cfg.attempts == 0) {
+          std::fprintf(stderr, "sweep_query: --attempts must be >= 1\n");
+          return 2;
+        }
+      } else if (auto v = value_of(arg, "--jitter-seed")) {
+        cfg.jitter_seed = std::stoull(*v);
+      } else {
+        std::fprintf(stderr, "sweep_query: unknown flag '%s'\n\n",
+                     arg.c_str());
+        usage(stderr);
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_query: bad flag value (%s)\n", e.what());
+    return 2;
+  }
+  if (!have_connect) {
+    std::fprintf(stderr, "sweep_query: --connect=HOST:PORT is required\n");
+    return 2;
+  }
+  if (req.what == "point" &&
+      req.derived_seed.has_value() == req.index.has_value()) {
+    std::fprintf(stderr,
+                 "sweep_query: --point needs exactly one of --derived-seed "
+                 "/ --index\n");
+    return 2;
+  }
+
+  const auto reply = run::run_query(req, cfg);
+  if (!reply) {
+    std::fprintf(stderr, "sweep_query: coordinator unreachable (or kept "
+                         "dropping the response)\n");
+    return 5;
+  }
+  if (!reply->error.empty()) {
+    std::fprintf(stderr, "sweep_query: %s\n", reply->error.c_str());
+    return 1;
+  }
+
+  if (req.what == "progress") {
+    std::cout << "{\"total\": " << reply->total
+              << ", \"completed\": " << reply->completed
+              << ", \"restored\": " << reply->restored
+              << ", \"cells\": " << reply->cells
+              << ", \"done\": " << (reply->done ? "true" : "false")
+              << ", \"workers_seen\": " << reply->stats.workers_seen
+              << ", \"workers_rejected\": " << reply->stats.workers_rejected
+              << ", \"leases_granted\": " << reply->stats.leases_granted
+              << ", \"leases_reassigned\": " << reply->stats.leases_reassigned
+              << ", \"duplicate_results\": " << reply->stats.duplicate_results
+              << ", \"local_fallback_points\": "
+              << reply->stats.local_fallback_points
+              << ", \"protocol_errors\": " << reply->stats.protocol_errors
+              << ", \"clients_seen\": " << reply->stats.clients_seen
+              << ", \"queries_answered\": " << reply->stats.queries_answered
+              << "}\n";
+    return 0;
+  }
+  if (req.what == "point" && reply->pending) {
+    std::fprintf(stderr, "sweep_query: point has no result yet\n");
+    return 1;
+  }
+  if (csv) {
+    std::cout << (req.what == "cells" ? run::kCellsCsvHeader
+                                      : run::kPointsCsvHeader)
+              << '\n';
+    for (const std::string& body : reply->bodies) {
+      std::string row;
+      const bool ok = req.what == "cells" ? cell_csv_row(body, row)
+                                          : point_csv_row(body, row);
+      if (ok) std::cout << row << '\n';
+    }
+  } else {
+    for (const std::string& body : reply->bodies) std::cout << body << '\n';
+  }
+  return 0;
+}

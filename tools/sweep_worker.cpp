@@ -66,14 +66,12 @@ int main(int argc, char** argv) {
         usage(stdout);
         return 0;
       } else if (auto v = value_of(arg, "--connect")) {
-        const std::size_t colon = v->rfind(':');
-        if (colon == std::string::npos) {
-          cfg.port = static_cast<std::uint16_t>(std::stoul(*v));
-        } else {
-          cfg.host = v->substr(0, colon);
-          cfg.port = static_cast<std::uint16_t>(std::stoul(v->substr(colon + 1)));
+        if (!run::parse_host_port(*v, cfg.host, cfg.port)) {
+          std::fprintf(stderr, "sweep_worker: bad --connect '%s'\n",
+                       v->c_str());
+          return 2;
         }
-        have_connect = cfg.port != 0;
+        have_connect = true;
       } else if (auto v = value_of(arg, "--name")) {
         cfg.name = *v;
       } else if (auto v = value_of(arg, "--dial-attempts")) {

@@ -55,6 +55,12 @@ void usage(std::FILE* to) {
       "  --idle-grace-ms=N      no live worker for this long => run the\n"
       "                         remainder in-process (default 2000)\n"
       "  --no-local-fallback    hang instead of degrading to in-process\n"
+      "  --serve                keep answering sweep_query clients after\n"
+      "                         the grid completes (workers are shut down\n"
+      "                         immediately); SIGTERM ends serving, and the\n"
+      "                         exit code still reflects the sweep itself.\n"
+      "                         With --resume over a finished checkpoint\n"
+      "                         this is a standalone query server.\n"
       "  --fault=SPEC           deterministic fault shim on coordinator\n"
       "                         sends (seed=S,drop=P,delay=P,delay_ms=N,\n"
       "                         close_after=N)\n"
@@ -119,6 +125,8 @@ int main(int argc, char** argv) {
         svc.idle_grace_ms = static_cast<std::uint32_t>(std::stoul(*v));
       } else if (arg == "--no-local-fallback") {
         svc.local_fallback = false;
+      } else if (arg == "--serve") {
+        svc.serve_after_finish = true;
       } else if (auto v = value_of(arg, "--fault")) {
         const auto fault = net::parse_fault_config(*v);
         if (!fault) {
@@ -182,12 +190,13 @@ int main(int argc, char** argv) {
         stderr,
         "[sweepd: %zu points, %zu skipped, %zu failed, %zu from "
         "checkpoint%s; %zu workers, %zu leases (%zu reassigned), "
-        "%zu duplicate results, %zu local-fallback points, %.2fs]\n",
+        "%zu duplicate results, %zu local-fallback points, %zu clients, "
+        "%zu queries, %.2fs]\n",
         result.points.size(), result.skipped(), failed,
         result.from_checkpoint, result.aborted ? ", ABORTED" : "",
         stats->workers_seen, stats->leases_granted, stats->leases_reassigned,
         stats->duplicate_results, stats->local_fallback_points,
-        result.wall_seconds);
+        stats->clients_seen, stats->queries_answered, result.wall_seconds);
     if (result.torn_checkpoint_lines != 0)
       std::fprintf(stderr,
                    "[sweepd: %zu torn checkpoint line(s) skipped and re-run "
