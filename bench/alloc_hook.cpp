@@ -1,0 +1,55 @@
+// Counting global operator new. Every variant bumps the counter and
+// allocates with malloc/aligned_alloc; the matching default operator
+// deletes call free, so the pairing stays correct without overriding
+// delete. The counter is atomic because sweeps run engines on worker
+// threads.
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace bdg::bench {
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void note_alloc() noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+std::uint64_t alloc_count() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace bdg::bench
+
+void* operator new(std::size_t n) {
+  bdg::bench::note_alloc();
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return operator new(n); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  bdg::bench::note_alloc();
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return operator new(n, t);
+}
+
+void* operator new(std::size_t n, std::align_val_t al) {
+  bdg::bench::note_alloc();
+  const std::size_t a = static_cast<std::size_t>(al);
+  void* p = std::aligned_alloc(a, (n + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}

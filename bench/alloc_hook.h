@@ -1,0 +1,15 @@
+#pragma once
+// Bench-only allocation counter. alloc_hook.cpp replaces the global
+// operator new with a counting wrapper; it is linked ONLY into
+// bench_hotpaths (see bench/CMakeLists.txt), so the library code under
+// test is exactly what ships — the hook observes it from outside the
+// binary's allocation seam. Used to pin the flat-container/pooled-payload
+// claim directly: steady-state engine rounds perform ZERO allocations.
+#include <cstdint>
+
+namespace bdg::bench {
+
+/// Global operator new invocations (all variants) since process start.
+[[nodiscard]] std::uint64_t alloc_count() noexcept;
+
+}  // namespace bdg::bench

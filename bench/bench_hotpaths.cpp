@@ -15,11 +15,20 @@
 //    always-broadcasting squatter with the interpreter on vs. off, gating
 //    the adversarial-batching speedup the same way.
 //
-// Output: three CSVs (quotient rows: name,n,num_classes,reps,seconds;
+// A fourth section pins the flat-container/pooled-payload claim at the
+// allocator seam: with the bench-local operator-new hook (alloc_hook.cpp,
+// linked only into this binary) counting every allocation, a steady-state
+// messaging loop must perform ZERO allocations per round once pools and
+// spill capacities are warm. A nonzero count fails the binary directly
+// AND lands in the CSV, whose rows perf_diff compares as key columns.
+//
+// Output: four CSVs (quotient rows: name,n,num_classes,reps,seconds;
 // engine rows: the run/ points schema; pairing rows:
 // algorithm,n,f,strategy,batched,compiled,reps,ok,rounds,simulated_rounds,
-// moves,messages,planned_rounds,seconds). Usage:
-//   bench_hotpaths [quotient_csv [engine_csv [pairing_csv]]]
+// moves,messages,planned_rounds,seconds; alloc rows:
+// name,robots,payload_words,rounds,window_rounds,steady_allocs,messages).
+// Usage:
+//   bench_hotpaths [quotient_csv [engine_csv [pairing_csv [alloc_csv]]]]
 // Paths default to stdout; "-" also means stdout. `seconds` is the
 // minimum over reps; every other column is deterministic and compared
 // exactly by perf_diff.
@@ -29,7 +38,9 @@
 #include <iostream>
 #include <ostream>
 
+#include "alloc_hook.h"
 #include "bench_common.h"
+#include "sim/engine.h"
 
 namespace {
 
@@ -153,6 +164,75 @@ void pairing_rows(std::ostream& os) {
   }
 }
 
+/// Set false by alloc_rows if the steady-state window allocated at all.
+bool g_alloc_steady_ok = true;
+
+constexpr std::uint32_t kChatterKind = 77;
+
+/// Messaging hot loop: broadcast a pooled payload, read the co-located
+/// inbox, repeat. Exercises exactly the engine paths the flat-container
+/// work de-allocated: push_msg, pool recycle, inbox spill reuse.
+sim::Proc chatter(sim::Ctx ctx, std::uint64_t rounds, std::uint64_t* sink) {
+  const std::int64_t words[6] = {1, 2, 3, 4, 5,
+                                 static_cast<std::int64_t>(ctx.self())};
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    ctx.broadcast_pooled(kChatterKind, words);
+    co_await ctx.next_subround();
+    std::uint64_t sum = 0;
+    for (const sim::Msg& m : ctx.inbox())
+      sum += m.data.size() + static_cast<std::uint64_t>(m.data[0]);
+    *sink += sum;
+    co_await ctx.end_round(std::nullopt);
+  }
+}
+
+/// Records the allocation counter at every simulated round boundary.
+struct AllocProbe final : sim::Observer {
+  std::vector<std::uint64_t> counts;
+  void on_round(core::Round) override {
+    counts.push_back(bdg::bench::alloc_count());
+  }
+};
+
+void alloc_rows(std::ostream& os) {
+  constexpr std::uint64_t kRounds = 4096;
+  constexpr std::uint32_t kRobots = 8;
+  const Graph g = make_path(2);
+  sim::Engine eng(g);
+  std::uint64_t sink = 0;
+  for (std::uint32_t i = 1; i <= kRobots; ++i)
+    eng.add_robot(i, sim::Faultiness::kHonest, 0,
+                  [&](sim::Ctx c) { return chatter(c, kRounds, &sink); });
+  AllocProbe probe;
+  probe.counts.reserve(kRounds + 8);  // the probe itself must not allocate
+  eng.set_observer(&probe);
+  const sim::RunStats st = eng.run(kRounds + 4);
+  eng.set_observer(nullptr);
+  // Allocations during round r land between on_round(r) and on_round(r+1);
+  // the second half of the run is the steady-state window (pools warm,
+  // inboxes spilled to their final capacity).
+  const std::size_t lo = probe.counts.size() / 2;
+  const std::size_t hi = probe.counts.size() - 1;
+  const std::uint64_t steady = probe.counts[hi] - probe.counts[lo];
+  os << "name,robots,payload_words,rounds,window_rounds,steady_allocs,"
+        "messages\n";
+  os << "engine_chatter," << kRobots << ",6," << kRounds << ',' << (hi - lo)
+     << ',' << steady << ',' << st.messages << '\n';
+  std::fprintf(stderr,
+               "[alloc engine_chatter: %llu allocs over %zu steady rounds, "
+               "%llu msgs, sink=%llu]\n",
+               static_cast<unsigned long long>(steady), hi - lo,
+               static_cast<unsigned long long>(st.messages),
+               static_cast<unsigned long long>(sink));
+  if (steady != 0) {
+    std::fprintf(stderr,
+                 "alloc: steady-state rounds allocated (%llu over %zu "
+                 "rounds); the zero-allocation hot path regressed\n",
+                 static_cast<unsigned long long>(steady), hi - lo);
+    g_alloc_steady_ok = false;
+  }
+}
+
 run::SweepResult engine_points() {
   run::SweepSpec spec = bench::sweep_base();
   spec.algorithms = {core::Algorithm::kQuotient,
@@ -185,11 +265,13 @@ int main(int argc, char** argv) {
     run::write_points_csv(os, engine);
   });
   ok &= write_to(argc > 3 ? argv[3] : nullptr, pairing_rows);
+  ok &= write_to(argc > 4 ? argv[4] : nullptr, alloc_rows);
   for (const run::PointResult& p : engine.points)
     if (!p.skipped && !p.ok) {
       std::fprintf(stderr, "engine point failed: %s\n", p.detail.c_str());
       ok = false;
     }
   ok &= g_pairing_speedup_ok;
+  ok &= g_alloc_steady_ok;
   return ok ? 0 : 1;
 }

@@ -1,7 +1,6 @@
 #include "core/algorithm_common.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace bdg::core {
@@ -35,15 +34,26 @@ std::vector<PairingWindow> round_robin_schedule(std::vector<sim::RobotId> ids) {
 std::optional<CanonicalCode> majority_code(
     const std::vector<CanonicalCode>& votes, std::size_t fault_budget) {
   if (votes.empty()) return std::nullopt;
-  std::map<CanonicalCode, std::size_t> counts;
-  for (const auto& v : votes) ++counts[v];
+  // Sort-and-run-count instead of a tree map: equal codes become adjacent
+  // runs in ascending order, so the first run to strictly beat the budget
+  // bar is exactly the old map scan's winner (ties keep the smaller code).
+  std::vector<const CanonicalCode*> sorted;
+  sorted.reserve(votes.size());
+  for (const auto& v : votes) sorted.push_back(&v);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CanonicalCode* a, const CanonicalCode* b) {
+              return *a < *b;
+            });
   const CanonicalCode* best = nullptr;
   std::size_t best_count = fault_budget;  // must strictly beat the budget
-  for (const auto& [code, count] : counts) {
-    if (count > best_count) {  // map order => ties keep the smaller code
-      best_count = count;
-      best = &code;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i + 1;
+    while (j < sorted.size() && *sorted[j] == *sorted[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = sorted[i];
     }
+    i = j;
   }
   if (best == nullptr) return std::nullopt;
   return *best;

@@ -6,6 +6,7 @@
 
 #include "core/protocol_msgs.h"
 #include "explore/engine_map.h"
+#include "util/smallvec.h"
 
 namespace bdg::core {
 
@@ -203,14 +204,18 @@ std::uint64_t draw_phase_len(const CompiledStrategy::Phase& p, std::uint32_t n,
   return p.base + (bound != 0 ? rng.below(bound) : 0);
 }
 
-std::vector<std::int64_t> make_payload(
-    const std::vector<CompiledStrategy::PayloadElem>& elems, Rng& rng) {
-  std::vector<std::int64_t> out;
-  out.reserve(elems.size());
+/// Payload scratch reused across every broadcast of one compiled robot:
+/// the interpreter fills it in place and hands the engine a span, so the
+/// live path performs no per-message allocation (the engine copies the
+/// words once into a pooled block).
+using PayloadBuf = util::SmallVec<std::int64_t, 8>;
+
+void fill_payload(const std::vector<CompiledStrategy::PayloadElem>& elems,
+                  Rng& rng, PayloadBuf& out) {
+  out.clear();
   for (const auto& e : elems)
     out.push_back(e.draw_below4 ? static_cast<std::int64_t>(rng.below(4))
                                 : e.literal);
-  return out;
 }
 
 /// Replay-side twin of make_payload: consume the draws, skip the bytes.
@@ -252,6 +257,59 @@ Proc run_compiled(Ctx ctx, CompiledStrategy cs, ByzSchedule sched,
   for (std::size_t i = 0; i < cs.phases.size(); ++i)
     if (cs.phases[i].len == LenRule::kDrawOnce)
       once_len[i] = draw_phase_len(cs.phases[i], ctx.n(), rng);
+
+  // Broadcast payloads have a tiny value space: literal-only payloads are
+  // round-invariant, and a payload with ONE draw_below4 element takes just
+  // 4 values. Pool every such variant ONCE and re-broadcast the shared
+  // block, so each send is a refcount bump instead of a block build and
+  // the receiver-side content fingerprint is memoized for the strategy's
+  // whole lifetime. Indexed [phase][op]: 1 block = literal-only, 4 blocks
+  // = single-draw (indexed by the drawn value), empty = multi-draw ops,
+  // which keep the fill-and-copy path. The RNG stream is bit-identical:
+  // the live path draws below(4) exactly where fill_payload would.
+  std::vector<std::vector<util::SmallVec<util::PayloadRef, 4>>>
+      shared_payloads(cs.phases.size());
+  // Replay digest per phase: a phase with no kDrawVictim op replays each
+  // round as `draw4` below(4) draws + one move draw + one ambient step
+  // (spoofs never fire without a victim), so the per-round op walk can
+  // collapse to a tight loop. Draw order is preserved exactly — payload
+  // draws are all below(4) and happen in op order either way.
+  struct ReplayDigest {
+    bool simple = false;
+    std::uint32_t draw4 = 0;
+    std::uint64_t emitted = 0;
+  };
+  std::vector<ReplayDigest> replay_digest(cs.phases.size());
+  {
+    PayloadBuf lit;
+    for (std::size_t pi = 0; pi < cs.phases.size(); ++pi) {
+      const auto& ops = cs.phases[pi].ops;
+      shared_payloads[pi].resize(ops.size());
+      ReplayDigest& rd = replay_digest[pi];
+      rd.simple = true;
+      for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+        const CompiledStrategy::Op& op = ops[oi];
+        if (op.kind == OpKind::kDrawVictim) rd.simple = false;
+        if (op.kind != OpKind::kBroadcast && op.kind != OpKind::kSpoofBroadcast)
+          continue;
+        const std::size_t draws = static_cast<std::size_t>(
+            std::count_if(op.payload.begin(), op.payload.end(),
+                          [](const auto& e) { return e.draw_below4; }));
+        if (op.kind == OpKind::kBroadcast) {
+          rd.draw4 += static_cast<std::uint32_t>(draws);
+          ++rd.emitted;
+        }
+        if (draws > 1) continue;
+        for (std::int64_t v = 0; v < (draws == 0 ? 1 : 4); ++v) {
+          lit.clear();
+          for (const auto& e : op.payload)
+            lit.push_back(e.draw_below4 ? v : e.literal);
+          shared_payloads[pi][oi].push_back(
+              ctx.make_payload({lit.data(), lit.size()}));
+        }
+      }
+    }
+  }
 
   std::size_t phase = 0;
   std::uint64_t left = 0;  // rounds left in the phase (kForever: unused)
@@ -326,6 +384,29 @@ Proc run_compiled(Ctx ctx, CompiledStrategy cs, ByzSchedule sched,
           enter_phase(/*advance=*/true);
         continue;
       }
+      if (const ReplayDigest& rd = replay_digest[phase]; rd.simple) {
+        // Victim-free phase: replay a whole uncharged stretch in one tight
+        // loop (same draws and ambient steps as the op walk, minus the
+        // per-round dispatch and gate checks). Bounded like the bulk path:
+        // by the gap, the next charged window and the phase budget.
+        Round span = ctx.round() - now;
+        if (const Round c = gate.until_next(now); c < span) span = c;
+        if (p.len != LenRule::kForever && Round(left) < span)
+          span = Round(left);
+        const std::uint64_t steps =
+            span.fits_u64() ? span.low_u64()
+                            : std::numeric_limits<std::uint64_t>::max();
+        if (steps != 0) {
+          for (std::uint64_t s = 0; s < steps; ++s) {
+            for (std::uint32_t k = 0; k < rd.draw4; ++k) (void)rng.below(4);
+            ctx.ambient_round(draw_move(p.move, ctx, rng), rd.emitted);
+          }
+          now += Round(steps);
+          if (p.len != LenRule::kForever && (left -= steps) == 0)
+            enter_phase(/*advance=*/true);
+          continue;
+        }
+      }
       // Per-round replay: the live op walk with broadcasts suppressed
       // (but counted) and the move applied immediately, so the next
       // round's degree/draws see the post-move position.
@@ -374,7 +455,10 @@ Proc run_compiled(Ctx ctx, CompiledStrategy cs, ByzSchedule sched,
       const CompiledStrategy::Phase& p = cs.phases[phase];
       sim::RobotId victim = 0;
       bool have_victim = false;
-      for (const CompiledStrategy::Op& op : p.ops) {
+      PayloadBuf words;  // refilled per op; draws happen in fill order
+      const auto& shared = shared_payloads[phase];
+      for (std::size_t oi = 0; oi < p.ops.size(); ++oi) {
+        const CompiledStrategy::Op& op = p.ops[oi];
         switch (op.kind) {
           case OpKind::kDrawVictim:
             if (!peers.empty()) {
@@ -383,12 +467,28 @@ Proc run_compiled(Ctx ctx, CompiledStrategy cs, ByzSchedule sched,
             }
             break;
           case OpKind::kBroadcast:
-            ctx.broadcast(op.msg_kind, make_payload(op.payload, rng));
+            if (const auto& blocks = shared[oi]; blocks.size() == 1) {
+              ctx.broadcast_shared(op.msg_kind, blocks[0]);
+            } else if (blocks.size() == 4) {
+              ctx.broadcast_shared(op.msg_kind, blocks[rng.below(4)]);
+            } else {
+              fill_payload(op.payload, rng, words);
+              ctx.broadcast_pooled(op.msg_kind, {words.data(), words.size()});
+            }
             break;
           case OpKind::kSpoofBroadcast:
-            if (have_victim)
-              ctx.spoof_broadcast(victim, op.msg_kind,
-                                  make_payload(op.payload, rng));
+            if (have_victim) {
+              if (const auto& blocks = shared[oi]; blocks.size() == 1) {
+                ctx.spoof_broadcast_shared(victim, op.msg_kind, blocks[0]);
+              } else if (blocks.size() == 4) {
+                ctx.spoof_broadcast_shared(victim, op.msg_kind,
+                                           blocks[rng.below(4)]);
+              } else {
+                fill_payload(op.payload, rng, words);
+                ctx.spoof_broadcast_pooled(victim, op.msg_kind,
+                                           {words.data(), words.size()});
+              }
+            }
             break;
           case OpKind::kNextSubround:
             co_await ctx.next_subround();

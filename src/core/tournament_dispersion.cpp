@@ -1,9 +1,10 @@
 #include "core/tournament_dispersion.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <stdexcept>
+
+#include "util/flat_hash.h"
 
 #include "core/dispersion_using_map.h"
 #include "core/protocol_slack.h"
@@ -34,7 +35,9 @@ struct TournamentConfig {
 struct Phase2State {
   std::vector<CanonicalCode> votes;
   /// How many distinct windows fully built each code (batched mode only).
-  std::map<CanonicalCode, std::uint32_t> build_counts;
+  /// Flat open-addressing: only counted lookups and one erase, no ordered
+  /// iteration, so table order never reaches an outcome.
+  util::FlatMap<CanonicalCode, std::uint32_t> build_counts;
   /// Code self-built in f+1 distinct windows. At most f partners can lie
   /// and every partner appears in exactly one window, so at least one of
   /// those f+1 builds ran against an honest token — and a build with an

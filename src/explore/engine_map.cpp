@@ -100,7 +100,7 @@ Task<void> publish_done(Ctx ctx, const CanonicalCode& code) {
 }
 
 std::optional<CanonicalCode> code_from_payload(
-    const std::vector<std::int64_t>& data) {
+    std::span<const std::int64_t> data) {
   CanonicalCode code;
   code.reserve(data.size());
   for (std::int64_t v : data) {
@@ -296,6 +296,8 @@ Task<MapFindOutcome> run_map_token(Ctx ctx, MapFindConfig cfg) {
   const core::Round parked_silence_bound =
       core::Round(cfg.n) * cfg.n + 2 * core::Round(cfg.n) +
       core::kAgentOpReserve;
+  // Round-invariant presence beacon, pooled once and re-sent shared.
+  const util::PayloadRef token_here = ctx.make_payload({});
 
   while (core::Round(used) < cfg.round_budget) {
     // Leave exactly enough rounds to walk the reversed move log back to the
@@ -330,7 +332,7 @@ Task<MapFindOutcome> run_map_token(Ctx ctx, MapFindConfig cfg) {
           if (port < ctx.degree()) mv = static_cast<Port>(port);
           break;
         case MapOp::kQuery:
-          ctx.broadcast(kMsgTokenHere);
+          ctx.broadcast_shared(kMsgTokenHere, token_here);
           break;
         case MapOp::kDone: {
           const auto payload = believed_payload(ctx.inbox(), kMsgMapCode,

@@ -3,8 +3,13 @@
 // belonging to an expected membership set that support identical payloads.
 // Strong Byzantine robots can forge sender IDs, so "support" can only ever
 // be trusted above a quorum chosen per the paper's group arguments.
+//
+// These run once per token-group member per round on the group-dispersion
+// hot path, so they tally into reusable flat scratch (no per-call maps,
+// sets, or key copies) and hand results back as views into the inbox.
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/engine.h"
@@ -13,21 +18,23 @@ namespace bdg::explore {
 
 /// Count distinct claimed IDs in `members` among messages of `kind`
 /// carrying exactly `payload`.
-[[nodiscard]] std::uint32_t support_for(const std::vector<sim::Msg>& inbox,
+[[nodiscard]] std::uint32_t support_for(std::span<const sim::Msg> inbox,
                                         std::uint32_t kind,
-                                        const std::vector<std::int64_t>& payload,
+                                        std::span<const std::int64_t> payload,
                                         const std::vector<sim::RobotId>& members);
 
 /// The payload of `kind` with maximum distinct support among `members`,
 /// provided that support reaches `quorum`; ties broken by smaller payload.
-[[nodiscard]] std::optional<std::vector<std::int64_t>> believed_payload(
-    const std::vector<sim::Msg>& inbox, std::uint32_t kind,
+/// The returned span aliases a message payload in `inbox` and is valid
+/// only while that inbox is (i.e. within the current sub-round).
+[[nodiscard]] std::optional<std::span<const std::int64_t>> believed_payload(
+    std::span<const sim::Msg> inbox, std::uint32_t kind,
     const std::vector<sim::RobotId>& members, std::uint32_t quorum);
 
 /// Count distinct claimed member IDs among messages of `kind`, regardless
 /// of payload (presence votes).
 [[nodiscard]] std::uint32_t presence_support(
-    const std::vector<sim::Msg>& inbox, std::uint32_t kind,
+    std::span<const sim::Msg> inbox, std::uint32_t kind,
     const std::vector<sim::RobotId>& members);
 
 }  // namespace bdg::explore

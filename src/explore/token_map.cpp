@@ -7,11 +7,11 @@
 namespace bdg {
 
 PartialMap::PartialMap(std::uint32_t root_degree) {
-  nodes_.emplace_back(root_degree, HalfEdge{});
+  nodes_.emplace_back().resize(root_degree);  // HalfEdge{} = unexplored
 }
 
 NodeId PartialMap::add_node(std::uint32_t deg) {
-  nodes_.emplace_back(deg, HalfEdge{});
+  nodes_.emplace_back().resize(deg);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -96,7 +96,10 @@ bool PartialMap::complete() const { return !first_unexplored().has_value(); }
 Graph PartialMap::to_graph() const {
   if (!complete())
     throw std::logic_error("PartialMap::to_graph: map incomplete");
-  return Graph::from_adjacency(nodes_);
+  std::vector<std::vector<HalfEdge>> adj(nodes_.size());
+  for (std::size_t v = 0; v < nodes_.size(); ++v)
+    adj[v].assign(nodes_[v].begin(), nodes_[v].end());
+  return Graph::from_adjacency(std::move(adj));
 }
 
 }  // namespace bdg

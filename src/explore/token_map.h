@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/smallvec.h"
 
 namespace bdg {
 
@@ -73,7 +74,9 @@ class PartialMap {
   [[nodiscard]] bool complete() const;
 
  private:
-  std::vector<std::vector<HalfEdge>> nodes_;
+  /// Adjacency rows are inline-small: sweep families are sparse (degrees
+  /// mostly <= 4), so a row rarely costs a heap block of its own.
+  std::vector<util::SmallVec<HalfEdge, 4>> nodes_;
   /// Monotone frontier cursor for first_unexplored (see above).
   mutable NodeId scan_node_ = 0;
   mutable Port scan_port_ = 0;

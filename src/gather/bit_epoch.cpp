@@ -21,12 +21,15 @@ sim::Task<void> run_bit_epoch_gathering(sim::Ctx ctx, BitEpochSpec spec) {
   if (spec.epoch_len < spec.tour.size() + 1)
     throw std::invalid_argument("bit_epoch: epoch_len too small for tour");
   std::set<sim::RobotId> roster{ctx.self()};
+  // Round-invariant beacons, pooled once: every per-step send is a
+  // refcount bump on one shared block instead of a fresh pool build.
+  const util::PayloadRef hello = ctx.make_payload({});
 
   // Bit epochs: walkers tour, parkers wait; everyone swaps IDs on meeting.
   for (std::uint32_t b = 0; b < spec.id_bits; ++b) {
     const bool active = ((ctx.self() >> b) & 1ULL) != 0;
     for (std::uint32_t step = 0; step < spec.epoch_len; ++step) {
-      ctx.broadcast(kMsgHello);
+      ctx.broadcast_shared(kMsgHello, hello);
       co_await ctx.next_subround();
       for (const sim::Msg& m : ctx.inbox())
         if (m.kind == kMsgHello) roster.insert(m.claimed);
@@ -40,8 +43,9 @@ sim::Task<void> run_bit_epoch_gathering(sim::Ctx ctx, BitEpochSpec spec) {
   // until it hears the leader's beacon, then halts there.
   const sim::RobotId leader = *roster.begin();
   if (leader == ctx.self()) {
+    const util::PayloadRef here = ctx.make_payload({});
     for (std::uint32_t step = 0; step < spec.epoch_len; ++step) {
-      ctx.broadcast(kMsgLeaderHere);
+      ctx.broadcast_shared(kMsgLeaderHere, here);
       co_await ctx.end_round(std::nullopt);
     }
     co_return;

@@ -7,46 +7,29 @@
 
 namespace bdg::sim {
 
-/// Engine-side per-robot state. The program coroutine is resumed only via
-/// resume_robot(); between resumptions `wake` describes when it runs next.
-/// Robots live contiguously in Engine::robots_; the vector never grows
-/// after start_programs(), so handles created then stay valid.
-struct Engine::Robot {
-  RobotId id = 0;
-  Faultiness faultiness = Faultiness::kHonest;
-  NodeId pos = kNoNode;
-  Port arrival = kNoPort;
-  ProgramFactory factory;
-  Proc proc;
-  Round start_round = 0;  ///< first round the program runs
-  bool done = false;
+namespace {
+thread_local std::uint64_t t_delivery_epoch = 0;
+}  // namespace
 
-  // Pending wake condition, written by WakeAwaiter via set_command().
-  WakeKind wake = WakeKind::kSleep;
-  std::optional<Port> move;  // for kEndRound
-  Round wake_round = 0;      // for kSleep / kEndRound: first round in
-                             // which the robot runs again
-  // Innermost suspended coroutine; the engine resumes this, not the root,
-  // so protocols can nest phases as Task<T> children.
-  std::coroutine_handle<> leaf;
-};
+std::uint64_t delivery_epoch() noexcept { return t_delivery_epoch; }
 
 Engine::Engine(const Graph& g, EngineConfig cfg) : graph_(g), cfg_(cfg) {
   if (graph_.n() == 0) throw std::invalid_argument("Engine: empty graph");
   delivered_.resize(graph_.n());
   pending_.resize(graph_.n());
+  ++t_delivery_epoch;
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() { ++t_delivery_epoch; }
 
 void Engine::add_robot(RobotId id, Faultiness f, NodeId start,
                        ProgramFactory factory, Round start_round) {
   if (started_) throw std::logic_error("Engine: add_robot after run()");
   if (id == 0) throw std::invalid_argument("Engine: robot id must be nonzero");
   if (start >= graph_.n()) throw std::invalid_argument("Engine: bad start");
-  if (!index_of_.try_emplace(id, static_cast<std::uint32_t>(robots_.size()))
-           .second)
-    throw std::invalid_argument("Engine: duplicate robot id");
+  const auto [slot, inserted] = index_of_.try_emplace(id);
+  if (!inserted) throw std::invalid_argument("Engine: duplicate robot id");
+  slot = static_cast<std::uint32_t>(robots_.size());
   Robot r;
   r.id = id;
   r.faultiness = f;
@@ -83,42 +66,6 @@ void Engine::start_programs() {
   started_ = true;
 }
 
-void Engine::set_command(std::uint32_t idx, WakeKind kind,
-                         std::optional<Port> port, Round rounds,
-                         std::coroutine_handle<> leaf) {
-  Robot& r = robots_[idx];
-  r.wake = kind;
-  r.leaf = leaf;
-  r.move = std::nullopt;
-  switch (kind) {
-    case WakeKind::kSubround:
-      next_runnable_.push_back(idx);
-      break;
-    case WakeKind::kEndRound:
-      r.move = port;
-      r.wake_round = round_ + 1;
-      next_round_.push_back(idx);
-      if (port.has_value()) movers_.push_back(idx);
-      break;
-    case WakeKind::kSleep:
-      r.wake_round = round_ + std::max<Round>(rounds, 1);
-      if (r.wake_round == round_ + 1)
-        next_round_.push_back(idx);
-      else
-        wake_queue_.push({r.wake_round, idx});
-      break;
-    case WakeKind::kAmbient:
-      // Park outside both wake queues: the robot moves this round like
-      // end_round, then waits to be merged into whichever round the
-      // engine simulates next (possibly far ahead).
-      r.move = port;
-      r.wake_round = round_ + 1;
-      ambient_.push_back(idx);
-      if (port.has_value()) movers_.push_back(idx);
-      break;
-  }
-}
-
 void Engine::resume_robot(Robot& r) {
   if (r.done) return;
   ++stats_.resumes;
@@ -133,24 +80,21 @@ void Engine::resume_robot(Robot& r) {
   }
 }
 
-void Engine::release_inbox(std::vector<Msg>& box) {
-  // Harvest payload capacity for broadcast_pooled before the Msgs die.
-  constexpr std::size_t kPayloadArenaCap = 1024;
-  for (Msg& m : box) {
-    if (payload_arena_.size() >= kPayloadArenaCap) break;
-    if (m.data.capacity() == 0) continue;
-    m.data.clear();
-    payload_arena_.push_back(std::move(m.data));
-  }
+void Engine::release_inbox(Inbox& box) {
+  // Recycle uniquely held payload blocks into the pool before the Msgs
+  // die; blocks still referenced elsewhere (shared beacons, stashed
+  // copies) just drop this reference. clear() keeps the box's capacity.
+  for (Msg& m : box) pool_.recycle(std::move(m.data));
   box.clear();
-  if (box.capacity() != 0) msg_arena_.push_back(std::move(box));
 }
 
 void Engine::run_subrounds() {
   const std::uint32_t subs = subround_count();
   for (subround_ = 0; subround_ < subs; ++subround_) {
     // Deliver last sub-round's broadcasts: recycle the previous inboxes,
-    // promote pending buffers, swap the dirty lists.
+    // promote pending buffers, swap the dirty lists. Delivered state is
+    // about to change: open a new memoization epoch.
+    ++t_delivery_epoch;
     for (const NodeId v : delivered_dirty_) release_inbox(delivered_[v]);
     delivered_dirty_.clear();
     for (const NodeId v : pending_dirty_) delivered_[v].swap(pending_[v]);
@@ -186,7 +130,9 @@ void Engine::run_subrounds() {
 void Engine::apply_moves() {
   // set_command order interleaves sub-rounds; restore ID order so moves
   // (and their observer events) apply exactly as the per-robot scan did.
-  std::sort(movers_.begin(), movers_.end());
+  // Single-suspension rounds leave the list already ordered — check first.
+  if (!std::is_sorted(movers_.begin(), movers_.end()))
+    std::sort(movers_.begin(), movers_.end());
   for (const std::uint32_t idx : movers_) {
     Robot& r = robots_[idx];
     if (r.done || !r.move.has_value()) continue;
@@ -233,7 +179,10 @@ RunStats Engine::run(Round max_rounds) {
       runnable_.insert(runnable_.end(), ambient_.begin(), ambient_.end());
       ambient_.clear();
     }
-    std::sort(runnable_.begin(), runnable_.end());
+    // The bucket is usually filled in ID order already (robots suspend in
+    // the sorted order they ran); is_sorted is O(k) vs the sort's k log k.
+    if (!std::is_sorted(runnable_.begin(), runnable_.end()))
+      std::sort(runnable_.begin(), runnable_.end());
     for (const std::uint32_t idx : runnable_) robots_[idx].wake = WakeKind::kSubround;
     ++stats_.simulated_rounds;
     if (observer_ != nullptr) observer_->on_round(round_);
@@ -270,59 +219,47 @@ NodeId Engine::robot_position(std::size_t idx) const {
 bool Engine::robot_done(std::size_t idx) const { return robots_[idx].done; }
 
 NodeId Engine::position_of(RobotId id) const {
-  const auto it = index_of_.find(id);
-  if (it == index_of_.end())
-    throw std::invalid_argument("Engine: unknown robot id");
-  return robots_[it->second].pos;
+  const std::uint32_t* idx = index_of_.find(id);
+  if (idx == nullptr) throw std::invalid_argument("Engine: unknown robot id");
+  return robots_[*idx].pos;
 }
 
 // ---- Ctx ------------------------------------------------------------------
+// (hot observation accessors are inline in engine.h)
 
-RobotId Ctx::self() const { return engine_->robots_[idx_].id; }
-Faultiness Ctx::faultiness() const {
-  return engine_->robots_[idx_].faultiness;
-}
-std::uint32_t Ctx::n() const {
-  return static_cast<std::uint32_t>(engine_->graph_.n());
-}
-std::uint32_t Ctx::degree() const {
-  return engine_->graph_.degree(engine_->robots_[idx_].pos);
-}
-Port Ctx::arrival_port() const { return engine_->robots_[idx_].arrival; }
-Round Ctx::round() const { return engine_->round_; }
-std::uint32_t Ctx::subround() const { return engine_->subround_; }
-
-const std::vector<Msg>& Ctx::inbox() const {
-  const NodeId pos = engine_->robots_[idx_].pos;
-  return engine_->delivered_[pos];
+void Engine::push_msg(std::uint32_t idx, RobotId claimed, std::uint32_t kind,
+                      util::PayloadRef payload, bool notify_observer) {
+  const auto& r = robots_[idx];
+  Inbox& box = pending_[r.pos];
+  if (box.empty()) pending_dirty_.push_back(r.pos);
+  box.push_back(Msg{claimed, idx, kind, std::move(payload)});
+  ++stats_.messages;
+  if (notify_observer && observer_ != nullptr)
+    observer_->on_message(box.back(), r.pos, round_);
 }
 
 void Ctx::broadcast(std::uint32_t kind, std::vector<std::int64_t> data) {
   Engine& e = *engine_;
-  const auto& r = e.robots_[idx_];
-  auto& box = e.pending_[r.pos];
-  if (box.empty()) {
-    e.pending_dirty_.push_back(r.pos);
-    if (box.capacity() == 0 && !e.msg_arena_.empty()) {
-      box = std::move(e.msg_arena_.back());
-      e.msg_arena_.pop_back();
-    }
-  }
-  box.push_back(Msg{r.id, idx_, kind, std::move(data)});
-  ++e.stats_.messages;
-  if (e.observer_ != nullptr) e.observer_->on_message(box.back(), r.pos, e.round_);
+  e.push_msg(idx_, e.robots_[idx_].id, kind, e.pool_.make(data),
+             /*notify_observer=*/true);
 }
 
 void Ctx::broadcast_pooled(std::uint32_t kind,
                            std::span<const std::int64_t> data) {
   Engine& e = *engine_;
-  std::vector<std::int64_t> payload;
-  if (!e.payload_arena_.empty()) {
-    payload = std::move(e.payload_arena_.back());
-    e.payload_arena_.pop_back();
-  }
-  payload.assign(data.begin(), data.end());
-  broadcast(kind, std::move(payload));
+  e.push_msg(idx_, e.robots_[idx_].id, kind, e.pool_.make(data),
+             /*notify_observer=*/true);
+}
+
+util::PayloadRef Ctx::make_payload(std::span<const std::int64_t> data) {
+  return engine_->pool_.make(data);
+}
+
+void Ctx::broadcast_shared(std::uint32_t kind,
+                           const util::PayloadRef& payload) {
+  Engine& e = *engine_;
+  e.push_msg(idx_, e.robots_[idx_].id, kind, payload,
+             /*notify_observer=*/true);
 }
 
 void Ctx::ambient_round(std::optional<Port> port, std::uint64_t messages) {
@@ -348,20 +285,33 @@ bool Ctx::draining() const { return engine_->draining_; }
 void Ctx::spoof_broadcast(RobotId claimed, std::uint32_t kind,
                           std::vector<std::int64_t> data) {
   Engine& e = *engine_;
-  const auto& r = e.robots_[idx_];
-  if (r.faultiness != Faultiness::kStrongByzantine)
+  if (e.robots_[idx_].faultiness != Faultiness::kStrongByzantine)
     throw std::logic_error(
         "Ctx: only strong Byzantine robots can fake sender IDs");
-  auto& box = e.pending_[r.pos];
-  if (box.empty()) {
-    e.pending_dirty_.push_back(r.pos);
-    if (box.capacity() == 0 && !e.msg_arena_.empty()) {
-      box = std::move(e.msg_arena_.back());
-      e.msg_arena_.pop_back();
-    }
-  }
-  box.push_back(Msg{claimed, idx_, kind, std::move(data)});
-  ++e.stats_.messages;
+  // Spoofed messages never fired the observer hook; preserved exactly so
+  // trace streams stay bit-identical.
+  e.push_msg(idx_, claimed, kind, e.pool_.make(data),
+             /*notify_observer=*/false);
+}
+
+void Ctx::spoof_broadcast_pooled(RobotId claimed, std::uint32_t kind,
+                                 std::span<const std::int64_t> data) {
+  Engine& e = *engine_;
+  if (e.robots_[idx_].faultiness != Faultiness::kStrongByzantine)
+    throw std::logic_error(
+        "Ctx: only strong Byzantine robots can fake sender IDs");
+  e.push_msg(idx_, claimed, kind, e.pool_.make(data),
+             /*notify_observer=*/false);
+}
+
+void Ctx::spoof_broadcast_shared(RobotId claimed, std::uint32_t kind,
+                                 const util::PayloadRef& payload) {
+  Engine& e = *engine_;
+  if (e.robots_[idx_].faultiness != Faultiness::kStrongByzantine)
+    throw std::logic_error(
+        "Ctx: only strong Byzantine robots can fake sender IDs");
+  e.push_msg(idx_, claimed, kind, payload,
+             /*notify_observer=*/false);
 }
 
 }  // namespace bdg::sim

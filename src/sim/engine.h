@@ -20,9 +20,10 @@
 // sleeps fast-forward in O(1) and each simulated round touches only the
 // robots that actually run (a runnable list per sub-round, a movers list
 // at the round boundary) — never the whole population. Message inboxes
-// are maintained with dirty-node lists backed by a reusable buffer arena,
-// so delivering and clearing costs O(active nodes), not O(n), per
-// sub-round. This lets benchmarks charge the paper's imported round
+// are inline-small vectors maintained with dirty-node lists, and payloads
+// are refcounted pooled blocks shared by every recipient, so delivering
+// and clearing costs O(active nodes), not O(n), per sub-round, with no
+// allocator traffic. This lets benchmarks charge the paper's imported round
 // bounds (gathering, Find-Map) without paying per-round simulation cost,
 // while round accounting stays exact.
 #include <cstdint>
@@ -31,14 +32,25 @@
 #include <queue>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/round.h"  // header-only, no bdg_core link dependency
 #include "graph/graph.h"
 #include "sim/proc.h"
+#include "util/flat_hash.h"
+#include "util/pool.h"
+#include "util/smallvec.h"
 
 namespace bdg::sim {
+
+/// Thread-local delivery epoch: bumped whenever ANY engine on this thread
+/// (engines are thread-confined) may have mutated or recycled delivered
+/// inboxes — each sub-round delivery, plus engine construction and
+/// destruction. Within one epoch, a delivered inbox's address, length and
+/// contents are immutable, so (epoch, inbox pointer) keys memoized
+/// inbox-derived computations exactly (explore/group_map.cpp's shared
+/// vote tallies).
+[[nodiscard]] std::uint64_t delivery_epoch() noexcept;
 
 using RobotId = std::uint64_t;
 /// Round counts are saturating 128-bit everywhere: the charged bounds the
@@ -67,7 +79,11 @@ struct Msg {
   /// identify or track a robot across rounds.
   std::uint32_t source = 0;
   std::uint32_t kind = 0;
-  std::vector<std::int64_t> data;
+  /// Shared refcounted payload: all recipients of one broadcast (and a
+  /// sender re-broadcasting across rounds via broadcast_shared) hold
+  /// references to ONE pooled block. Compares by contents like the
+  /// std::vector it replaced; view() yields the words as a span.
+  util::PayloadRef data;
 };
 
 class Engine;
@@ -90,23 +106,39 @@ class Ctx {
   [[nodiscard]] Port arrival_port() const;
   [[nodiscard]] Round round() const;
   [[nodiscard]] std::uint32_t subround() const;
-  /// Messages broadcast at this node in the previous sub-round.
-  [[nodiscard]] const std::vector<Msg>& inbox() const;
+  /// Messages broadcast at this node in the previous sub-round. The view
+  /// is valid for the current sub-round only (delivery recycles buffers).
+  [[nodiscard]] std::span<const Msg> inbox() const;
 
   // --- actions ------------------------------------------------------------
   /// Broadcast to co-located robots; delivered next sub-round. The sender
-  /// ID is the robot's true ID (enforced).
+  /// ID is the robot's true ID (enforced). The words are copied once into
+  /// a pooled block shared by every recipient.
   void broadcast(std::uint32_t kind, std::vector<std::int64_t> data = {});
-  /// Allocation-free broadcast for per-round hot paths: the payload is
-  /// copied into a buffer recycled through the engine's payload arena
-  /// (capacity harvested from delivered messages), so steady-state message
-  /// construction performs no heap allocation. Semantically identical to
-  /// broadcast() — receivers cannot tell the two apart.
+  /// Span-taking variant for per-round hot paths: one copy into a pooled
+  /// block, no intermediate vector. Semantically identical to broadcast()
+  /// — receivers cannot tell the two apart.
   void broadcast_pooled(std::uint32_t kind, std::span<const std::int64_t> data);
+  /// Build a pooled payload once; re-broadcast it any number of times with
+  /// broadcast_shared at zero copies (each send is a refcount bump). The
+  /// beacon loops (settled robots announcing every round) are the intended
+  /// callers.
+  [[nodiscard]] util::PayloadRef make_payload(
+      std::span<const std::int64_t> data);
+  /// Broadcast an already-built pooled payload; copy-free.
+  void broadcast_shared(std::uint32_t kind, const util::PayloadRef& payload);
   /// Broadcast with a forged sender ID. Only strong Byzantine robots may
   /// call this; the engine throws std::logic_error otherwise.
   void spoof_broadcast(RobotId claimed, std::uint32_t kind,
                        std::vector<std::int64_t> data = {});
+  /// Span-taking spoof for the compiled-adversary hot path: same checks
+  /// and semantics as spoof_broadcast, one copy into a pooled block.
+  void spoof_broadcast_pooled(RobotId claimed, std::uint32_t kind,
+                              std::span<const std::int64_t> data);
+  /// Spoof an already-built pooled payload; copy-free (the shared analogue
+  /// of broadcast_shared, for round-invariant forged payloads).
+  void spoof_broadcast_shared(RobotId claimed, std::uint32_t kind,
+                              const util::PayloadRef& payload);
 
   // --- awaitables ----------------------------------------------------------
   /// Suspend until the next sub-round of the same round. If the current
@@ -232,11 +264,41 @@ class Engine {
  private:
   friend class Ctx;
   friend struct detail::WakeAwaiter;
-  struct Robot;
 
   enum class WakeKind : std::uint8_t { kSubround, kEndRound, kSleep, kAmbient };
+
+  /// Engine-side per-robot state. The program coroutine is resumed only via
+  /// resume_robot(); between resumptions `wake` describes when it runs next.
+  /// Robots live contiguously in Engine::robots_; the vector never grows
+  /// after start_programs(), so handles created then stay valid. Defined in
+  /// the header so the Ctx accessors protocol coroutines hit every
+  /// sub-round (inbox/degree/self) inline into their call sites.
+  struct Robot {
+    RobotId id = 0;
+    Faultiness faultiness = Faultiness::kHonest;
+    NodeId pos = kNoNode;
+    Port arrival = kNoPort;
+    ProgramFactory factory;
+    Proc proc;
+    Round start_round = 0;  ///< first round the program runs
+    bool done = false;
+
+    // Pending wake condition, written by WakeAwaiter via set_command().
+    WakeKind wake = WakeKind::kSleep;
+    std::optional<Port> move;  // for kEndRound
+    Round wake_round = 0;      // for kSleep / kEndRound: first round in
+                               // which the robot runs again
+    // Innermost suspended coroutine; the engine resumes this, not the
+    // root, so protocols can nest phases as Task<T> children.
+    std::coroutine_handle<> leaf;
+  };
   void set_command(std::uint32_t idx, WakeKind kind, std::optional<Port> port,
                    Round rounds, std::coroutine_handle<> leaf);
+
+  /// Per-node inbox. Co-location counts are tiny on dispersive paths, so a
+  /// few inline slots cover the common case; gathered-phase rally nodes
+  /// spill once and keep their spill capacity for the run.
+  using Inbox = util::SmallVec<Msg, 4>;
 
   [[nodiscard]] std::uint32_t subround_count() const;
   void start_programs();
@@ -244,15 +306,17 @@ class Engine {
   void apply_moves();
   [[nodiscard]] bool honest_all_done() const { return honest_live_ == 0; }
   void resume_robot(Robot& r);
-  /// Clear an inbox, returning its buffer to the arena for reuse.
-  void release_inbox(std::vector<Msg>& box);
+  /// Clear an inbox, recycling unique payload blocks into the pool.
+  void release_inbox(Inbox& box);
+  void push_msg(std::uint32_t idx, RobotId claimed, std::uint32_t kind,
+                util::PayloadRef payload, bool notify_observer);
 
   Graph graph_;
   EngineConfig cfg_;
   std::vector<Robot> robots_;  // contiguous, sorted by ID after start
   /// id -> index into robots_ (insertion index before start_programs,
   /// sorted index after). The single place duplicate IDs are caught.
-  std::unordered_map<RobotId, std::uint32_t> index_of_;
+  util::FlatMap<RobotId, std::uint32_t> index_of_;
   bool started_ = false;
   Round round_ = 0;
   std::uint32_t subround_ = 0;
@@ -286,17 +350,17 @@ class Engine {
 
   // Per-node message buffers: delivered[v] = broadcasts from the previous
   // sub-round, pending[v] = broadcasts accumulated in the current one.
-  // Only nodes on the dirty lists hold messages; their buffers are
-  // borrowed from msg_arena_ and returned on clear, so capacity is reused
-  // as activity migrates across the graph.
-  std::vector<std::vector<Msg>> delivered_, pending_;
+  // Only nodes on the dirty lists hold messages. Each node keeps its own
+  // inline-small buffer (clear() retains spill capacity), so delivering
+  // and clearing costs O(active nodes) with no arena shuffling.
+  std::vector<Inbox> delivered_, pending_;
   std::vector<NodeId> delivered_dirty_, pending_dirty_;
-  std::vector<std::vector<Msg>> msg_arena_;
-  /// Recycled payload buffers for Ctx::broadcast_pooled: capacity is
-  /// harvested from cleared inboxes (release_inbox) and handed back out,
-  /// so hot protocol loops stop allocating per message. Bounded so a burst
-  /// never pins memory forever.
-  std::vector<std::vector<std::int64_t>> payload_arena_;
+  /// Pooled payload blocks (the PR 5 payload arena, generalized): cleared
+  /// inboxes recycle uniquely held blocks into the pool's bounded free
+  /// list, so steady-state payload construction performs no allocation.
+  /// Blocks never point back at the pool, so Msgs copied out of the
+  /// engine (tests, observers) outlive it safely.
+  util::PayloadPool pool_;
   Observer* observer_ = nullptr;
 };
 
@@ -317,6 +381,64 @@ struct WakeAwaiter {
   void await_resume() const noexcept {}
 };
 }  // namespace detail
+
+inline void Engine::set_command(std::uint32_t idx, WakeKind kind,
+                                std::optional<Port> port, Round rounds,
+                                std::coroutine_handle<> leaf) {
+  Robot& r = robots_[idx];
+  r.wake = kind;
+  r.leaf = leaf;
+  r.move = std::nullopt;
+  switch (kind) {
+    case WakeKind::kSubround:
+      next_runnable_.push_back(idx);
+      break;
+    case WakeKind::kEndRound:
+      r.move = port;
+      r.wake_round = round_ + 1;
+      next_round_.push_back(idx);
+      if (port.has_value()) movers_.push_back(idx);
+      break;
+    case WakeKind::kSleep:
+      r.wake_round = round_ + std::max<Round>(rounds, 1);
+      if (r.wake_round == round_ + 1)
+        next_round_.push_back(idx);
+      else
+        wake_queue_.push({r.wake_round, idx});
+      break;
+    case WakeKind::kAmbient:
+      // Park outside both wake queues: the robot moves this round like
+      // end_round, then waits to be merged into whichever round the
+      // engine simulates next (possibly far ahead).
+      r.move = port;
+      r.wake_round = round_ + 1;
+      ambient_.push_back(idx);
+      if (port.has_value()) movers_.push_back(idx);
+      break;
+  }
+}
+
+// Hot per-sub-round observations, inline: every protocol coroutine calls
+// these between suspensions, and an out-of-line hop per inbox()/degree()
+// dominates their cost.
+inline RobotId Ctx::self() const { return engine_->robots_[idx_].id; }
+inline Faultiness Ctx::faultiness() const {
+  return engine_->robots_[idx_].faultiness;
+}
+inline std::uint32_t Ctx::n() const {
+  return static_cast<std::uint32_t>(engine_->graph_.n());
+}
+inline std::uint32_t Ctx::degree() const {
+  return engine_->graph_.degree(engine_->robots_[idx_].pos);
+}
+inline Port Ctx::arrival_port() const { return engine_->robots_[idx_].arrival; }
+inline Round Ctx::round() const { return engine_->round_; }
+inline std::uint32_t Ctx::subround() const { return engine_->subround_; }
+
+inline std::span<const Msg> Ctx::inbox() const {
+  const Engine::Inbox& box = engine_->delivered_[engine_->robots_[idx_].pos];
+  return {box.data(), box.size()};
+}
 
 inline auto Ctx::next_subround() {
   return detail::WakeAwaiter{engine_, idx_, Engine::WakeKind::kSubround,

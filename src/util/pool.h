@@ -1,0 +1,184 @@
+#pragma once
+// Refcounted pooled payload buffers. A broadcast payload is built once in a
+// PayloadBlock; every message holding it (the sender re-broadcasting across
+// rounds, observers, copies made by tests) shares one block through a
+// PayloadRef handle. The owning pool keeps a bounded free list of unique
+// blocks so steady-state payload construction allocates nothing.
+//
+// Lifetime rule that keeps handles safe BEYOND the pool: a block never
+// points back at its pool. Dropping the last reference plain-deletes the
+// block, so a PayloadRef copied out of an engine (tests stash Msgs and
+// compare them after the engine is gone) stays valid with no dangling pool
+// pointer. Recycling is therefore explicit and opportunistic: the engine
+// hands a dying unique reference to PayloadPool::recycle(), which reclaims
+// the block for the free list; anything it never sees is simply deleted.
+//
+// Refcounts are NOT atomic: an engine and everything it delivers to are
+// confined to one thread (sweeps parallelize across engines, never within
+// one); TSan runs the conformance tiers against exactly this claim.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/smallvec.h"
+
+namespace bdg::util {
+
+/// Inline-small payload words: protocol payloads are a handful of int64s
+/// (codes, node ids, window indices), so most blocks never touch the heap
+/// beyond the block itself.
+inline constexpr std::size_t kPayloadInlineWords = 6;
+
+struct PayloadBlock {
+  std::uint32_t refs = 0;
+  /// Lazy content fingerprint (0 = not yet computed; computed values are
+  /// forced nonzero). Shared blocks make this pay: a beacon re-broadcast
+  /// for R rounds to d recipients is hashed once, not R*d times. Only ever
+  /// an equality PRE-filter — equal hashes still deep-compare.
+  std::uint64_t hash = 0;
+  SmallVec<std::int64_t, kPayloadInlineWords> data;
+};
+
+/// Shared immutable view of one PayloadBlock. Cheap to copy (one pointer,
+/// one refcount bump); compares by CONTENTS, like the std::vector payload
+/// it replaces, so protocol code and tests keep their equality semantics.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  explicit PayloadRef(PayloadBlock* b) noexcept : b_(b) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  PayloadRef(const PayloadRef& o) noexcept : b_(o.b_) {
+    if (b_ != nullptr) ++b_->refs;
+  }
+  PayloadRef(PayloadRef&& o) noexcept : b_(o.b_) { o.b_ = nullptr; }
+  PayloadRef& operator=(const PayloadRef& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    b_ = o.b_;
+    if (b_ != nullptr) ++b_->refs;
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    b_ = o.b_;
+    o.b_ = nullptr;
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  [[nodiscard]] bool valid() const noexcept { return b_ != nullptr; }
+  [[nodiscard]] bool unique() const noexcept {
+    return b_ != nullptr && b_->refs == 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return b_ != nullptr ? b_->data.size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const std::int64_t* data() const noexcept {
+    return b_ != nullptr ? b_->data.data() : nullptr;
+  }
+  [[nodiscard]] const std::int64_t* begin() const noexcept { return data(); }
+  [[nodiscard]] const std::int64_t* end() const noexcept {
+    return data() + size();
+  }
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const {
+    return b_->data[i];
+  }
+  [[nodiscard]] std::span<const std::int64_t> view() const noexcept {
+    return {data(), size()};
+  }
+
+  /// Content fingerprint, memoized in the shared block (FNV-1a over the
+  /// words, never 0). Distinct hashes imply distinct contents; equal
+  /// hashes mean "probably equal — deep-compare to confirm".
+  [[nodiscard]] std::uint64_t content_hash() const noexcept {
+    if (b_ == nullptr) return kEmptyHash;
+    if (b_->hash == 0) {
+      std::uint64_t h = 14695981039346656037ull;
+      for (const std::int64_t w : b_->data)
+        h = (h ^ static_cast<std::uint64_t>(w)) * 1099511628211ull;
+      b_->hash = h | 1;  // reserve 0 for "not computed"
+    }
+    return b_->hash;
+  }
+  static constexpr std::uint64_t kEmptyHash =
+      14695981039346656037ull | 1;  // FNV basis of zero words, forced odd
+  operator std::span<const std::int64_t>() const noexcept { return view(); }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    if (a.b_ == b.b_) return true;  // shared block => identical contents
+    return a.view().size() == b.view().size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const PayloadRef& a,
+                         std::span<const std::int64_t> s) {
+    return a.size() == s.size() && std::equal(a.begin(), a.end(), s.begin());
+  }
+  friend bool operator==(const PayloadRef& a,
+                         const std::vector<std::int64_t>& v) {
+    return a == std::span<const std::int64_t>(v);
+  }
+
+ private:
+  friend class PayloadPool;
+  void release() noexcept {
+    if (b_ != nullptr && --b_->refs == 0) delete b_;
+    b_ = nullptr;
+  }
+  PayloadBlock* b_ = nullptr;
+};
+
+/// Bounded free list of payload blocks. make() reuses a reclaimed block
+/// when one is available; recycle() opportunistically reclaims a uniquely
+/// held block from a dying reference. Blocks still referenced elsewhere
+/// (or arriving after the list is full) fall back to plain delete via the
+/// PayloadRef release path — never a leak, never a dangling pool pointer.
+class PayloadPool {
+ public:
+  explicit PayloadPool(std::size_t cap = 1024) : cap_(cap) {}
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+  ~PayloadPool() {
+    for (PayloadBlock* b : free_) delete b;
+  }
+
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+
+  [[nodiscard]] PayloadRef make(std::span<const std::int64_t> words) {
+    PayloadBlock* b;
+    if (!free_.empty()) {
+      b = free_.back();
+      free_.pop_back();
+    } else {
+      b = new PayloadBlock;
+    }
+    b->hash = 0;  // contents change; the fingerprint re-memoizes lazily
+    b->data.assign(words.data(), words.data() + words.size());
+    return PayloadRef{b};
+  }
+
+  /// Reclaim `r`'s block if this is the last reference; otherwise just
+  /// drop the reference. Either way `r` is empty afterwards.
+  void recycle(PayloadRef&& r) noexcept {
+    if (r.b_ != nullptr && r.b_->refs == 1 && free_.size() < cap_) {
+      r.b_->refs = 0;
+      free_.push_back(r.b_);
+      r.b_ = nullptr;
+      return;
+    }
+    r.release();
+  }
+
+ private:
+  std::vector<PayloadBlock*> free_;
+  std::size_t cap_;
+};
+
+}  // namespace bdg::util

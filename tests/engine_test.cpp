@@ -43,7 +43,8 @@ Proc broadcaster(Ctx ctx) {
 
 Proc listener(Ctx ctx, std::vector<Msg>* heard) {
   co_await ctx.next_subround();  // sub 1: messages from sub 0
-  *heard = ctx.inbox();
+  const auto box = ctx.inbox();
+  heard->assign(box.begin(), box.end());
   co_await ctx.end_round(std::nullopt);
 }
 

@@ -1,11 +1,17 @@
 // Unit tests for the util module: deterministic RNG, statistics fits,
-// table formatting.
+// table formatting, and the flat-container layer (SmallVec, FlatMap/Set,
+// pooled refcounted payloads) the engine hot paths run on.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "util/flat_hash.h"
+#include "util/pool.h"
 #include "util/rng.h"
+#include "util/smallvec.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -137,6 +143,259 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
   EXPECT_EQ(Table::num(std::int64_t{-3}), "-3");
   EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+// ---- SmallVec -------------------------------------------------------------
+
+/// Instrumented element: every construction and destruction is counted, so
+/// lifetime bugs (the double-destruction class small-vector moves are
+/// notorious for) show up as ctor/dtor imbalance instead of silent UB.
+struct Counted {
+  static int ctors;
+  static int dtors;
+  int v = 0;
+  Counted() { ++ctors; }
+  explicit Counted(int x) : v(x) { ++ctors; }
+  Counted(const Counted& o) : v(o.v) { ++ctors; }
+  Counted(Counted&& o) noexcept : v(o.v) { ++ctors; }
+  Counted& operator=(const Counted&) = default;
+  Counted& operator=(Counted&&) = default;
+  ~Counted() { ++dtors; }
+};
+int Counted::ctors = 0;
+int Counted::dtors = 0;
+
+TEST(SmallVec, InlineThenSpill) {
+  util::SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  v.push_back(4);  // fifth element forces the heap
+  EXPECT_TRUE(v.spilled());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, ClearKeepsCapacitySpilledOrNot) {
+  util::SmallVec<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), cap);  // hot-loop refill must not reallocate
+}
+
+TEST(SmallVec, ShrinkToInline) {
+  util::SmallVec<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  while (v.size() > 3) v.pop_back();
+  ASSERT_TRUE(v.spilled());
+  v.shrink_to_inline();
+  EXPECT_FALSE(v.spilled());
+  ASSERT_EQ(v.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, MoveOfInlineLeavesSourceEmptyNoDoubleDestroy) {
+  Counted::ctors = Counted::dtors = 0;
+  {
+    util::SmallVec<Counted, 4> a;
+    a.emplace_back(1);
+    a.emplace_back(2);
+    util::SmallVec<Counted, 4> b(std::move(a));
+    EXPECT_EQ(a.size(), 0u);  // moved-from is a valid EMPTY vector
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0].v, 1);
+    EXPECT_EQ(b[1].v, 2);
+  }
+  // The double-destructor regression pin: a buggy move that leaves the
+  // source's size nonzero destroys the inline elements twice.
+  EXPECT_EQ(Counted::ctors, Counted::dtors);
+}
+
+TEST(SmallVec, MoveOfSpilledTransfersBuffer) {
+  Counted::ctors = Counted::dtors = 0;
+  {
+    util::SmallVec<Counted, 2> a;
+    for (int i = 0; i < 8; ++i) a.emplace_back(i);
+    const Counted* buf = a.data();
+    util::SmallVec<Counted, 2> b;
+    b = std::move(a);
+    EXPECT_EQ(b.data(), buf);  // pointer steal, no element moves
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_FALSE(a.spilled());
+    a.emplace_back(99);  // moved-from must be fully usable
+    EXPECT_EQ(a[0].v, 99);
+  }
+  EXPECT_EQ(Counted::ctors, Counted::dtors);
+}
+
+TEST(SmallVec, SelfAssignIsANoop) {
+  util::SmallVec<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  v.push_back("gamma");  // spilled, heap-owning elements
+  auto& self = v;
+  v = self;
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[2], "gamma");
+  v = std::move(self);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "beta");
+}
+
+TEST(SmallVec, SwapMixedInlineAndSpilled) {
+  util::SmallVec<int, 4> inl, spl;
+  inl.push_back(1);
+  inl.push_back(2);
+  for (int i = 0; i < 9; ++i) spl.push_back(10 + i);
+  inl.swap(spl);
+  ASSERT_EQ(inl.size(), 9u);
+  EXPECT_EQ(inl[8], 18);
+  ASSERT_EQ(spl.size(), 2u);
+  EXPECT_EQ(spl[0], 1);
+  EXPECT_EQ(spl[1], 2);
+  EXPECT_FALSE(spl.spilled());
+}
+
+TEST(SmallVec, EraseAndInsertShiftCorrectly) {
+  util::SmallVec<int, 4> v{1, 2, 3, 4, 5};
+  v.erase(v.begin() + 1);
+  EXPECT_EQ(v, (util::SmallVec<int, 4>{1, 3, 4, 5}));
+  v.insert(v.begin() + 2, 9);
+  EXPECT_EQ(v, (util::SmallVec<int, 4>{1, 3, 9, 4, 5}));
+}
+
+// ---- FlatMap / FlatSet ----------------------------------------------------
+
+TEST(FlatHash, InsertFindEraseRoundTrip) {
+  util::FlatMap<std::uint64_t, int> m;
+  EXPECT_EQ(m.find(7), nullptr);
+  m[7] = 70;
+  m[8] = 80;
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(8), 80);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHash, TombstoneReuseKeepsTableSizeUnderChurn) {
+  util::FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 6; ++k) m[k] = static_cast<int>(k);
+  const std::size_t slots = m.slot_count();
+  // Erase/insert churn at constant live size: tombstones must be reused,
+  // not accumulated until the table doubles.
+  for (std::uint64_t round = 0; round < 10'000; ++round) {
+    EXPECT_TRUE(m.erase(round));
+    m[round + 6] = static_cast<int>(round);
+  }
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.slot_count(), slots);
+}
+
+TEST(FlatHash, RehashUnderLoadPreservesEntries) {
+  util::FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 5'000; ++k) m[k * 2'654'435'761ULL] = k;
+  EXPECT_EQ(m.size(), 5'000u);
+  for (std::uint64_t k = 0; k < 5'000; ++k) {
+    const auto* v = m.find(k * 2'654'435'761ULL);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+}
+
+TEST(FlatHash, IterationOrderIsDeterministicForEqualHistories) {
+  const auto build = [] {
+    util::FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 200; ++k) m[k * 977] = static_cast<int>(k);
+    for (std::uint64_t k = 0; k < 200; k += 3) m.erase(k * 977);
+    for (std::uint64_t k = 1'000; k < 1'100; ++k) m[k] = 1;
+    return m;
+  };
+  std::vector<std::uint64_t> order_a, order_b;
+  build().for_each([&](std::uint64_t k, int) { order_a.push_back(k); });
+  build().for_each([&](std::uint64_t k, int) { order_b.push_back(k); });
+  ASSERT_FALSE(order_a.empty());
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(FlatHash, VectorKeysHashByContents) {
+  // CanonicalCode-style keys (vector<uint32_t>): used by the tournament
+  // build-count table.
+  util::FlatMap<std::vector<std::uint32_t>, int> m;
+  m[std::vector<std::uint32_t>{1, 2, 3}] = 1;
+  ++m[std::vector<std::uint32_t>{1, 2, 3}];
+  m[std::vector<std::uint32_t>{1, 2, 4}] = 9;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.find(std::vector<std::uint32_t>{1, 2, 3}), 2);
+  EXPECT_TRUE(m.erase(std::vector<std::uint32_t>{1, 2, 4}));
+  EXPECT_EQ(m.find(std::vector<std::uint32_t>{1, 2, 4}), nullptr);
+}
+
+TEST(FlatHash, SetInsertContainsClear) {
+  util::FlatSet<std::uint64_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.insert(5));
+}
+
+// ---- PayloadPool / PayloadRef ---------------------------------------------
+
+TEST(PayloadPool, RefcountSharingAndContentEquality) {
+  util::PayloadPool pool;
+  const std::vector<std::int64_t> words{3, 1, 4};
+  util::PayloadRef a = pool.make(words);
+  EXPECT_TRUE(a.unique());
+  util::PayloadRef b = a;  // refcount bump, same block
+  EXPECT_FALSE(a.unique());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, words);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[1], 1);
+}
+
+TEST(PayloadPool, RecycleUniqueGoesToFreeListAndIsReused) {
+  util::PayloadPool pool;
+  util::PayloadRef a = pool.make(std::vector<std::int64_t>{42});
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.recycle(std::move(a));
+  EXPECT_EQ(pool.free_count(), 1u);
+  util::PayloadRef b = pool.make(std::vector<std::int64_t>{7, 8});
+  EXPECT_EQ(pool.free_count(), 0u);  // the reclaimed block was handed out
+  EXPECT_EQ(b, (std::vector<std::int64_t>{7, 8}));
+}
+
+TEST(PayloadPool, RecycleSharedJustDropsTheReference) {
+  util::PayloadPool pool;
+  util::PayloadRef a = pool.make(std::vector<std::int64_t>{1});
+  util::PayloadRef keep = a;
+  pool.recycle(std::move(a));  // keep still holds the block
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(keep, (std::vector<std::int64_t>{1}));
+  EXPECT_TRUE(keep.unique());
+}
+
+TEST(PayloadPool, RefOutlivesPool) {
+  // Blocks carry no pool backpointer: a reference copied out of an engine
+  // stays valid after the engine (and its pool) is destroyed, and the
+  // last release plain-deletes the block (ASan tier would catch a leak or
+  // a dangling free).
+  util::PayloadRef survivor;
+  {
+    util::PayloadPool pool;
+    survivor = pool.make(std::vector<std::int64_t>{9, 9, 9});
+    util::PayloadRef extra = pool.make(std::vector<std::int64_t>{1});
+    pool.recycle(std::move(extra));  // leaves a block on the free list too
+  }
+  EXPECT_EQ(survivor, (std::vector<std::int64_t>{9, 9, 9}));
 }
 
 }  // namespace
