@@ -201,7 +201,11 @@ Proc spoofer(Ctx ctx, ByzSchedule sched, std::vector<sim::RobotId> peers,
 std::uint64_t draw_phase_len(const CompiledStrategy::Phase& p, std::uint32_t n,
                              Rng& rng) {
   const std::uint64_t bound = p.n_scaled ? p.bound * n : p.bound;
-  return p.base + (bound != 0 ? rng.below(bound) : 0);
+  // Draw hoisted out of the conditional expression (detlint unsequenced-rng,
+  // the PR 6 class); same draw iff bound != 0, so the sequence is unchanged.
+  std::uint64_t jitter = 0;
+  if (bound != 0) jitter = rng.below(bound);
+  return p.base + jitter;
 }
 
 /// Payload scratch reused across every broadcast of one compiled robot:
@@ -213,9 +217,13 @@ using PayloadBuf = util::SmallVec<std::int64_t, 8>;
 void fill_payload(const std::vector<CompiledStrategy::PayloadElem>& elems,
                   Rng& rng, PayloadBuf& out) {
   out.clear();
-  for (const auto& e : elems)
-    out.push_back(e.draw_below4 ? static_cast<std::int64_t>(rng.below(4))
-                                : e.literal);
+  // Draw hoisted out of the conditional expression (detlint unsequenced-rng);
+  // one below(4) per draw_below4 element, in element order, as before.
+  for (const auto& e : elems) {
+    std::int64_t word = e.literal;
+    if (e.draw_below4) word = static_cast<std::int64_t>(rng.below(4));
+    out.push_back(word);
+  }
 }
 
 /// Replay-side twin of make_payload: consume the draws, skip the bytes.
@@ -233,7 +241,10 @@ std::optional<Port> draw_move(CompiledStrategy::MoveRule rule, Ctx& ctx,
     case CompiledStrategy::MoveRule::kRandomPort:
       return random_port(ctx, rng);
     case CompiledStrategy::MoveRule::kChancePort:
-      return rng.chance(1, 2) ? random_port(ctx, rng) : std::nullopt;
+      // Draw hoisted out of the conditional expression (detlint
+      // unsequenced-rng); chance() then (iff true) random_port(), as before.
+      if (rng.chance(1, 2)) return random_port(ctx, rng);
+      return std::nullopt;
   }
   return std::nullopt;
 }

@@ -106,6 +106,10 @@ Task<DispersionOutcome> run_dispersion_using_map(Ctx ctx,
     for (const RobotId id : tbs_claims)
       if (recorded_at.contains(id)) B.insert(id);
     // Step 4b: recorded settlers of v that failed to beacon are Byzantine.
+    // Visit order cannot leak: B is only ever queried via contains(). An
+    // ordered_keys() snapshot here would allocate per round and trip the
+    // PR 9 zero-alloc gate (baselines/hotpaths_alloc.csv).
+    // detlint: allow(unordered-iter) order-insensitive fold, see above
     A[v].for_each([&](const RobotId id) {
       if (!contains(heard, id)) B.insert(id);
     });

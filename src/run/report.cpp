@@ -263,10 +263,10 @@ std::optional<CheckpointEntry> parse_checkpoint_line(const std::string& line) {
   return entry;
 }
 
-std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
+util::FlatMap<std::uint64_t, PointResult> load_checkpoint(
     std::istream& is, std::uint64_t spec_fingerprint,
     CheckpointLoadStats* stats) {
-  std::unordered_map<std::uint64_t, PointResult> out;
+  util::FlatMap<std::uint64_t, PointResult> out;
   std::string line;
   while (std::getline(is, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();

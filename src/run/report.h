@@ -6,9 +6,9 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 #include "run/sweep.h"
+#include "util/flat_hash.h"
 
 namespace bdg::run {
 
@@ -93,7 +93,10 @@ struct CheckpointLoadStats {
 /// duplicates win (append-only files may re-record a point). A truncated
 /// final line (crash mid-append) is skipped and counted in
 /// `stats->malformed`; run_sweep surfaces that count in the report.
-[[nodiscard]] std::unordered_map<std::uint64_t, PointResult> load_checkpoint(
+/// Returns a util::FlatMap — lookup-only by design: restore matches grid
+/// points against it by derived seed; nothing may iterate a checkpoint
+/// load (grid order is the only order).
+[[nodiscard]] util::FlatMap<std::uint64_t, PointResult> load_checkpoint(
     std::istream& is, std::uint64_t spec_fingerprint,
     CheckpointLoadStats* stats = nullptr);
 

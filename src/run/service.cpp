@@ -11,7 +11,6 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "run/report.h"
@@ -136,7 +135,9 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
   // coordinator restart + --resume may re-stream results the checkpoint
   // already holds, and those must count as duplicates, not protocol
   // errors. Point queries by derived seed resolve through the same map.
-  std::unordered_map<std::uint64_t, std::size_t> seed_to_index;
+  // util::FlatMap: lookup-only, and structurally un-iterable — merge order
+  // is delivery order, grid order is the only report order.
+  util::FlatMap<std::uint64_t, std::size_t> seed_to_index;
   seed_to_index.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i)
     seed_to_index[point_seed(spec.base_seed, grid[i])] = i;
@@ -221,12 +222,12 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
   // are ignored — results are deterministic per derived seed, so whichever
   // copy lands first is THE result.
   const auto merge_result = [&](PointResult&& pr) {
-    const auto it = seed_to_index.find(pr.derived_seed);
-    if (it == seed_to_index.end() || !same_point(pr.point, grid[it->second])) {
+    const std::size_t* found = seed_to_index.find(pr.derived_seed);
+    if (found == nullptr || !same_point(pr.point, grid[*found])) {
       ++stats_.protocol_errors;
       return;
     }
-    const std::size_t idx = it->second;
+    const std::size_t idx = *found;
     if (have[idx]) {
       ++stats_.duplicate_results;
       return;
@@ -310,9 +311,9 @@ SweepResult Coordinator::serve(const std::atomic<bool>* stop) {
           else
             error = "index out of range";
         } else if (json::find_u64(payload, "derived_seed", seed)) {
-          const auto it = seed_to_index.find(seed);
-          if (it != seed_to_index.end())
-            idx = it->second;
+          const std::size_t* found = seed_to_index.find(seed);
+          if (found != nullptr)
+            idx = *found;
           else
             error = "unknown derived seed";
         } else {

@@ -8,7 +8,6 @@
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "core/impossibility.h"
 #include "graph/generators.h"
@@ -241,7 +240,9 @@ std::vector<SweepPoint> expand_grid(const SweepSpec& spec) {
   // the first occurrence, preserving grid order.
   std::vector<SweepPoint> unique_points;
   unique_points.reserve(points.size());
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> seen;
+  // FlatMap: dedup is lookup-only (bucket probe + exact match), so the
+  // container's lack of iterators is a structural no-order-leak guarantee.
+  util::FlatMap<std::uint64_t, std::vector<std::size_t>> seen;
   for (SweepPoint& p : points) {
     // Bucket by the coordinate hash (strategy folded in, since same_point
     // compares it), verify exactly within the bucket.
@@ -456,7 +457,7 @@ RestoredCheckpoint restore_checkpoint(const SweepSpec& spec,
   RestoredCheckpoint r;
   r.todo.reserve(grid.size());
   out.resize(grid.size());
-  std::unordered_map<std::uint64_t, PointResult> cache;
+  util::FlatMap<std::uint64_t, PointResult> cache;
   if (!spec.checkpoint_path.empty()) {
     std::ifstream in(spec.checkpoint_path);
     CheckpointLoadStats stats;
@@ -465,9 +466,9 @@ RestoredCheckpoint restore_checkpoint(const SweepSpec& spec,
   }
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const std::uint64_t ds = point_seed(spec.base_seed, grid[i]);
-    const auto it = cache.find(ds);
-    if (it != cache.end() && same_point(it->second.point, grid[i])) {
-      out[i] = it->second;
+    const PointResult* hit = cache.find(ds);
+    if (hit != nullptr && same_point(hit->point, grid[i])) {
+      out[i] = *hit;
       ++r.restored;
     } else {
       r.todo.push_back(i);

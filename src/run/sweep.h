@@ -33,11 +33,11 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/scenario.h"
 #include "graph/graph.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 
 namespace bdg::run {
@@ -368,8 +368,11 @@ class CellAggregator {
 
   std::vector<State> states_;
   /// Coordinate-hash buckets (collisions resolved by exact match) so
-  /// million-point sweeps aggregate in O(points).
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
+  /// million-point sweeps aggregate in O(points). Lookup-only — cell
+  /// ordering comes from states_ (first-appearance grid order), never from
+  /// this map — and util::FlatMap makes the no-iteration property
+  /// structural: there is no begin()/end() to accidentally walk.
+  util::FlatMap<std::uint64_t, std::vector<std::size_t>> index_;
 };
 
 /// Rebuild result.cells from result.points: first-appearance (grid) order,

@@ -72,6 +72,9 @@ class FlatMap {
   };
 
  public:
+  using key_type = K;
+  using mapped_type = V;
+
   FlatMap() = default;
   explicit FlatMap(std::size_t expected) { reserve(expected); }
 
@@ -115,8 +118,12 @@ class FlatMap {
   V& operator[](K&& key) { return try_emplace(std::move(key)).first; }
 
   /// Returns {value-ref, inserted}. The key is moved in only on insert.
+  /// Materialized as K up front so probing hashes and compares the SAME
+  /// type the table stores (an int literal into a FlatSet<uint64_t> must
+  /// not probe with mixed-signedness comparisons).
   template <class KK>
-  std::pair<V&, bool> try_emplace(KK&& key) {
+  std::pair<V&, bool> try_emplace(KK&& key_in) {
+    K key(std::forward<KK>(key_in));
     grow_if_needed();
     const std::size_t mask = states_.size() - 1;
     std::size_t i = Hash{}(key)&mask;
@@ -126,7 +133,7 @@ class FlatMap {
         const std::size_t at = tomb != states_.size() ? tomb : i;
         if (at == i) ++used_;  // tombstone reuse doesn't consume a new slot
         states_[at] = State::kFull;
-        slots_[at].key = std::forward<KK>(key);
+        slots_[at].key = std::move(key);
         slots_[at].val = V{};
         ++size_;
         return {slots_[at].val, true};
@@ -220,6 +227,8 @@ class FlatMap {
 template <class K, class Hash = FlatHash>
 class FlatSet {
  public:
+  using key_type = K;
+
   FlatSet() = default;
   explicit FlatSet(std::size_t expected) : map_(expected) {}
 
@@ -240,6 +249,9 @@ class FlatSet {
 
   template <class F>
   void for_each(F&& f) const {
+    // FlatSet::for_each forwards to FlatMap::for_each without adding any
+    // ordering assumption of its own — callers are the audited sites.
+    // detlint: allow(unordered-iter) the primitive the rule polices
     map_.for_each([&f](const K& k, const Empty&) { f(k); });
   }
 

@@ -1,0 +1,71 @@
+#pragma once
+// Ordered snapshots of hash containers — the ONLY sanctioned way to
+// iterate a std::unordered_map/set or util::FlatMap/FlatSet in code that
+// feeds reports, checkpoints, seeds or RNG (detlint rule unordered-iter).
+//
+// Hash iteration order is a pure function of insertion history at best
+// (FlatMap) and implementation-defined at worst (libstdc++ vs libc++), so
+// any byte that depends on it silently breaks the repo's byte-identity
+// contracts. These helpers materialize the entries into a vector and sort
+// by key before anything downstream can observe the order; the one
+// allocation is the audit-visible price, which is why hot paths that can
+// prove order-insensitivity carry an allow pragma instead.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace bdg::util {
+
+/// Key-sorted (key, value) snapshot of a FlatMap (or anything exposing
+/// key_type/mapped_type and `for_each(f(const K&, const V&))`). Values are
+/// copied.
+template <class Map>
+[[nodiscard]] auto sorted_items(const Map& m) {
+  using Pair = std::pair<typename Map::key_type, typename Map::mapped_type>;
+  std::vector<Pair> out;
+  out.reserve(m.size());
+  // detlint: allow(unordered-iter) this helper IS the sanctioned snapshot
+  m.for_each([&out](const auto& k, const auto& v) { out.emplace_back(k, v); });
+  std::sort(out.begin(), out.end(),
+            [](const Pair& a, const Pair& b) { return a.first < b.first; });
+  return out;
+}
+
+/// Sorted key snapshot of a FlatSet (or anything exposing
+/// `for_each(f(const K&))`).
+template <class Set>
+[[nodiscard]] auto ordered_keys(const Set& s) {
+  using Key = typename Set::key_type;
+  std::vector<Key> out;
+  out.reserve(s.size());
+  // detlint: allow(unordered-iter) this helper IS the sanctioned snapshot
+  s.for_each([&out](const Key& k) { out.push_back(k); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Key-sorted snapshot of a std::unordered_map (iterator-based containers).
+template <class UMap>
+[[nodiscard]] auto sorted_items_std(const UMap& m) {
+  using Pair = std::pair<typename UMap::key_type, typename UMap::mapped_type>;
+  std::vector<Pair> out;
+  out.reserve(m.size());
+  // detlint: allow(unordered-iter) this helper IS the sanctioned snapshot
+  for (const auto& [k, v] : m) out.emplace_back(k, v);
+  std::sort(out.begin(), out.end(),
+            [](const Pair& a, const Pair& b) { return a.first < b.first; });
+  return out;
+}
+
+/// Sorted key snapshot of a std::unordered_set.
+template <class USet>
+[[nodiscard]] auto ordered_keys_std(const USet& s) {
+  std::vector<typename USet::key_type> out;
+  out.reserve(s.size());
+  // detlint: allow(unordered-iter) this helper IS the sanctioned snapshot
+  for (const auto& k : s) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bdg::util

@@ -87,14 +87,14 @@ TEST(CheckpointTorn, EveryTruncationOffsetOfLastRecordIsSkippedLoudly) {
     // Whatever loaded must bit-match a real completed point — a prefix
     // must never resurface as a (wrong) result.
     EXPECT_EQ(loaded.size(), stats.loaded);
-    for (const auto& [seed, result] : loaded) {
+    loaded.for_each([&](const std::uint64_t seed, const PointResult& result) {
       bool matches = false;
       for (const PointResult& p : full.points)
         if (p.derived_seed == seed && p.stats.moves == result.stats.moves &&
             p.detail == result.detail && same_point(p.point, result.point))
           matches = true;
       EXPECT_TRUE(matches) << "derived seed " << seed;
-    }
+    });
   }
   std::remove(spec.checkpoint_path.c_str());
 }

@@ -1,0 +1,31 @@
+// Negative sweep: the lookup idioms the tree actually uses must never be
+// flagged — find/contains/erase/operator[] on hash containers, std::for_each
+// over a vector, draws split across statements. Must come back clean.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.h"
+#include "util/rng.h"
+
+int lookups(bdg::util::Rng& rng) {
+  std::unordered_map<int, int> counts;
+  counts[3] = 4;
+  counts.erase(2);
+  const auto it = counts.find(3);
+  int total = it != counts.end() ? it->second : 0;
+
+  bdg::util::FlatMap<int, std::vector<int>> buckets;
+  auto& bucket = buckets[7];
+  bucket.push_back(1);
+  const std::vector<int>* hit = buckets.find(7);
+  if (hit != nullptr) total += static_cast<int>(hit->size());
+
+  std::vector<int> order;
+  std::for_each(order.begin(), order.end(), [&](int v) { total += v; });
+  for (const int v : order) total += v;
+  std::sort(order.begin(), order.end());
+
+  total += static_cast<int>(rng.below(4));
+  return total;
+}

@@ -1,0 +1,17 @@
+// Rule 3 seed: wall-clock / environment / ambient-entropy calls inside the
+// deterministic core. Linted under a src/core pseudo-path.
+// lint-as: src/core/fixture_nondet.cpp
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned ambient() {
+  std::random_device rd;  // FLAG: nondet-call
+  unsigned x = rd();
+  const auto now = std::chrono::system_clock::now();  // FLAG: nondet-call
+  (void)now;
+  const char* home = std::getenv("HOME");  // FLAG: nondet-call
+  if (home != nullptr) ++x;
+  x += static_cast<unsigned>(time(nullptr));  // FLAG: nondet-call
+  return x;
+}

@@ -1,0 +1,13 @@
+// Rule 3 negative case: the SAME ambient calls are fine outside the
+// deterministic core — run/bench layers own timing and environment.
+// lint-as: src/run/fixture_timing.cpp
+#include <chrono>
+#include <cstdlib>
+
+double wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const char* tag = std::getenv("BDG_RUN_TAG");
+  (void)tag;
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

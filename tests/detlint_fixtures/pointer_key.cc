@@ -1,0 +1,23 @@
+// Rule 4 seed: pointer-valued keys order by address, which differs run to
+// run (ASLR, allocation order) — the PR 8 merge-path cluster.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+int pointer_orders() {
+  std::map<Node*, int> rank;             // FLAG: pointer-key
+  std::set<const Node*> seen;            // FLAG: pointer-key
+  std::unordered_map<Node*, int> slots;  // FLAG: pointer-key
+  std::vector<Node*> order;
+  std::sort(order.begin(), order.end());  // FLAG: pointer-key
+  std::vector<Node*> by_addr;
+  std::sort(by_addr.begin(), by_addr.end(),  // FLAG: pointer-key
+            [](const Node* a, const Node* b) { return a < b; });
+  return static_cast<int>(rank.size() + seen.size() + slots.size());
+}

@@ -1,0 +1,19 @@
+// Rule 4 negative cases: stable-id keys, pointer VALUES (not keys), and
+// sorts over pointers that compare a stable field. Must come back clean.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+int stable_orders() {
+  std::map<int, Node*> by_id;  // pointer as VALUE is fine
+  std::vector<Node*> order;
+  std::sort(order.begin(), order.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+  std::vector<int> ids;
+  std::sort(ids.begin(), ids.end());
+  return static_cast<int>(by_id.size() + order.size() + ids.size());
+}

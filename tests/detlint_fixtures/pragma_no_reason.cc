@@ -1,0 +1,13 @@
+// Pragma hygiene seed: an allow pragma with no written reason is itself a
+// finding (the reason IS the audit trail) — while still suppressing the
+// site it covers, so exactly one finding comes back.
+#include <unordered_map>
+
+int fold() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // FLAG-NEXT: pragma
+  // detlint: allow(unordered-iter)
+  for (const auto& [k, v] : counts) total += v;
+  return total;
+}

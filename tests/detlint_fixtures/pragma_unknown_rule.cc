@@ -1,0 +1,12 @@
+// Pragma hygiene seed: an allow pragma naming a rule that does not exist
+// is flagged AND suppresses nothing.
+#include <unordered_map>
+
+int fold() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // FLAG-NEXT: pragma
+  // detlint: allow(unordered-iteration) typo'd rule name
+  for (const auto& [k, v] : counts) total += v;  // FLAG: unordered-iter
+  return total;
+}

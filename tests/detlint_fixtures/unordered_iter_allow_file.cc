@@ -1,0 +1,13 @@
+// Rule 1 pragma case: a file-scope allow covers every finding of that rule
+// in the file. Must come back clean.
+// detlint: allow-file(unordered-iter) fixture exercising file-scope allows
+#include <unordered_map>
+
+int sum_twice() {
+  std::unordered_map<int, int> a;
+  std::unordered_map<int, int> b;
+  int total = 0;
+  for (const auto& [k, v] : a) total += v;
+  for (const auto& [k, v] : b) total += v;
+  return total;
+}

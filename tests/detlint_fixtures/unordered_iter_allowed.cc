@@ -1,0 +1,16 @@
+// Rule 1 pragma cases: an audited allow pragma (with a reason) silences
+// the finding on its own line or the next; this fixture must come back
+// clean.
+#include <unordered_map>
+
+#include "util/flat_hash.h"
+
+int fold() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  // detlint: allow(unordered-iter) order-insensitive sum, audited here
+  for (const auto& [k, v] : counts) total += v;
+  bdg::util::FlatSet<int> members;
+  members.for_each([&](int id) { total += id; });  // detlint: allow(unordered-iter) contains-only consumer
+  return total;
+}

@@ -1,0 +1,14 @@
+// Rule 1 seed: explicit iterator walks and for_each are iteration too.
+#include <unordered_map>
+
+#include "util/flat_hash.h"
+
+int walk() {
+  std::unordered_map<int, int> table;
+  int total = 0;
+  for (auto it = table.begin(); it != table.end(); ++it)  // FLAG: unordered-iter
+    total += it->second;
+  bdg::util::FlatSet<int> members;
+  members.for_each([&](int id) { total += id; });  // FLAG: unordered-iter
+  return total;
+}

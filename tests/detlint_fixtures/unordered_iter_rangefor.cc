@@ -1,0 +1,17 @@
+// Rule 1 seed: range-for over hash containers leaks slot order.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/flat_hash.h"
+
+int sum_values() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 4;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;  // FLAG: unordered-iter
+  std::unordered_set<int> ids;
+  for (const int id : ids) total += id;  // FLAG: unordered-iter
+  bdg::util::FlatMap<int, int> fm;
+  for (const auto& kv : fm) total += kv.second;  // FLAG: unordered-iter
+  return total;
+}

@@ -1,0 +1,15 @@
+// Rule 2a seed: two RNG draws in one call argument list — C++ does not
+// sequence argument evaluation, so the draw order (and thus every
+// downstream baseline byte) is compiler-dependent.
+#include <cstdint>
+
+#include "util/rng.h"
+
+std::uint64_t combine(std::uint64_t a, std::uint64_t b);
+std::uint64_t mutate(bdg::util::Rng& rng);
+
+std::uint64_t draws(bdg::util::Rng& rng) {
+  std::uint64_t x = combine(rng.next(), rng.below(4));  // FLAG: unsequenced-rng
+  x += combine(mutate(rng), rng.next());  // FLAG: unsequenced-rng
+  return x;
+}

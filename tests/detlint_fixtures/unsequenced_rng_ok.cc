@@ -1,0 +1,20 @@
+// Rule 2 negative cases: hoisted draws, one draw per argument list, and a
+// draw in the conditional's CONDITION (sequenced before either arm) are
+// all legal. Must come back clean.
+#include <cstdint>
+
+#include "util/rng.h"
+
+std::uint64_t combine(std::uint64_t a, std::uint64_t b);
+
+std::uint64_t draws(bdg::util::Rng& rng, bool fast, std::uint64_t bound) {
+  const std::uint64_t a = rng.next();
+  const std::uint64_t b = rng.below(4);
+  std::uint64_t x = combine(a, b);
+  x += combine(x, rng.next());
+  if (rng.chance(1, 2)) x += 1;
+  const std::uint64_t arm = rng.chance(1, 2) ? x : bound;
+  std::uint64_t jitter = 0;
+  if (!fast && bound != 0) jitter = rng.below(bound);
+  return x + arm + jitter;
+}

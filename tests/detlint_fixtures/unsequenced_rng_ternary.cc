@@ -1,0 +1,13 @@
+// Rule 2b seed: an RNG draw inside a conditional-expression operand — the
+// exact PR 6 shape, where GCC 12 evaluated both arms of the conditional
+// inside a co_await argument and the draw sequence diverged by compiler.
+#include <cstdint>
+
+#include "util/rng.h"
+
+std::uint64_t jitter(bdg::util::Rng& rng, bool fast, std::uint64_t bound) {
+  std::uint64_t base = 7;
+  base += fast ? 0 : rng.below(bound);  // FLAG: unsequenced-rng
+  std::uint64_t pick = bound != 0 ? rng.next() : 0;  // FLAG: unsequenced-rng
+  return base + pick;
+}

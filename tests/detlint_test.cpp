@@ -1,0 +1,173 @@
+// detlint's own test tier: every fixture under tests/detlint_fixtures is a
+// seeded snippet the pass must flag (or pass) EXACTLY — no extra findings,
+// none missing — plus a whole-tree assertion that src/ tools/ bench/ are
+// lint-clean, which is the same gate the CI lint job enforces.
+//
+// Fixture grammar (inside each .cc file):
+//   // lint-as: src/core/fake.cpp   — lint under this pseudo-path (rule 3
+//                                     is directory-scoped); default is the
+//                                     fixture's real path
+//   ... code ...                    // FLAG: <rule>       — finding expected
+//                                                           on THIS line
+//   // FLAG-NEXT: <rule>            — finding expected on the NEXT line
+// A fixture with no FLAG markers asserts the snippet is clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+namespace {
+
+using bdg::detlint::Finding;
+using bdg::detlint::Rule;
+
+struct Expectation {
+  std::size_t line = 0;
+  Rule rule = Rule::kPragma;
+};
+
+[[nodiscard]] std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Parse `lint-as:` and FLAG markers out of the raw fixture text.
+void parse_fixture(const std::string& text, std::string& lint_as,
+                   std::vector<Expectation>& expected) {
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string ln = text.substr(pos, eol - pos);
+    if (const std::size_t at = ln.find("lint-as:"); at != std::string::npos) {
+      std::string p = ln.substr(at + 8);
+      p.erase(0, p.find_first_not_of(" \t"));
+      p.erase(p.find_last_not_of(" \t") + 1);
+      lint_as = p;
+    }
+    for (const auto& [marker, delta] :
+         {std::pair<std::string, std::size_t>{"FLAG-NEXT:", 1},
+          std::pair<std::string, std::size_t>{"FLAG:", 0}}) {
+      const std::size_t m = ln.find(marker);
+      if (m == std::string::npos) continue;
+      std::string name = ln.substr(m + marker.size());
+      name.erase(0, name.find_first_not_of(" \t"));
+      name.erase(name.find_last_not_of(" \t \r") + 1);
+      Rule r = Rule::kPragma;
+      const bool known = bdg::detlint::rule_from_name(name, r) ||
+                         name == "pragma";
+      EXPECT_TRUE(known) << "bad FLAG rule '" << name << "' line " << line;
+      if (name == "pragma") r = Rule::kPragma;
+      expected.push_back({line + delta, r});
+      break;  // FLAG-NEXT contains FLAG; first match wins
+    }
+    if (eol == text.size()) break;
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+[[nodiscard]] std::vector<std::filesystem::path> fixture_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(DETLINT_FIXTURE_DIR))
+    if (e.path().extension() == ".cc") files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Detlint, FixturesFlagExactly) {
+  const std::vector<std::filesystem::path> files = fixture_files();
+  ASSERT_FALSE(files.empty());
+  for (const auto& f : files) {
+    SCOPED_TRACE(f.filename().string());
+    const std::string text = read_file(f);
+    std::string lint_as = f.string();
+    std::vector<Expectation> expected;
+    parse_fixture(text, lint_as, expected);
+
+    std::vector<Finding> actual = bdg::detlint::lint_text(text, lint_as);
+    // Compare as sorted (line, rule) multisets; report any diff verbosely.
+    auto key = [](std::size_t line, Rule r) {
+      return std::to_string(line) + ":" + bdg::detlint::rule_name(r);
+    };
+    std::vector<std::string> want, got;
+    for (const Expectation& e : expected) want.push_back(key(e.line, e.rule));
+    for (const Finding& fd : actual) got.push_back(key(fd.line, fd.rule));
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    std::string detail;
+    for (const Finding& fd : actual) detail += "  " + format(fd) + "\n";
+    EXPECT_EQ(want, got) << "findings were:\n" << detail;
+  }
+}
+
+// Every rule family must have at least one fixture it flags — the
+// acceptance bar for the lint pass itself.
+TEST(Detlint, EveryRuleFamilyHasAFlaggedFixture) {
+  std::vector<bool> seen(5, false);
+  for (const auto& f : fixture_files()) {
+    const std::string text = read_file(f);
+    std::string lint_as = f.string();
+    std::vector<Expectation> expected;
+    parse_fixture(text, lint_as, expected);
+    for (const Expectation& e : expected)
+      seen[static_cast<std::size_t>(e.rule)] = true;
+  }
+  for (const Rule r : {Rule::kUnorderedIter, Rule::kUnsequencedRng,
+                       Rule::kNondetCall, Rule::kPointerKey, Rule::kPragma})
+    EXPECT_TRUE(seen[static_cast<std::size_t>(r)])
+        << "no flagged fixture for rule " << bdg::detlint::rule_name(r);
+}
+
+// The real tree is lint-clean: the merge requirement, enforced here so a
+// plain `ctest` catches a regression before CI does.
+TEST(Detlint, TreeIsClean) {
+  const std::string root = DETLINT_SOURCE_ROOT;
+  const std::vector<Finding> findings = bdg::detlint::lint_paths(
+      {root + "/src", root + "/tools", root + "/bench"});
+  std::string detail;
+  for (const Finding& f : findings) detail += "  " + format(f) + "\n";
+  EXPECT_TRUE(findings.empty()) << "tree has findings:\n" << detail;
+}
+
+// Pragmas must carry reasons, and pragma hygiene itself is never
+// suppressible — spot-check the semantics directly.
+TEST(Detlint, PragmaSemantics) {
+  // Build the marker from pieces so detlint's own tree scan (which reads
+  // this file only if tests/ were ever added to the roots) stays clean.
+  const std::string allow = std::string("// detlint") + ": allow";
+  const std::string code =
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  " + allow + "(unordered-iter) audited: order-insensitive fold\n"
+      "  for (const auto& kv : m) (void)kv;\n"
+      "}\n";
+  EXPECT_TRUE(bdg::detlint::lint_text(code, "src/run/x.cpp").empty());
+
+  const std::string no_reason =
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  " + allow + "(unordered-iter)\n"
+      "  for (const auto& kv : m) (void)kv;\n"
+      "}\n";
+  const std::vector<Finding> fs =
+      bdg::detlint::lint_text(no_reason, "src/run/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);  // the iteration is allowed, the pragma is not
+  EXPECT_EQ(fs[0].rule, Rule::kPragma);
+}
+
+}  // namespace

@@ -179,6 +179,47 @@ TEST(SweepResume, ShardedUnionEqualsUnshardedGrid) {
   std::remove(ck.c_str());
 }
 
+// The checkpoint's on-disk ORDER must be irrelevant: load_checkpoint
+// returns a lookup-only util::FlatMap matched against the grid by derived
+// seed, so a permuted (here: fully reversed) checkpoint file must restore
+// to byte-identical reports. This is the regression test behind the PR 10
+// unordered-map audit — report bytes may depend on grid order only, never
+// on checkpoint/container iteration order.
+TEST(SweepResume, CheckpointOrderIndependence) {
+  SweepSpec base = conformance_spec(1);
+  base.seeds = {1, 2};  // 128 points is plenty to permute
+  const std::string ck = temp_path("permuted.jsonl");
+  std::remove(ck.c_str());
+
+  SweepSpec recording = base;
+  recording.checkpoint_path = ck;
+  const SweepResult single = run_sweep(recording);
+  ASSERT_FALSE(single.aborted);
+
+  // Reverse the checkpoint's lines in place.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(ck);
+    ASSERT_TRUE(in);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GT(lines.size(), 2u);
+  {
+    std::ofstream out(ck, std::ios::trunc);
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it)
+      out << *it << "\n";
+  }
+
+  SweepSpec merged = base;
+  merged.checkpoint_path = ck;
+  const SweepResult full = run_sweep(merged);
+  EXPECT_EQ(full.from_checkpoint, single.points.size())
+      << "reversed checkpoint should restore every point";
+  expect_identical_results(single, full);
+  std::remove(ck.c_str());
+}
+
 // Checkpoint lines round-trip every PointResult field bit-exactly,
 // including doubles, escaped strings and the mix.
 TEST(SweepResume, CheckpointLinesRoundTrip) {
@@ -228,7 +269,7 @@ TEST(SweepResume, CheckpointLinesRoundTrip) {
   std::istringstream stream(os.str() + "half a line {\"v\": 1");
   const auto loaded = load_checkpoint(stream, fp);
   ASSERT_EQ(loaded.size(), 1u);
-  EXPECT_TRUE(loaded.count(p.derived_seed));
+  EXPECT_TRUE(loaded.contains(p.derived_seed));
   // Entries from a sweep with different spec knobs are filtered out.
   std::istringstream other(os.str());
   EXPECT_TRUE(load_checkpoint(other, fp + 1).empty());

@@ -6,9 +6,12 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "util/flat_hash.h"
+#include "util/ordered.h"
 #include "util/pool.h"
 #include "util/rng.h"
 #include "util/smallvec.h"
@@ -345,6 +348,44 @@ TEST(FlatHash, SetInsertContainsClear) {
   EXPECT_EQ(s.size(), 0u);
   EXPECT_FALSE(s.contains(5));
   EXPECT_TRUE(s.insert(5));
+}
+
+// ---- ordered.h snapshots (the sanctioned hash-iteration path) -------------
+
+TEST(Ordered, SortedItemsIsKeySortedRegardlessOfHistory) {
+  // Two maps with the same content built through DIFFERENT insert/erase
+  // histories have different slot orders; the snapshot must erase that.
+  util::FlatMap<std::uint64_t, int> a, b;
+  for (std::uint64_t k = 0; k < 50; ++k) a[k * 977] = static_cast<int>(k);
+  for (std::uint64_t k = 50; k-- > 0;) b[k * 977] = static_cast<int>(k);
+  b[12345] = -1;
+  b.erase(12345);
+  const auto sa = util::sorted_items(a);
+  const auto sb = util::sorted_items(b);
+  ASSERT_EQ(sa.size(), 50u);
+  EXPECT_EQ(sa, sb);
+  for (std::size_t i = 1; i < sa.size(); ++i)
+    EXPECT_LT(sa[i - 1].first, sa[i].first);
+}
+
+TEST(Ordered, OrderedKeysSortsFlatSet) {
+  util::FlatSet<std::uint64_t> s;
+  for (const std::uint64_t k : {9ull, 2ull, 7ull, 2ull, 1ull}) s.insert(k);
+  const std::vector<std::uint64_t> keys = util::ordered_keys(s);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 7, 9}));
+}
+
+TEST(Ordered, StdVariantsSortUnorderedContainers) {
+  std::unordered_map<int, std::string> m;
+  m[3] = "c";
+  m[1] = "a";
+  m[2] = "b";
+  const auto items = util::sorted_items_std(m);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], (std::pair<int, std::string>{1, "a"}));
+  EXPECT_EQ(items[2].second, "c");
+  std::unordered_set<int> s{5, 3, 4};
+  EXPECT_EQ(util::ordered_keys_std(s), (std::vector<int>{3, 4, 5}));
 }
 
 // ---- PayloadPool / PayloadRef ---------------------------------------------

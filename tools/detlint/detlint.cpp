@@ -1,0 +1,970 @@
+// Token-level implementation. The pipeline per file:
+//   1. collect detlint pragmas from the raw text (they live in comments);
+//   2. blank comments, string literals and char literals (preserving
+//      offsets and newlines) so every later scan sees only code;
+//   3. track declarations of interesting container variables;
+//   4. run the four rule scans over the blanked text;
+//   5. drop findings covered by a pragma, append pragma-hygiene findings.
+#include "detlint/detlint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bdg::detlint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small text utilities
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Offsets of every '\n', for offset -> 1-based line lookups.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text) {
+    for (std::size_t i = 0; i < text.size(); ++i)
+      if (text[i] == '\n') newlines_.push_back(i);
+  }
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const {
+    return static_cast<std::size_t>(
+               std::lower_bound(newlines_.begin(), newlines_.end(), offset) -
+               newlines_.begin()) +
+           1;
+  }
+
+ private:
+  std::vector<std::size_t> newlines_;
+};
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+struct Pragma {
+  Rule rule = Rule::kPragma;
+  std::size_t line = 0;  ///< 1-based line the pragma comment sits on
+  bool file_scope = false;
+  bool valid = false;       ///< rule name parsed
+  bool has_reason = false;  ///< non-empty reason text after the ')'
+  std::string bad_rule;     ///< unknown rule spelling, for the finding
+};
+
+/// Scan each raw line for allow / allow-file pragmas. detlint's own
+/// sources never spell the pragma marker as one literal (here it is
+/// assembled from two pieces), so the pass can lint itself without
+/// tripping on this string.
+void collect_pragmas(std::string_view text, std::vector<Pragma>& out) {
+  static const std::string kMarker = std::string("detlint") + ": allow";
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view ln =
+        text.substr(pos, (eol == std::string_view::npos ? text.size() : eol) -
+                             pos);
+    const std::size_t at = ln.find(kMarker);
+    if (at != std::string_view::npos) {
+      Pragma p;
+      p.line = line;
+      std::string_view rest = ln.substr(at + kMarker.size());
+      if (rest.rfind("-file", 0) == 0) {
+        p.file_scope = true;
+        rest.remove_prefix(5);
+      }
+      if (!rest.empty() && rest.front() == '(') {
+        const std::size_t close = rest.find(')');
+        if (close != std::string_view::npos) {
+          const std::string_view name = trim(rest.substr(1, close - 1));
+          p.valid = rule_from_name(name, p.rule);
+          if (!p.valid) p.bad_rule = std::string(name);
+          p.has_reason = !trim(rest.substr(close + 1)).empty();
+        }
+      }
+      out.push_back(std::move(p));
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comment / literal blanking
+// ---------------------------------------------------------------------------
+
+/// Replace comments, string literals (incl. raw strings) and char literals
+/// with spaces, preserving every offset and newline.
+[[nodiscard]] std::string blank_noncode(std::string_view text) {
+  std::string out(text);
+  std::size_t i = 0;
+  const auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t j = from; j < to && j < out.size(); ++j)
+      if (out[j] != '\n') out[j] = ' ';
+  };
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string_view::npos) end = text.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      end = end == std::string_view::npos ? text.size() : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"' &&
+               (i == 0 || !ident_char(text[i - 1]))) {
+      // Raw string R"delim( ... )delim"
+      const std::size_t open = text.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      const std::string delim(text.substr(i + 2, open - (i + 2)));
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, open + 1);
+      end = end == std::string_view::npos ? text.size() : end + closer.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      // 'c' may also be a digit separator (1'000) — only treat a quote as
+      // a char literal when not sandwiched between digits.
+      if (c == '\'' && i > 0 &&
+          std::isdigit(static_cast<unsigned char>(text[i - 1])) != 0 &&
+          i + 1 < text.size() &&
+          (std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0)) {
+        out[i] = ' ';
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != c) {
+        if (text[j] == '\\') ++j;
+        if (text[j] == '\n') break;  // unterminated: stop at the line end
+        ++j;
+      }
+      blank(i, std::min(j + 1, text.size()));
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Paren spans (for call-argument-list analysis)
+// ---------------------------------------------------------------------------
+
+enum class SpanKind { kCall, kControl, kGroup };
+
+struct ParenSpan {
+  std::size_t open = 0;    ///< offset of '('
+  std::size_t close = 0;   ///< offset of ')'
+  std::size_t callee = 0;  ///< start of the callee identifier (kCall only)
+  SpanKind kind = SpanKind::kGroup;
+};
+
+[[nodiscard]] bool is_control_keyword(std::string_view id) {
+  static constexpr std::array<std::string_view, 12> kKw = {
+      "for",    "if",     "while",     "switch",  "catch",  "return",
+      "sizeof", "alignof", "co_await", "co_return", "co_yield", "throw"};
+  return std::find(kKw.begin(), kKw.end(), id) != kKw.end();
+}
+
+[[nodiscard]] std::vector<ParenSpan> paren_spans(std::string_view code) {
+  std::vector<ParenSpan> spans;
+  std::vector<std::size_t> stack;  // indices into spans
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '(') {
+      ParenSpan s;
+      s.open = i;
+      // Look back over whitespace for what precedes the '('.
+      std::size_t j = i;
+      while (j > 0 &&
+             std::isspace(static_cast<unsigned char>(code[j - 1])) != 0)
+        --j;
+      if (j > 0 && (ident_char(code[j - 1]) || code[j - 1] == '>')) {
+        std::size_t b = j;
+        while (b > 0 && ident_char(code[b - 1])) --b;
+        const std::string_view id = code.substr(b, j - b);
+        if (!id.empty() && !is_control_keyword(id)) {
+          s.kind = SpanKind::kCall;
+          s.callee = b;
+        } else {
+          s.kind = id.empty() ? SpanKind::kGroup : SpanKind::kControl;
+        }
+      }
+      stack.push_back(spans.size());
+      spans.push_back(s);
+    } else if (code[i] == ')' && !stack.empty()) {
+      spans[stack.back()].close = i;
+      stack.pop_back();
+    }
+  }
+  // Unclosed spans (shouldn't happen in compiling code): close at EOF.
+  for (const std::size_t idx : stack) spans[idx].close = code.size();
+  return spans;
+}
+
+/// Innermost call-kind span containing `pos`, or npos.
+[[nodiscard]] std::size_t innermost_call(const std::vector<ParenSpan>& spans,
+                                         std::size_t pos) {
+  std::size_t best = std::string_view::npos;
+  std::size_t best_width = std::string_view::npos;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const ParenSpan& s = spans[i];
+    if (s.kind != SpanKind::kCall) continue;
+    if (pos <= s.open || pos >= s.close) continue;
+    const std::size_t width = s.close - s.open;
+    if (width < best_width) {
+      best_width = width;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration tracking
+// ---------------------------------------------------------------------------
+
+enum class VarKind { kUnordered, kPtrVector };
+
+struct TrackedVar {
+  std::string name;
+  VarKind kind = VarKind::kUnordered;
+};
+
+/// Parse balanced template arguments starting at the '<' at `pos`;
+/// returns one-past the closing '>' (npos if unbalanced) and fills
+/// `first_arg` with the depth-0 text before the first ',' (or the whole
+/// argument list when there is no comma).
+[[nodiscard]] std::size_t parse_template_args(std::string_view code,
+                                              std::size_t pos,
+                                              std::string& first_arg) {
+  int depth = 0;
+  std::size_t first_end = std::string_view::npos;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      // `->` is not a template closer.
+      if (i > 0 && code[i - 1] == '-') continue;
+      --depth;
+      if (depth == 0) {
+        if (first_end == std::string_view::npos) first_end = i;
+        first_arg = std::string(
+            trim(code.substr(pos + 1, first_end - pos - 1)));
+        return i + 1;
+      }
+    } else if (c == ',' && depth == 1) {
+      if (first_end == std::string_view::npos) first_end = i;
+    } else if (c == ';') {
+      return std::string_view::npos;  // statement ended mid-template: bail
+    }
+  }
+  return std::string_view::npos;
+}
+
+struct ContainerMention {
+  std::size_t name_pos = 0;  ///< offset of the container identifier
+  std::size_t args_end = 0;  ///< one past the closing '>'
+  std::string first_arg;
+  bool unordered = false;  ///< hash container (vs ordered map/set/vector)
+  bool ordered = false;    ///< std::map/set/multimap/multiset
+  bool vector = false;
+};
+
+/// All mentions of interesting container templates, with their first
+/// template argument parsed.
+[[nodiscard]] std::vector<ContainerMention> container_mentions(
+    std::string_view code) {
+  struct Pat {
+    std::string_view name;
+    bool unordered, ordered, vector;
+  };
+  static constexpr std::array<Pat, 9> kPats = {{
+      {"unordered_map", true, false, false},
+      {"unordered_set", true, false, false},
+      {"FlatMap", true, false, false},
+      {"FlatSet", true, false, false},
+      {"map", false, true, false},
+      {"multimap", false, true, false},
+      {"set", false, true, false},
+      {"multiset", false, true, false},
+      {"vector", false, false, true},
+  }};
+  std::vector<ContainerMention> out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string_view id = code.substr(i, j - i);
+    for (const Pat& p : kPats) {
+      if (id != p.name) continue;
+      // The ordered containers are only recognized std::-qualified
+      // (bare `map`/`set` identifiers are common as locals); the hash
+      // containers and vector are recognized bare too.
+      if (p.ordered) {
+        if (i < 5 || code.substr(i - 5, 5) != "std::") break;
+      }
+      std::size_t k = j;
+      while (k < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[k])) != 0)
+        ++k;
+      if (k >= code.size() || code[k] != '<') break;
+      ContainerMention m;
+      m.name_pos = i;
+      m.unordered = p.unordered;
+      m.ordered = p.ordered;
+      m.vector = p.vector;
+      m.args_end = parse_template_args(code, k, m.first_arg);
+      if (m.args_end != std::string_view::npos) out.push_back(std::move(m));
+      break;
+    }
+    i = j;
+  }
+  return out;
+}
+
+/// Variable names declared with tracked container types. Heuristic: after
+/// the closing '>' (and any `&`, `*`, `const`, whitespace) an identifier
+/// that is not immediately a function declaration is the declarator.
+[[nodiscard]] std::vector<TrackedVar> tracked_vars(
+    std::string_view code, const std::vector<ContainerMention>& mentions) {
+  std::vector<TrackedVar> vars;
+  for (const ContainerMention& m : mentions) {
+    const bool ptr_vec = m.vector && !m.first_arg.empty() &&
+                         m.first_arg.back() == '*';
+    if (!m.unordered && !ptr_vec) continue;
+    std::size_t i = m.args_end;
+    while (i < code.size()) {
+      if (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+          code[i] == '&' || code[i] == '*') {
+        ++i;
+        continue;
+      }
+      if (code.compare(i, 5, "const") == 0 && !ident_char(code[i + 5])) {
+        i += 5;
+        continue;
+      }
+      break;
+    }
+    if (i >= code.size() || !ident_char(code[i]) ||
+        std::isdigit(static_cast<unsigned char>(code[i])) != 0)
+      continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string name(code.substr(i, j - i));
+    std::size_t k = j;
+    while (k < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[k])) != 0)
+      ++k;
+    if (k < code.size() && code[k] == '(') {
+      // `T name(...)` is a function declaration unless the parens clearly
+      // hold constructor arguments (digits, member access, literals).
+      std::size_t close = k;
+      int depth = 0;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      const std::string_view inside = code.substr(k + 1, close - k - 1);
+      const bool ctorish =
+          inside.find_first_of("0123456789.\"[") != std::string_view::npos ||
+          inside.find("->") != std::string_view::npos;
+      if (!ctorish) continue;
+    }
+    if (k < code.size() && code[k] == ':' && k + 1 < code.size() &&
+        code[k + 1] == ':')
+      continue;  // `Type<...>::member` — a qualified name, not a declarator
+    vars.push_back({name, ptr_vec ? VarKind::kPtrVector : VarKind::kUnordered});
+  }
+  return vars;
+}
+
+[[nodiscard]] bool is_tracked(const std::vector<TrackedVar>& vars,
+                              std::string_view name, VarKind kind) {
+  for (const TrackedVar& v : vars)
+    if (v.kind == kind && v.name == name) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: unordered-iter
+// ---------------------------------------------------------------------------
+
+void scan_unordered_iter(std::string_view code, const LineIndex& lines,
+                         const std::vector<TrackedVar>& vars,
+                         std::vector<Finding>& out) {
+  // Range-for over a tracked hash container.
+  for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+    if (code.compare(i, 3, "for") != 0) continue;
+    if (i > 0 && ident_char(code[i - 1])) continue;
+    if (ident_char(code[i + 3])) continue;
+    std::size_t open = i + 3;
+    while (open < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[open])) != 0)
+      ++open;
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    std::size_t colon = std::string_view::npos;
+    std::size_t close = open;
+    for (std::size_t j = open; j < code.size(); ++j) {
+      const char c = code[j];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        if (--depth == 0 && c == ')') {
+          close = j;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string_view::npos) {
+        if (j + 1 < code.size() && code[j + 1] == ':') continue;
+        if (j > 0 && code[j - 1] == ':') continue;
+        colon = j;
+      }
+    }
+    if (colon == std::string_view::npos || close <= colon) continue;
+    std::string_view range = trim(code.substr(colon + 1, close - colon - 1));
+    if (range.rfind("this->", 0) == 0) range.remove_prefix(6);
+    while (!range.empty() && (range.front() == '*' || range.front() == '('))
+      range.remove_prefix(1);
+    while (!range.empty() && range.back() == ')') range.remove_suffix(1);
+    range = trim(range);
+    if (!range.empty() &&
+        std::all_of(range.begin(), range.end(), ident_char) &&
+        is_tracked(vars, range, VarKind::kUnordered)) {
+      out.push_back({"", lines.line_of(i), Rule::kUnorderedIter,
+                     "range-for over hash container '" + std::string(range) +
+                         "': iteration order is not canonical — snapshot "
+                         "via util::sorted_items()/ordered_keys() or carry "
+                         "an audited allow pragma"});
+    }
+  }
+
+  // NAME.begin()/cbegin()/rbegin() on a tracked container, and
+  // .for_each(...) on anything (the method name is unique to
+  // util::FlatMap/FlatSet here; std::for_each is '::'-qualified).
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string_view id = code.substr(i, j - i);
+    std::size_t k = j;
+    const bool dot = k < code.size() && code[k] == '.';
+    const bool arrow =
+        k + 1 < code.size() && code[k] == '-' && code[k + 1] == '>';
+    if (dot || arrow) {
+      std::size_t m = k + (dot ? 1 : 2);
+      std::size_t e = m;
+      while (e < code.size() && ident_char(code[e])) ++e;
+      const std::string_view method = code.substr(m, e - m);
+      std::size_t p = e;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p])) != 0)
+        ++p;
+      if (p >= code.size() || code[p] != '(') {
+        i = j;
+        continue;
+      }
+      if ((method == "begin" || method == "cbegin" || method == "rbegin") &&
+          is_tracked(vars, id, VarKind::kUnordered)) {
+        out.push_back({"", lines.line_of(i), Rule::kUnorderedIter,
+                       "iterator walk of hash container '" + std::string(id) +
+                           "': order is not canonical — snapshot via "
+                           "util::sorted_items()/ordered_keys() or carry an "
+                           "audited allow pragma"});
+      }
+    }
+    i = j;
+  }
+  for (std::size_t i = 0; i + 9 < code.size(); ++i) {
+    if (code.compare(i, 9, "for_each(") != 0 &&
+        code.compare(i, 9, "for_each ") != 0)
+      continue;
+    if (i < 1 || (code[i - 1] != '.' &&
+                  !(i >= 2 && code[i - 1] == '>' && code[i - 2] == '-')))
+      continue;
+    out.push_back({"", lines.line_of(i), Rule::kUnorderedIter,
+                   ".for_each() walks slot order (a pure function of "
+                   "insertion history, never canonical) — snapshot via "
+                   "util::sorted_items()/ordered_keys() or carry an audited "
+                   "allow pragma"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: unsequenced-rng
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool rngish(std::string_view id) {
+  std::string low(id);
+  std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return low.find("rng") != std::string::npos;
+}
+
+[[nodiscard]] bool is_draw_method(std::string_view m) {
+  static constexpr std::array<std::string_view, 7> kDraw = {
+      "next", "below", "range", "chance", "uniform", "fork", "shuffle"};
+  return std::find(kDraw.begin(), kDraw.end(), m) != kDraw.end();
+}
+
+void scan_unsequenced_rng(std::string_view code, const LineIndex& lines,
+                          std::vector<Finding>& out) {
+  const std::vector<ParenSpan> spans = paren_spans(code);
+
+  // Draw roots: offset of the expression that consumes generator state.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string_view id = code.substr(i, j - i);
+    if (!rngish(id)) {
+      i = j;
+      continue;
+    }
+    const bool dot = j < code.size() && code[j] == '.';
+    const bool arrow =
+        j + 1 < code.size() && code[j] == '-' && code[j + 1] == '>';
+    if (dot || arrow) {
+      std::size_t m = j + (dot ? 1 : 2);
+      std::size_t e = m;
+      while (e < code.size() && ident_char(code[e])) ++e;
+      if (is_draw_method(code.substr(m, e - m)) && e < code.size() &&
+          code[e] == '(')
+        roots.push_back(i);  // rng.below(...) — root at the receiver
+      i = j;
+      continue;
+    }
+    // Bare rng-named object passed as an argument: the enclosing call is
+    // the draw. Only count argument positions (preceded by ',' or '('),
+    // and skip callee/type positions (followed by '(', '::', or another
+    // identifier — `Rng rng` declarations).
+    if (j < code.size() && (code[j] == '(' || code[j] == ':')) {
+      i = j;
+      continue;
+    }
+    std::size_t b = i;
+    while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1])) != 0)
+      --b;
+    if (b == 0 || (code[b - 1] != ',' && code[b - 1] != '(')) {
+      i = j;
+      continue;
+    }
+    std::size_t k = j;
+    while (k < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[k])) != 0)
+      ++k;
+    if (k < code.size() && ident_char(code[k])) {
+      i = j;
+      continue;  // `Rng rng` — a declaration, not an argument
+    }
+    const std::size_t call = innermost_call(spans, i);
+    if (call != std::string_view::npos) roots.push_back(spans[call].callee);
+    i = j;
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+
+  // (a) two or more draws whose innermost enclosing call is the same
+  // argument list: argument evaluation order is unspecified.
+  std::vector<std::size_t> per_span_count(spans.size(), 0);
+  std::vector<std::size_t> per_span_first(spans.size(), 0);
+  for (const std::size_t r : roots) {
+    const std::size_t call = innermost_call(spans, r);
+    if (call == std::string_view::npos) continue;
+    if (per_span_count[call]++ == 0) per_span_first[call] = r;
+  }
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    if (per_span_count[s] < 2) continue;
+    out.push_back({"", lines.line_of(spans[s].open), Rule::kUnsequencedRng,
+                   std::to_string(per_span_count[s]) +
+                       " RNG draws in one call argument list: evaluation "
+                       "order is unspecified — hoist the draws into named "
+                       "locals"});
+  }
+
+  // (b) a draw inside a conditional-expression operand (after the '?').
+  // Statements are spans between ';' (at paren depth 0), '{' and '}'.
+  std::size_t stmt_start = 0;
+  int pdepth = 0;
+  const auto flag_ternary_draws = [&](std::size_t from, std::size_t to) {
+    std::size_t q = std::string_view::npos;
+    int d = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (code[i] == '(') ++d;
+      if (code[i] == ')') --d;
+      if (code[i] == '?') {
+        q = i;
+        break;
+      }
+    }
+    if (q == std::string_view::npos) return;
+    for (const std::size_t r : roots) {
+      if (r > q && r < to) {
+        out.push_back(
+            {"", lines.line_of(r), Rule::kUnsequencedRng,
+             "RNG draw inside a conditional-expression operand — the PR 6 "
+             "GCC-12 class (both arms evaluated in build-dependent order "
+             "inside a co_await argument): hoist the draw above the "
+             "conditional"});
+      }
+    }
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '(') ++pdepth;
+    if (c == ')') --pdepth;
+    if ((c == ';' && pdepth == 0) || c == '{' || c == '}') {
+      flag_ternary_draws(stmt_start, i);
+      stmt_start = i + 1;
+    }
+  }
+  flag_ternary_draws(stmt_start, code.size());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: nondet-call
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool in_deterministic_core(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  for (const std::string_view dir :
+       {"src/core/", "src/sim/", "src/explore/", "src/gather/"})
+    if (p.find(dir) != std::string::npos) return true;
+  return false;
+}
+
+void scan_nondet_call(std::string_view code, const LineIndex& lines,
+                      std::string_view path, std::vector<Finding>& out) {
+  if (!in_deterministic_core(path)) return;
+  // Identifiers that are nondeterministic wherever they appear.
+  static constexpr std::array<std::string_view, 13> kAlways = {
+      "random_device",  "system_clock", "steady_clock",
+      "high_resolution_clock", "getenv", "secure_getenv",
+      "gettimeofday",   "localtime",    "gmtime",
+      "strftime",       "setlocale",    "localeconv",
+      "mktime"};
+  // Identifiers flagged only as free-function calls (`name(`) — common
+  // words otherwise (a member `time()` would be deliberate API).
+  static constexpr std::array<std::string_view, 6> kCallOnly = {
+      "time", "clock", "rand", "srand", "rand_r", "drand48"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string_view id = code.substr(i, j - i);
+    bool hit = std::find(kAlways.begin(), kAlways.end(), id) != kAlways.end();
+    if (!hit &&
+        std::find(kCallOnly.begin(), kCallOnly.end(), id) != kCallOnly.end()) {
+      // Must look like a free-function call: '(' follows, and no member
+      // access or qualification other than std:: precedes.
+      std::size_t k = j;
+      while (k < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[k])) != 0)
+        ++k;
+      const bool member =
+          i >= 1 && (code[i - 1] == '.' ||
+                     (i >= 2 && code[i - 1] == '>' && code[i - 2] == '-'));
+      const bool qualified = i >= 2 && code[i - 1] == ':' && code[i - 2] == ':';
+      const bool std_qualified = qualified && i >= 5 &&
+                                 code.compare(i - 5, 5, "std::") == 0;
+      hit = k < code.size() && code[k] == '(' && !member &&
+            (!qualified || std_qualified);
+    }
+    if (hit) {
+      out.push_back({"", lines.line_of(i), Rule::kNondetCall,
+                     "'" + std::string(id) +
+                         "' in a deterministic-core directory: all "
+                         "randomness flows through bdg::Rng, all timing "
+                         "stays in run/bench layers"});
+    }
+    i = j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: pointer-key
+// ---------------------------------------------------------------------------
+
+void scan_pointer_key(std::string_view code, const LineIndex& lines,
+                      const std::vector<ContainerMention>& mentions,
+                      const std::vector<TrackedVar>& vars,
+                      std::vector<Finding>& out) {
+  for (const ContainerMention& m : mentions) {
+    if (m.vector) continue;
+    if (m.first_arg.empty() || m.first_arg.back() != '*') continue;
+    out.push_back({"", lines.line_of(m.name_pos), Rule::kPointerKey,
+                   "pointer-valued key '" + m.first_arg +
+                       "' in an associative container: iteration/hash order "
+                       "becomes address order, which differs run to run"});
+  }
+
+  // Sorts whose comparator orders by raw pointer value, and two-iterator
+  // sorts over a tracked vector-of-pointers.
+  static constexpr std::array<std::string_view, 4> kSorts = {
+      "sort", "stable_sort", "partial_sort", "nth_element"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!ident_char(code[i]) || (i > 0 && ident_char(code[i - 1]))) continue;
+    std::size_t j = i;
+    while (j < code.size() && ident_char(code[j])) ++j;
+    const std::string_view id = code.substr(i, j - i);
+    if (std::find(kSorts.begin(), kSorts.end(), id) == kSorts.end()) {
+      i = j;
+      continue;
+    }
+    if (j >= code.size() || code[j] != '(') {
+      i = j;
+      continue;
+    }
+    // Split top-level arguments.
+    std::vector<std::string_view> args;
+    int depth = 0;
+    std::size_t arg_start = j + 1;
+    std::size_t close = j;
+    // Angle brackets are NOT tracked: a comparator body's `a < b` is a
+    // comparison, not a bracket, and would unbalance the count. Commas
+    // inside lambdas sit behind [ ( { depth already; a template-id comma
+    // in an argument mis-splits, which the shape checks below tolerate.
+    for (std::size_t k = j; k < code.size(); ++k) {
+      const char c = code[k];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0 && c == ')') {
+          args.push_back(trim(code.substr(arg_start, k - arg_start)));
+          close = k;
+          break;
+        }
+      }
+      if (c == ',' && depth == 1)
+        args.push_back(trim(code.substr(arg_start, k - arg_start))),
+            arg_start = k + 1;
+    }
+    if (close == j) {
+      i = j;
+      continue;
+    }
+    if (args.size() == 2 && args[0].size() > 8 &&
+        args[0].substr(args[0].size() - 8) == ".begin()") {
+      const std::string_view recv = args[0].substr(0, args[0].size() - 8);
+      if (std::all_of(recv.begin(), recv.end(), ident_char) &&
+          is_tracked(vars, recv, VarKind::kPtrVector)) {
+        out.push_back({"", lines.line_of(i), Rule::kPointerKey,
+                       "sorting a vector of pointers '" + std::string(recv) +
+                           "' by address: the order differs run to run — "
+                           "sort by a stable field instead"});
+      }
+    }
+    if (!args.empty() && !args.back().empty() && args.back().front() == '[') {
+      // Comparator lambda: params with a '*' compared directly by < or >.
+      const std::string_view lam = args.back();
+      const std::size_t po = lam.find('(');
+      const std::size_t pc = po == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : lam.find(')', po);
+      if (po != std::string_view::npos && pc != std::string_view::npos &&
+          lam.substr(po, pc - po).find('*') != std::string_view::npos) {
+        // Parameter names: last identifier of each comma-separated param.
+        std::vector<std::string> params;
+        std::size_t s = po + 1;
+        for (std::size_t k = po + 1; k <= pc; ++k) {
+          if (k == pc || lam[k] == ',') {
+            std::string_view param = trim(lam.substr(s, k - s));
+            std::size_t e = param.size();
+            while (e > 0 && ident_char(param[e - 1])) --e;
+            if (e < param.size()) params.emplace_back(param.substr(e));
+            s = k + 1;
+          }
+        }
+        const std::size_t body = lam.find('{', pc);
+        if (params.size() == 2 && body != std::string_view::npos) {
+          const std::string_view b = lam.substr(body);
+          for (const auto& [l, r] : {std::pair{params[0], params[1]},
+                                     std::pair{params[1], params[0]}}) {
+            for (const char op : {'<', '>'}) {
+              const std::string needle = l + " " + op + " " + r;
+              std::string squashed;
+              for (const char c : b)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                  squashed.push_back(c);
+              std::string sq_needle;
+              for (const char c : needle)
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                  sq_needle.push_back(c);
+              if (squashed.find("return" + sq_needle) != std::string::npos) {
+                out.push_back(
+                    {"", lines.line_of(i), Rule::kPointerKey,
+                     "sort comparator orders by raw pointer value: the "
+                     "order differs run to run — compare a stable field"});
+                goto next_sort;
+              }
+            }
+          }
+        }
+      }
+    }
+  next_sort:
+    i = j;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const char* rule_name(Rule r) {
+  switch (r) {
+    case Rule::kUnorderedIter:
+      return "unordered-iter";
+    case Rule::kUnsequencedRng:
+      return "unsequenced-rng";
+    case Rule::kNondetCall:
+      return "nondet-call";
+    case Rule::kPointerKey:
+      return "pointer-key";
+    case Rule::kPragma:
+      return "pragma";
+  }
+  throw std::invalid_argument("detlint::rule_name: corrupt Rule");
+}
+
+bool rule_from_name(std::string_view name, Rule& out) {
+  for (const Rule r : {Rule::kUnorderedIter, Rule::kUnsequencedRng,
+                       Rule::kNondetCall, Rule::kPointerKey}) {
+    if (name == rule_name(r)) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string format(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + rule_name(f.rule) +
+         "] " + f.message;
+}
+
+std::vector<Finding> lint_text(std::string_view text, std::string path) {
+  std::vector<Pragma> pragmas;
+  collect_pragmas(text, pragmas);
+
+  const std::string code = blank_noncode(text);
+  const LineIndex lines(code);
+  const std::vector<ContainerMention> mentions = container_mentions(code);
+  const std::vector<TrackedVar> vars = tracked_vars(code, mentions);
+
+  std::vector<Finding> raw;
+  scan_unordered_iter(code, lines, vars, raw);
+  scan_unsequenced_rng(code, lines, raw);
+  scan_nondet_call(code, lines, path, raw);
+  scan_pointer_key(code, lines, mentions, vars, raw);
+
+  // Apply pragmas: file scope, or same/previous line (a standalone pragma
+  // comment covers the statement below it).
+  std::vector<Finding> kept;
+  for (Finding& f : raw) {
+    bool allowed = false;
+    for (const Pragma& p : pragmas) {
+      if (!p.valid || p.rule != f.rule) continue;
+      if (p.file_scope || p.line == f.line || p.line + 1 == f.line) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) kept.push_back(std::move(f));
+  }
+
+  // Pragma hygiene is never suppressible: the written reason IS the audit.
+  for (const Pragma& p : pragmas) {
+    if (!p.valid) {
+      kept.push_back({"", p.line, Rule::kPragma,
+                      "allow pragma names unknown rule '" + p.bad_rule +
+                          "' (or is malformed)"});
+    } else if (!p.has_reason) {
+      kept.push_back({"", p.line, Rule::kPragma,
+                      "allow pragma for '" + std::string(rule_name(p.rule)) +
+                          "' carries no reason — the written reason is the "
+                          "audit trail"});
+    }
+  }
+
+  for (Finding& f : kept) f.path = path;
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return kept;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("detlint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lint_text(ss.str(), path);
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    if (fs::is_regular_file(p)) {
+      files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p))
+      throw std::runtime_error("detlint: no such file or directory: " + p);
+    for (auto it = fs::recursive_directory_iterator(p);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const std::string name = it->path().filename().string();
+      if (it->is_directory() &&
+          (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0)) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp")
+        files.push_back(it->path().string());
+    }
+  }
+  // Directory enumeration order is filesystem-dependent; the lint output
+  // must not be.
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> out;
+  for (const std::string& f : files) {
+    std::vector<Finding> one = lint_file(f);
+    out.insert(out.end(), std::make_move_iterator(one.begin()),
+               std::make_move_iterator(one.end()));
+  }
+  return out;
+}
+
+}  // namespace bdg::detlint

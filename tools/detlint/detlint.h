@@ -1,0 +1,99 @@
+#pragma once
+// detlint — the repo's determinism-and-safety static analysis pass.
+//
+// Every claim this reproduction makes (byte-identical sweep resume,
+// sweepd merge-by-construction, batched-vs-unbatched verdict pins) rests
+// on bit-exact determinism, and the bug history is concentrated in a few
+// mechanical patterns: an RNG draw inside a conditional expression that
+// GCC 12 evaluated on both arms inside a co_await argument (PR 6), and
+// hash-order iteration feeding ordered output. detlint moves those
+// classes from "a reviewer noticed" to "a tool enforces on every push".
+//
+// It is deliberately token/regex-level over the source text — no libclang,
+// no compile — so CI can build and run it from the normal CMake tree in
+// seconds. The price is heuristics: a finding is a *suspect site*, and an
+// audited site carries an allow pragma with a written reason:
+//
+//   // detlint: allow(unordered-iter) why the site is safe   — this line
+//                                                              or the next
+//   // detlint: allow-file(unordered-iter) why the file is safe — whole file
+//
+// A pragma without a reason is itself a finding: the audit trail is part
+// of the contract.
+//
+// Rules:
+//   unordered-iter   Iteration over a hash container (std::unordered_map/
+//                    set, util::FlatMap/FlatSet): range-for over a tracked
+//                    variable, .begin()/.cbegin()/.rbegin() on one, or any
+//                    .for_each(...) call. Hash-order iteration must route
+//                    through util::sorted_items()/ordered_keys() (which
+//                    sort before anything downstream consumes the
+//                    entries) or carry an audited pragma arguing why the
+//                    consumer is order-insensitive.
+//   unsequenced-rng  (a) Two or more RNG draws in one call argument list
+//                    (argument evaluation order is unspecified); (b) a
+//                    draw inside a conditional-expression operand — the
+//                    exact PR 6 GCC-12/co_await divergence class. A draw
+//                    is a method call next/below/range/chance/uniform/
+//                    fork/shuffle on an rng-named receiver, or a call
+//                    passing an rng-named object as an argument.
+//   nondet-call      Wall-clock, std::random_device, getenv, locale and
+//                    friends inside the deterministic core directories
+//                    (src/core, src/sim, src/explore, src/gather). All
+//                    randomness flows through bdg::Rng; all timing stays
+//                    in run/bench layers.
+//   pointer-key      Pointer-valued keys in associative containers
+//                    (iteration/hash order becomes address order —
+//                    the PR 8 pointer-era merge-path cluster), and sorts
+//                    whose comparator orders by raw pointer value.
+//   pragma           Malformed detlint pragmas: unknown rule name or a
+//                    missing reason. Never suppressible.
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bdg::detlint {
+
+enum class Rule {
+  kUnorderedIter,
+  kUnsequencedRng,
+  kNondetCall,
+  kPointerKey,
+  kPragma,
+};
+
+/// Stable spelling used in pragmas, fixture manifests and output.
+[[nodiscard]] const char* rule_name(Rule r);
+
+/// Inverse of rule_name; returns false on an unknown spelling.
+[[nodiscard]] bool rule_from_name(std::string_view name, Rule& out);
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  ///< 1-based
+  Rule rule = Rule::kPragma;
+  std::string message;
+};
+
+/// `path:line: [rule] message` — the clickable one-line form.
+[[nodiscard]] std::string format(const Finding& f);
+
+/// Lint `text` as though it lived at `path`. The path scopes the
+/// nondet-call rule (deterministic-core directories only) and is echoed
+/// in findings. Findings come back ordered by line.
+[[nodiscard]] std::vector<Finding> lint_text(std::string_view text,
+                                             std::string path);
+
+/// Lint one file on disk. Throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path);
+
+/// Lint every *.h/*.hpp/*.cc/*.cpp under each path (a regular-file path is
+/// linted directly). Hidden directories and build trees are skipped; the
+/// file walk is sorted, so output order never depends on directory
+/// enumeration. Throws std::runtime_error on a path that neither exists
+/// as a file nor as a directory.
+[[nodiscard]] std::vector<Finding> lint_paths(
+    const std::vector<std::string>& paths);
+
+}  // namespace bdg::detlint

@@ -1,0 +1,34 @@
+// detlint CLI. Usage: detlint <path>... — each path a file or directory.
+// Exit 0: clean. Exit 1: findings printed, one per line. Exit 2: usage or
+// I/O error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "detlint/detlint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: detlint <file-or-dir>...\n"
+                 "  lints *.h/*.hpp/*.cc/*.cpp for determinism hazards;\n"
+                 "  exit 0 = clean, 1 = findings, 2 = error\n");
+    return 2;
+  }
+  std::vector<std::string> paths(argv + 1, argv + argc);
+  try {
+    const std::vector<bdg::detlint::Finding> findings =
+        bdg::detlint::lint_paths(paths);
+    for (const bdg::detlint::Finding& f : findings)
+      std::fprintf(stdout, "%s\n", bdg::detlint::format(f).c_str());
+    if (!findings.empty()) {
+      std::fprintf(stderr, "detlint: %zu finding(s)\n", findings.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
